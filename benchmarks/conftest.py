@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+The benchmarks live outside ``testpaths`` and only run via
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+import pathlib
+
+# Make `_harness` importable regardless of rootdir layout.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,68 @@
+"""Figure 12(c): breadth-first search time vs graph size and machines.
+
+Paper setting: same R-MAT data as Figure 12(b); BFS on 8/10/12/14
+machines (Graph 500's kernel).  The headline table: for the 1B-node
+graph, 128 s on 8 machines and 64.4 s on 14 machines.
+
+Scaled setting: R-MAT scales 10-13.  Shapes: time rises with graph size
+and falls (or at worst flattens) with machine count; BFS costs less per
+run than the same graph's full PageRank sweep because only frontier
+edges pay.
+"""
+
+import numpy as np
+
+from repro.algorithms import bfs, pagerank
+from repro.algorithms.validation import validate_bfs_levels
+from repro.generators import rmat_edges
+from repro.net import SimNetwork
+
+from _harness import IPOIB, build_topology, format_table, report
+
+SCALES = (10, 11, 12, 13)
+MACHINES = (8, 10, 12, 14)
+DEGREE = 13
+
+
+def run_sweep():
+    table = {}
+    reach = {}
+    for scale in SCALES:
+        edges = rmat_edges(scale=scale, avg_degree=DEGREE, seed=scale)
+        for machines in MACHINES:
+            topology = build_topology(edges, machines, trunk_bits=7)
+            root = int(np.argmax(topology.out_degrees()))
+            run = bfs(topology, root, network=SimNetwork(IPOIB))
+            validate_bfs_levels(topology, root, run.levels)
+            table[(scale, machines)] = run.elapsed
+            reach[scale] = run.reached
+    return table, reach
+
+
+def test_fig12c_bfs(benchmark):
+    table, reach = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for scale in SCALES:
+        rows.append((
+            f"2^{scale} nodes",
+            *(f"{table[(scale, m)] * 1e3:.2f}" for m in MACHINES),
+            reach[scale],
+        ))
+    report("fig12c_bfs", format_table(
+        ("graph", *(f"{m} machines (ms)" for m in MACHINES), "reached"),
+        rows,
+    ))
+    # Shape 1: BFS time grows with graph size at every machine count.
+    for machines in MACHINES:
+        times = [table[(scale, machines)] for scale in SCALES]
+        assert times[-1] > times[0]
+    # Shape 2: on the largest graph, 14 machines beat 8 machines
+    # (the paper's table shows 128 s -> 64 s over the same sweep).
+    assert table[(SCALES[-1], 14)] <= table[(SCALES[-1], 8)]
+
+    # Shape 3: one BFS is cheaper than a 5-iteration PageRank on the same
+    # deployment — only frontier edges pay per level.
+    edges = rmat_edges(scale=SCALES[-1], avg_degree=DEGREE, seed=SCALES[-1])
+    topology = build_topology(edges, 8, trunk_bits=7)
+    pr = pagerank(topology, iterations=5, network=SimNetwork(IPOIB))
+    assert table[(SCALES[-1], 8)] < pr.elapsed

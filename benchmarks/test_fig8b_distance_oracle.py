@@ -1,0 +1,78 @@
+"""Figure 8(b): distance-oracle accuracy vs number of landmarks.
+
+Paper setting: estimation accuracy as the landmark count grows, for three
+selection strategies.  Expected shape: **global betweenness** best,
+**local betweenness** (each machine scores its own random sample — the
+Section 5.5 "new paradigm") close behind, **largest degree** worst; all
+curves rise with more landmarks.
+
+Scaled setting: a 3000-node clustered social graph (ring-of-communities
+layout so shortest paths funnel through bridges) over 4 machines.
+"""
+
+from repro.algorithms import evaluate_oracle
+from repro.algorithms.landmarks import select_landmarks_with_cost
+from repro.generators.social import community_edges
+
+from _harness import build_topology, format_table, report
+
+STRATEGIES = ("degree", "local-betweenness", "global-betweenness")
+LANDMARK_COUNTS = (10, 20, 40, 80)
+
+
+def run_sweep():
+    edges = community_edges(3000, communities=24, avg_degree=10,
+                            layout="ring", bridges_per_pair=2,
+                            gamma=2.8, seed=11)
+    topology = build_topology(edges, machines=4, directed=False)
+    rows = []
+    accuracy = {}
+    costs = {}
+    for count in LANDMARK_COUNTS:
+        row = [count]
+        for strategy in STRATEGIES:
+            landmarks, cost = select_landmarks_with_cost(
+                topology, count, strategy, samples=96, seed=1,
+            )
+            costs[strategy] = cost.elapsed()
+            evaluation = evaluate_oracle(topology, landmarks, pairs=150,
+                                         seed=9)
+            accuracy[(count, strategy)] = evaluation.accuracy
+            row.append(f"{evaluation.accuracy * 100:.1f}%")
+        rows.append(tuple(row))
+    return rows, accuracy, costs
+
+
+def test_fig8b_landmark_strategies(benchmark):
+    rows, accuracy, costs = benchmark.pedantic(run_sweep, rounds=1,
+                                               iterations=1)
+    lines = format_table(("landmarks",) + STRATEGIES, rows)
+    lines.append("")
+    lines.append(
+        "selection cost (simulated): "
+        + ", ".join(f"{s}: {costs[s] * 1e3:.2f} ms" for s in STRATEGIES)
+    )
+    lines.append(
+        "(Section 5.5: local betweenness is parallel per machine, hence "
+        "far cheaper than one global Brandes pass)"
+    )
+    report("fig8b_distance_oracle", lines)
+    # The paper's cost claim: global betweenness is significantly more
+    # costly than the per-machine local computation.
+    assert costs["global-betweenness"] > 2 * costs["local-betweenness"]
+    # Shape 1: more landmarks help every strategy.
+    for strategy in STRATEGIES:
+        first = accuracy[(LANDMARK_COUNTS[0], strategy)]
+        last = accuracy[(LANDMARK_COUNTS[-1], strategy)]
+        assert last >= first - 0.02
+    # Shape 2: global betweenness beats largest-degree while landmarks
+    # are scarce (the curves converge as accuracy saturates near 100%,
+    # just as the paper's do at its right edge).
+    for count in LANDMARK_COUNTS[:2]:
+        assert (accuracy[(count, "global-betweenness")]
+                >= accuracy[(count, "degree")] - 0.01)
+    # Shape 3: local betweenness lands close to global at higher counts
+    # (the paper's headline for the new paradigm).
+    top = LANDMARK_COUNTS[-1]
+    assert (accuracy[(top, "local-betweenness")]
+            >= accuracy[(top, "global-betweenness")] - 0.03)

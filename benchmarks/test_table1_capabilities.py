@@ -1,0 +1,25 @@
+"""Table 1: capability matrix of representative graph systems.
+
+Reproduces the paper's system survey and verifies Trinity's derived row
+is the only all-Yes one.
+"""
+
+from repro.baselines import capability_table
+from repro.baselines.capabilities import format_table
+
+from _harness import report
+
+
+def test_table1_capability_matrix(benchmark):
+    def build():
+        rows = capability_table()
+        return rows, format_table(rows)
+
+    rows, rendered = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("table1_capabilities", rendered.splitlines())
+
+    all_yes = [r.system for r in rows
+               if r.graph_database and r.online_queries
+               and r.analytics and r.scale_out]
+    assert all_yes == ["Trinity"]
+    assert len(rows) >= 8  # the paper's seven systems + ours

@@ -1,0 +1,60 @@
+"""The distance oracle and the Section 5.5 "new paradigm".
+
+Builds a clustered social graph, picks landmark vertices by the paper's
+three strategies, and compares both the *estimation accuracy* and the
+*selection cost* — showing why computing betweenness locally per machine
+("each machine holds a random sample of the graph") gets near-global
+quality at a fraction of the price.
+
+Run:  python examples/distance_oracle.py
+"""
+
+from repro import ClusterConfig, MemoryParams
+from repro.algorithms import evaluate_oracle
+from repro.algorithms.landmarks import select_landmarks_with_cost
+from repro.generators.social import community_edges
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+from repro.memcloud import MemoryCloud
+
+STRATEGIES = ("degree", "local-betweenness", "global-betweenness")
+
+
+def main() -> None:
+    edges = community_edges(2500, communities=20, avg_degree=10,
+                            layout="ring", gamma=2.8, seed=3)
+    cloud = MemoryCloud(ClusterConfig(
+        machines=8, trunk_bits=7,
+        memory=MemoryParams(trunk_size=16 * 1024 * 1024),
+    ))
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=False))
+    builder.add_edges(edges.tolist())
+    topology = CsrTopology(builder.finalize())
+    print(f"clustered social graph: {topology.n} nodes, "
+          f"{topology.num_edges // 2} edges, 8 machines\n")
+
+    print(f"{'strategy':22s} {'32 landmarks':>14s} {'selection cost':>16s}")
+    for strategy in STRATEGIES:
+        landmarks, cost = select_landmarks_with_cost(
+            topology, 32, strategy, samples=96, seed=1,
+        )
+        evaluation = evaluate_oracle(topology, landmarks, pairs=200, seed=7)
+        print(f"{strategy:22s} {evaluation.accuracy * 100:13.1f}% "
+              f"{cost.elapsed() * 1e3:13.2f} ms")
+
+    landmarks, _ = select_landmarks_with_cost(
+        topology, 32, "local-betweenness", samples=96, seed=1,
+    )
+    evaluation = evaluate_oracle(topology, landmarks, pairs=5, seed=99)
+    print("\nsample estimates (local-betweenness oracle):")
+    for u, v, true, estimate in evaluation.per_pair:
+        marker = "exact" if true == estimate else f"+{estimate - true}"
+        print(f"  d({u:4d}, {v:4d}) = {true}  estimated {estimate}  "
+              f"({marker})")
+    print("\nthe paper's point: the distance between any two users is "
+          "answered from precomputed landmark BFS trees in O(landmarks) "
+          "— no traversal at query time — and the landmark set itself "
+          "can be found without any global computation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: the paper's movie/actor graph, end to end.
+
+Reproduces the Figure 4 + Figure 6 workflow: declare cell schemas in TSL,
+store cells in a Trinity cluster's memory cloud, and manipulate them
+through generated-style accessors — including an in-place field write and
+a structural list append.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, TrinityCluster, compile_tsl
+
+MOVIE_TSL = """
+[CellType: NodeCell]
+cell struct Movie {
+    string Name;
+    int Year;
+    [EdgeType: SimpleEdge, ReferencedCell: Actor]
+    List<long> Actors;
+}
+[CellType: NodeCell]
+cell struct Actor {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Movie]
+    List<long> Movies;
+}
+"""
+
+HEAT, PACINO, DENIRO = 1, 100, 101
+
+
+def main() -> None:
+    # A Trinity deployment: 4 slaves, a memory cloud of 2**8 trunks,
+    # TFS persistence and fault-tolerance machinery all wired up.
+    cluster = TrinityCluster(ClusterConfig(machines=4))
+    schema = compile_tsl(MOVIE_TSL)
+
+    # --- store cells (SaveMyCell-style generated API) --------------------
+    schema.save_cell(cluster.cloud, "Movie", HEAT,
+                     {"Name": "Heat", "Year": 1995, "Actors": [PACINO]})
+    schema.save_cell(cluster.cloud, "Actor", PACINO,
+                     {"Name": "Al Pacino", "Movies": [HEAT]})
+    schema.save_cell(cluster.cloud, "Actor", DENIRO,
+                     {"Name": "Robert De Niro", "Movies": []})
+
+    # --- manipulate blobs through a cell accessor (Figure 6) -------------
+    with schema.use_cell(cluster.cloud, "Movie", HEAT) as movie:
+        print(f"{movie.Name} ({movie.Year}) starring "
+              f"{len(movie.Actors)} actor(s)")
+        movie.Year = 1996            # fixed-size field: in-place write
+        movie.Actors.append(DENIRO)  # list append: blob rebuilt on exit
+    with schema.use_cell(cluster.cloud, "Actor", DENIRO) as actor:
+        actor.Movies.append(HEAT)
+
+    # --- traverse the graph through cell reads ---------------------------
+    movie = schema.load_cell(cluster.cloud, "Movie", HEAT)
+    cast = [schema.load_cell(cluster.cloud, "Actor", actor_id)["Name"]
+            for actor_id in movie["Actors"]]
+    print(f"{movie['Name']} ({movie['Year']}) cast: {', '.join(cast)}")
+
+    # --- the cells live on specific machines of the cloud ----------------
+    for cell_id, label in ((HEAT, "Heat"), (PACINO, "Pacino"),
+                           (DENIRO, "De Niro")):
+        machine = cluster.cloud.machine_of(cell_id)
+        print(f"  cell {label!r} lives on machine {machine}")
+
+    # --- and survive a machine failure (Section 6.2) ---------------------
+    cluster.backup_to_tfs()
+    victim = cluster.cloud.machine_of(HEAT)
+    cluster.fail_machine(victim)
+    cluster.report_failure(victim)
+    recovered = schema.load_cell(cluster.cloud, "Movie", HEAT)
+    print(f"after failing machine {victim}: {recovered['Name']} "
+          f"({recovered['Year']}) still has {len(recovered['Actors'])} "
+          "actors — recovered from TFS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The paper's "David problem" (Section 5.1): people search by exploration.
+
+Builds a Facebook-like power-law friendship graph with Zipf-weighted first
+names in a Trinity memory cloud, then answers "find anyone named David
+within 3 hops of this user" by live graph exploration — no index — while
+the simulated cluster accounts for every hop's parallel expansion and
+packed cross-machine messages.
+
+Run:  python examples/social_search.py
+"""
+
+from repro import ClusterConfig, MemoryParams
+from repro.algorithms import people_search
+from repro.generators.social import build_social_graph
+from repro.memcloud import MemoryCloud
+
+NODES = 20_000
+AVG_DEGREE = 13      # the paper quotes Facebook's average degree, 130/10
+MACHINES = 8
+
+
+def main() -> None:
+    print(f"building a {NODES}-node social graph "
+          f"(avg degree {AVG_DEGREE}) over {MACHINES} machines...")
+    cloud = MemoryCloud(ClusterConfig(
+        machines=MACHINES, trunk_bits=8,
+        memory=MemoryParams(trunk_size=32 * 1024 * 1024),
+    ))
+    graph = build_social_graph(cloud, NODES, avg_degree=AVG_DEGREE, seed=42)
+    print(f"loaded: {graph.num_nodes} people, {graph.num_edges()} "
+          f"friendships, {cloud.total_live_bytes() / 1e6:.1f} MB of cells")
+
+    start = 0
+    print(f"\nuser {start} is named {graph.attribute(start, 'Name')!r}; "
+          "searching their neighborhood for 'David'...")
+    for hops in (1, 2, 3):
+        result = people_search(graph, start, "David", hops=hops)
+        print(f"  within {hops} hop(s): {len(result.matches):4d} Davids | "
+              f"{result.visited:6d} people explored | "
+              f"{result.messages:6d} messages | "
+              f"simulated response {result.elapsed * 1e3:7.2f} ms")
+
+    result = people_search(graph, start, "David", hops=3)
+    shown = ", ".join(str(m) for m in result.matches[:8])
+    print(f"\nfirst matches: {shown}{' ...' if len(result.matches) > 8 else ''}")
+    print("the paper's claim: a 3-hop search like this answers in "
+          "~100 ms on a web-scale graph — because exploration cost "
+          "depends on the neighborhood, not the graph size.")
+
+
+if __name__ == "__main__":
+    main()

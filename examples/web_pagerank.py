@@ -1,0 +1,76 @@
+"""Offline analytics: PageRank over an R-MAT web graph (Section 5.3).
+
+Shows both execution paths over the same deployment:
+
+* the vertex-centric BSP engine (Pregel-style programs on Trinity's
+  restrictive model, with hub-vertex message buffering), and
+* the vectorised runner the benchmarks use,
+
+then compares against the Giraph cost simulator to illustrate the
+Figure 12(d) gap.
+
+Run:  python examples/web_pagerank.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, MemoryParams
+from repro.algorithms import PageRankProgram, pagerank
+from repro.baselines.giraph import giraph_from_topology
+from repro.compute import BspEngine
+from repro.generators import rmat_edges
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+from repro.memcloud import MemoryCloud
+
+SCALE = 12           # 4096 pages
+MACHINES = 8
+ITERATIONS = 10
+
+
+def main() -> None:
+    edges = rmat_edges(scale=SCALE, avg_degree=13, seed=7)
+    print(f"R-MAT web graph: 2^{SCALE} pages, {len(edges)} links")
+    cloud = MemoryCloud(ClusterConfig(
+        machines=MACHINES, trunk_bits=8,
+        memory=MemoryParams(trunk_size=16 * 1024 * 1024),
+    ))
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+    builder.add_edges(edges.tolist())
+    graph = builder.finalize()
+    topology = CsrTopology(graph)
+
+    # --- vertex-centric engine (the programming model) -------------------
+    engine = BspEngine(topology, hub_buffering=True)
+    result = engine.run(PageRankProgram(iterations=ITERATIONS),
+                        max_supersteps=ITERATIONS + 2)
+    engine_ranks = np.array(result.values)
+    print(f"\nBSP engine: {result.superstep_count} supersteps, "
+          f"simulated {result.elapsed * 1e3:.1f} ms total")
+    first = result.supersteps[0]
+    print(f"  superstep 0: {first.messages} messages, "
+          f"{first.remote_transfers} wire transfers after hub buffering")
+
+    # --- vectorised runner (the benchmark path) ---------------------------
+    run = pagerank(topology, iterations=ITERATIONS)
+    drift = np.abs(run.ranks - engine_ranks).max()
+    print(f"vectorised runner: {run.time_per_iteration * 1e3:.2f} ms "
+          f"per simulated iteration; max drift vs engine {drift:.2e}")
+
+    top = np.argsort(-run.ranks)[:5]
+    print("\ntop pages by rank:")
+    for dense in top:
+        print(f"  page {int(topology.node_ids[dense]):6d}  "
+              f"rank {run.ranks[dense]:.5f}")
+
+    # --- the Figure 12(d) contrast ----------------------------------------
+    giraph = giraph_from_topology(topology).run_pagerank(
+        supersteps=ITERATIONS
+    )
+    print(f"\nGiraph cost model on the same graph/machines: "
+          f"{giraph.time_per_superstep:.1f} s per superstep "
+          f"(Hadoop scheduling dominates at this scale) vs Trinity's "
+          f"{run.time_per_iteration * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

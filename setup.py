@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the ``wheel``
+package is unavailable (PEP 660 editable builds require it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Graph algorithms: online queries and offline analytics (Section 5).
+
+Online (latency-bound, exploration-based):
+
+* :mod:`~repro.algorithms.people_search` — the k-hop "David problem".
+* :mod:`~repro.algorithms.subgraph` — STwig-style subgraph matching
+  without structure indexes (Section 5.2, Figure 8a, Figure 14a).
+* :mod:`~repro.algorithms.landmarks` — the landmark distance oracle and
+  its three selection strategies (Section 5.5, Figure 8b).
+
+Offline (throughput-bound, vertex-centric):
+
+* :mod:`~repro.algorithms.pagerank`, :mod:`~repro.algorithms.bfs`,
+  :mod:`~repro.algorithms.sssp`, :mod:`~repro.algorithms.wcc` — each with
+  a :class:`~repro.compute.vertex.VertexProgram` (the reference semantics)
+  and a vectorised runner whose per-superstep costs follow the same
+  traffic model (Figure 12).
+* :mod:`~repro.algorithms.partitioning` — multi-level graph partitioning
+  (Section 5.3's "billion-node partitioning" workload).
+"""
+
+from .pagerank import PageRankProgram, PageRankRun, pagerank, pagerank_async
+from .bfs import BfsProgram, BfsRun, bfs
+from .sssp import SsspProgram, sssp
+from .wcc import WccProgram, wcc
+from .triangles import TriangleProgram, TriangleRun, count_triangles
+from .people_search import PeopleSearchResult, people_search
+from .subgraph import (
+    Query,
+    SubgraphMatchResult,
+    generate_query_dfs,
+    generate_query_random,
+    match_subgraph,
+)
+from .landmarks import (
+    OracleEvaluation,
+    evaluate_oracle,
+    select_landmarks,
+)
+from .partitioning import PartitioningResult, edge_cut, hash_partition, multilevel_partition
+
+__all__ = [
+    "PageRankProgram",
+    "PageRankRun",
+    "pagerank",
+    "pagerank_async",
+    "BfsProgram",
+    "BfsRun",
+    "bfs",
+    "SsspProgram",
+    "sssp",
+    "WccProgram",
+    "wcc",
+    "TriangleProgram",
+    "TriangleRun",
+    "count_triangles",
+    "PeopleSearchResult",
+    "people_search",
+    "Query",
+    "SubgraphMatchResult",
+    "generate_query_dfs",
+    "generate_query_random",
+    "match_subgraph",
+    "OracleEvaluation",
+    "select_landmarks",
+    "evaluate_oracle",
+    "PartitioningResult",
+    "multilevel_partition",
+    "hash_partition",
+    "edge_cut",
+]

@@ -1,0 +1,150 @@
+"""Shared superstep traffic model for the vectorised analytics runners.
+
+The vertex engine (:mod:`repro.compute.bsp`) counts messages as it routes
+them; the vectorised runners compute the *same* quantities analytically
+from the CSR structure — legitimate because the restrictive model makes
+the communication pattern a pure function of topology and frontier
+("the communication pattern is predictable iteration after iteration",
+Section 5.3).  Tests assert both paths agree.
+
+Hub handling mirrors the engine: a vertex whose out-degree reaches the
+hub threshold ships its (uniform) value once per destination machine
+rather than once per edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ComputeParams
+from ..net.simnet import ParallelRound, SimNetwork
+
+
+class TrafficModel:
+    """Precomputed per-edge machine routing for one topology."""
+
+    def __init__(self, topology, hub_fraction: float = 0.01,
+                 hub_buffering: bool = True, message_bytes: int = 16):
+        self.topology = topology
+        self.message_bytes = message_bytes
+        n = topology.n
+        machines = topology.machine_count
+        self.machines = machines
+        degrees = topology.out_degrees()
+        if hub_buffering and n and hub_fraction > 0:
+            quantile = float(np.quantile(degrees, 1.0 - hub_fraction))
+            self.hub_threshold = max(2.0, quantile)
+        else:
+            self.hub_threshold = float("inf")
+        self.is_hub = degrees >= self.hub_threshold
+
+        # Per-edge source vertex and machine-pair id.
+        self.edge_src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        src_machine = topology.machine[self.edge_src]
+        dst_machine = topology.machine[topology.out_indices]
+        self.edge_pair = (src_machine.astype(np.int64) * machines
+                          + dst_machine.astype(np.int64))
+
+        # Hub vertices: per-machine-pair message counts when the hub
+        # broadcasts (1 per distinct destination machine).
+        self._hub_pair_counts = np.zeros(machines * machines, dtype=np.int64)
+        self._hub_pairs_by_vertex: dict[int, np.ndarray] = {}
+        hub_vertices = np.nonzero(self.is_hub)[0]
+        for v in hub_vertices:
+            start, end = topology.out_indptr[v], topology.out_indptr[v + 1]
+            dsts = np.unique(dst_machine[start:end])
+            pairs = int(topology.machine[v]) * machines + dsts.astype(np.int64)
+            self._hub_pairs_by_vertex[int(v)] = pairs
+            np.add.at(self._hub_pair_counts, pairs, 1)
+
+        # Non-hub per-pair counts for the full-broadcast case.
+        nonhub_edges = ~self.is_hub[self.edge_src]
+        self._nonhub_pair_counts = np.bincount(
+            self.edge_pair[nonhub_edges], minlength=machines * machines
+        )
+        self._full_pair_counts = (
+            self._nonhub_pair_counts + self._hub_pair_counts
+        )
+
+    # -- traffic for one superstep ----------------------------------------
+
+    def full_broadcast_traffic(self) -> np.ndarray:
+        """Message counts per machine pair when *every* vertex broadcasts
+        to all out-neighbors (PageRank, WCC)."""
+        return self._full_pair_counts
+
+    def frontier_traffic(self, frontier: np.ndarray) -> np.ndarray:
+        """Message counts per machine pair when only ``frontier`` (bool
+        mask over vertices) broadcasts (BFS, SSSP waves)."""
+        active_edges = frontier[self.edge_src]
+        nonhub = active_edges & ~self.is_hub[self.edge_src]
+        counts = np.bincount(
+            self.edge_pair[nonhub],
+            minlength=self.machines * self.machines,
+        ).astype(np.int64)
+        for v in np.nonzero(frontier & self.is_hub)[0]:
+            np.add.at(counts, self._hub_pairs_by_vertex[int(v)], 1)
+        return counts
+
+    # -- charging a superstep ----------------------------------------------
+
+    def charge_superstep(self, network: SimNetwork, params: ComputeParams,
+                         active_per_machine: np.ndarray,
+                         edges_per_machine: np.ndarray,
+                         pair_counts: np.ndarray) -> float:
+        """Build a :class:`ParallelRound` for one superstep and charge it.
+
+        ``active_per_machine[m]`` vertices ran compute on machine ``m``,
+        scanning ``edges_per_machine[m]`` adjacency entries;
+        ``pair_counts`` is a flattened machines x machines message-count
+        matrix.  Returns elapsed simulated time including the barrier.
+        """
+        round_ = ParallelRound(network)
+        for machine in range(self.machines):
+            compute = (
+                float(active_per_machine[machine])
+                * (params.vertex_compute_cost + params.cell_access_cost)
+                + float(edges_per_machine[machine]) * params.edge_scan_cost
+            )
+            if compute:
+                round_.add_compute(machine, compute)
+        nonzero = np.nonzero(pair_counts)[0]
+        for pair in nonzero:
+            src, dst = divmod(int(pair), self.machines)
+            count = int(pair_counts[pair])
+            round_.add_message(src, dst, count * self.message_bytes, count)
+        elapsed = round_.finish(parallelism=params.threads_per_machine)
+        network.clock.advance(params.barrier_cost)
+        return elapsed + params.barrier_cost
+
+    # -- helpers -------------------------------------------------------------
+
+    def per_machine_vertices(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Vertices per machine (optionally restricted to a mask)."""
+        if mask is None:
+            return np.bincount(self.topology.machine,
+                               minlength=self.machines).astype(np.int64)
+        return np.bincount(self.topology.machine[mask],
+                           minlength=self.machines).astype(np.int64)
+
+    def per_machine_edges(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Out-edges per machine (optionally only edges from masked
+        sources)."""
+        degrees = self.topology.out_degrees()
+        if mask is None:
+            weights = degrees
+            machines = self.topology.machine
+        else:
+            weights = degrees[mask]
+            machines = self.topology.machine[mask]
+        return np.bincount(
+            machines, weights=weights, minlength=self.machines
+        ).astype(np.int64)
+
+    def remote_fraction(self) -> float:
+        """Fraction of full-broadcast messages that cross machines."""
+        counts = self._full_pair_counts.reshape(self.machines, self.machines)
+        total = counts.sum()
+        if not total:
+            return 0.0
+        return float(1.0 - np.trace(counts) / total)

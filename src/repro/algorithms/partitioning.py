@@ -1,0 +1,311 @@
+"""Multi-level graph partitioning (Section 5.3).
+
+"Trinity can partition billion-node graphs within a few hours using a
+multi-level partitioning algorithm.  The quality of the partitioning is
+comparable to that of the best partitioning algorithm (e.g., METIS).  To
+the best of our knowledge, billion-node graph partitioning is an unsolved
+problem on general-purpose graph platforms."
+
+The paper cites its companion technical report; this module implements
+the standard multi-level scheme the report builds on:
+
+1. **coarsen** — repeated heavy-edge matching collapses matched pairs
+   until the graph is small;
+2. **initial partition** — greedy region growing on the coarsest graph;
+3. **uncoarsen + refine** — project the partition back level by level,
+   applying boundary Kernighan-Lin-style moves at each level.
+
+The paper's claim reproduced in the ablation bench: the multi-level cut
+is far below the random/hash partition cut the memory cloud uses by
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ComputeError
+
+
+@dataclass
+class PartitioningResult:
+    """A k-way partition of a graph plus quality metrics."""
+
+    assignment: np.ndarray           # node -> part id
+    parts: int
+    cut: int
+    balance: float                   # max part size / ideal size
+    levels: int = 0
+    history: list[tuple[int, int]] = field(default_factory=list)
+
+
+def edge_cut(indptr: np.ndarray, indices: np.ndarray,
+             assignment: np.ndarray) -> int:
+    """Number of (directed) edges whose endpoints are in different parts."""
+    n = len(indptr) - 1
+    src = np.repeat(np.arange(n), np.diff(indptr))
+    return int(np.sum(assignment[src] != assignment[indices]))
+
+
+def hash_partition(n: int, parts: int, seed: int = 0) -> np.ndarray:
+    """The memory cloud's default placement: uniform random assignment."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, parts, size=n, dtype=np.int64)
+
+
+def multilevel_partition(indptr: np.ndarray, indices: np.ndarray,
+                         parts: int, coarsest: int = 200,
+                         refine_passes: int = 4,
+                         seed: int = 0) -> PartitioningResult:
+    """k-way multi-level partitioning of an undirected CSR graph.
+
+    The adjacency should be symmetric (each undirected edge present in
+    both directions); the cut reported counts directed entries, i.e.
+    2x the undirected cut.
+    """
+    if parts < 2:
+        raise ComputeError("parts must be >= 2")
+    n = len(indptr) - 1
+    if n < parts:
+        raise ComputeError(f"cannot split {n} nodes into {parts} parts")
+
+    # ---- coarsening phase ----
+    levels = []  # (indptr, indices, weights, node_weights, mapping_to_finer)
+    cur_indptr, cur_indices = indptr, indices
+    cur_eweights = np.ones(len(indices), dtype=np.int64)
+    cur_nweights = np.ones(n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    while len(cur_indptr) - 1 > max(coarsest, parts * 8):
+        matching = _heavy_edge_matching(
+            cur_indptr, cur_indices, cur_eweights, rng
+        )
+        coarse = _contract(
+            cur_indptr, cur_indices, cur_eweights, cur_nweights, matching
+        )
+        if coarse is None:
+            break  # matching stalled (e.g. star graph); stop coarsening
+        levels.append((cur_indptr, cur_indices, cur_eweights,
+                       cur_nweights, matching))
+        cur_indptr, cur_indices, cur_eweights, cur_nweights = coarse
+
+    # ---- initial partition on the coarsest graph ----
+    assignment = _region_growing(
+        cur_indptr, cur_indices, cur_nweights, parts, rng
+    )
+    assignment = _rebalance(
+        cur_indptr, cur_indices, cur_eweights, cur_nweights,
+        assignment, parts,
+    )
+    assignment = _refine(
+        cur_indptr, cur_indices, cur_eweights, cur_nweights,
+        assignment, parts, refine_passes,
+    )
+    history = [(len(cur_indptr) - 1,
+                edge_cut(cur_indptr, cur_indices, assignment))]
+
+    # ---- uncoarsening + refinement ----
+    for fine_indptr, fine_indices, fine_eweights, fine_nweights, matching \
+            in reversed(levels):
+        assignment = assignment[matching]
+        assignment = _rebalance(
+            fine_indptr, fine_indices, fine_eweights, fine_nweights,
+            assignment, parts,
+        )
+        assignment = _refine(
+            fine_indptr, fine_indices, fine_eweights, fine_nweights,
+            assignment, parts, refine_passes,
+        )
+        history.append((len(fine_indptr) - 1,
+                        edge_cut(fine_indptr, fine_indices, assignment)))
+
+    sizes = np.bincount(assignment, minlength=parts)
+    ideal = n / parts
+    return PartitioningResult(
+        assignment=assignment,
+        parts=parts,
+        cut=edge_cut(indptr, indices, assignment),
+        balance=float(sizes.max() / ideal),
+        levels=len(levels),
+        history=history,
+    )
+
+
+def _heavy_edge_matching(indptr, indices, eweights, rng) -> np.ndarray:
+    """Match each node with its heaviest unmatched neighbor.
+
+    Returns ``match`` where matched pairs share a coarse id; the array
+    maps fine node -> coarse node id (contiguous).
+    """
+    n = len(indptr) - 1
+    order = rng.permutation(n)
+    mate = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        if mate[v] >= 0:
+            continue
+        best = -1
+        best_weight = -1
+        for offset in range(indptr[v], indptr[v + 1]):
+            u = int(indices[offset])
+            if u == v or mate[u] >= 0:
+                continue
+            if eweights[offset] > best_weight:
+                best_weight = int(eweights[offset])
+                best = u
+        if best >= 0:
+            mate[v] = best
+            mate[best] = v
+        else:
+            mate[v] = v  # unmatched: survives alone
+    coarse_id = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse_id[v] >= 0:
+            continue
+        coarse_id[v] = next_id
+        coarse_id[mate[v]] = next_id
+        next_id += 1
+    return coarse_id
+
+
+def _contract(indptr, indices, eweights, nweights, coarse_id):
+    """Build the coarse graph; None if contraction made no progress."""
+    n = len(indptr) - 1
+    coarse_n = int(coarse_id.max()) + 1
+    if coarse_n >= n:
+        return None
+    edge_map: dict[tuple[int, int], int] = {}
+    src = np.repeat(np.arange(n), np.diff(indptr))
+    for s, d, w in zip(coarse_id[src], coarse_id[indices], eweights):
+        s, d = int(s), int(d)
+        if s == d:
+            continue
+        key = (s, d)
+        edge_map[key] = edge_map.get(key, 0) + int(w)
+    coarse_indptr = np.zeros(coarse_n + 1, dtype=np.int64)
+    pairs = sorted(edge_map)
+    for s, _ in pairs:
+        coarse_indptr[s + 1] += 1
+    coarse_indptr = np.cumsum(coarse_indptr)
+    coarse_indices = np.array([d for _, d in pairs], dtype=np.int64)
+    coarse_eweights = np.array([edge_map[p] for p in pairs], dtype=np.int64)
+    coarse_nweights = np.bincount(
+        coarse_id, weights=nweights, minlength=coarse_n
+    ).astype(np.int64)
+    return coarse_indptr, coarse_indices, coarse_eweights, coarse_nweights
+
+
+def _region_growing(indptr, indices, nweights, parts, rng) -> np.ndarray:
+    """Greedy BFS region growing for the initial partition."""
+    n = len(indptr) - 1
+    assignment = np.full(n, -1, dtype=np.int64)
+    target = nweights.sum() / parts
+    unassigned = set(range(n))
+    for part in range(parts - 1):
+        if not unassigned:
+            break
+        seed_node = int(rng.choice(sorted(unassigned)))
+        frontier = [seed_node]
+        weight = 0
+        while frontier and weight < target:
+            v = frontier.pop()
+            if assignment[v] >= 0:
+                continue
+            assignment[v] = part
+            unassigned.discard(v)
+            weight += int(nweights[v])
+            for u in indices[indptr[v]:indptr[v + 1]]:
+                u = int(u)
+                if assignment[u] < 0:
+                    frontier.append(u)
+    for v in unassigned:
+        assignment[v] = parts - 1
+    return assignment
+
+
+def _rebalance(indptr, indices, eweights, nweights, assignment,
+               parts, tolerance: float = 1.12) -> np.ndarray:
+    """Shed weight from overweight parts onto the lightest parts.
+
+    Picks, per move, the overweight-part node with the smallest cut
+    penalty toward the current lightest part; runs until every part is
+    within ``tolerance`` of ideal (or no move is possible).
+    """
+    assignment = assignment.copy()
+    n = len(indptr) - 1
+    sizes = np.bincount(assignment, weights=nweights,
+                        minlength=parts).astype(np.float64)
+    ideal = nweights.sum() / parts
+    limit = ideal * tolerance
+
+    def link_weight(v: int, part: int) -> int:
+        total = 0
+        for offset in range(indptr[v], indptr[v + 1]):
+            if assignment[indices[offset]] == part:
+                total += int(eweights[offset])
+        return total
+
+    for _ in range(4 * n):  # hard bound on total moves
+        heavy = int(np.argmax(sizes))
+        if sizes[heavy] <= limit:
+            break
+        light = int(np.argmin(sizes))
+        members = np.nonzero(assignment == heavy)[0]
+        if not len(members):
+            break
+        # Cheapest eviction: maximize (links to light - links to heavy).
+        best_node = None
+        best_score = None
+        for v in members[:512]:  # cap the scan; members is shuffled-ish
+            score = link_weight(int(v), light) - link_weight(int(v), heavy)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_node = int(v)
+        if best_node is None:
+            break
+        assignment[best_node] = light
+        sizes[heavy] -= float(nweights[best_node])
+        sizes[light] += float(nweights[best_node])
+    return assignment
+
+
+def _refine(indptr, indices, eweights, nweights, assignment, parts,
+            passes) -> np.ndarray:
+    """Boundary KL/FM-style refinement: greedily move nodes whose gain is
+    positive, keeping parts within a 15% imbalance tolerance."""
+    assignment = assignment.copy()
+    n = len(indptr) - 1
+    sizes = np.bincount(assignment, weights=nweights,
+                        minlength=parts).astype(np.int64)
+    max_size = int(nweights.sum() / parts * 1.15) + 1
+    for _ in range(passes):
+        moved = 0
+        for v in range(n):
+            home = int(assignment[v])
+            # Connectivity of v to each part.
+            link = {}
+            for offset in range(indptr[v], indptr[v + 1]):
+                u = int(indices[offset])
+                link[int(assignment[u])] = (
+                    link.get(int(assignment[u]), 0) + int(eweights[offset])
+                )
+            internal = link.get(home, 0)
+            best_part, best_gain = home, 0
+            for part, weight in link.items():
+                if part == home:
+                    continue
+                if sizes[part] + nweights[v] > max_size:
+                    continue
+                gain = weight - internal
+                if gain > best_gain:
+                    best_gain = gain
+                    best_part = part
+            if best_part != home:
+                assignment[v] = best_part
+                sizes[home] -= int(nweights[v])
+                sizes[best_part] += int(nweights[v])
+                moved += 1
+        if not moved:
+            break
+    return assignment

@@ -1,0 +1,114 @@
+"""People search — the paper's "David problem" (Section 5.1, Fig 12a).
+
+"On a social network, for a given user, find anyone whose first name is
+David among his/her friends, friends' friends, and friends' friends'
+friends."  No index can serve this on a web-scale graph; Trinity answers
+it by raw memory-speed exploration: each hop sends asynchronous requests
+to the machines owning the frontier, which expand their local cells in
+parallel and forward the next frontier.
+
+The implementation runs over the *cloud-resident* cells (real blob
+decodes, not a topology snapshot — this is the online path), and each hop
+is one :class:`~repro.net.simnet.ParallelRound`: per-machine cell/edge
+costs plus the packed cross-machine frontier messages.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..config import ComputeParams
+from ..errors import QueryError
+from ..net.simnet import ParallelRound, SimNetwork
+
+_FRONTIER_ID_BYTES = 9   # 8-byte cell id + 1-byte hop tag
+
+
+@dataclass
+class PeopleSearchResult:
+    """Matches and per-hop accounting for one query."""
+
+    start: int
+    name: str
+    hops: int
+    matches: list[int] = field(default_factory=list)
+    visited: int = 0
+    hop_times: list[float] = field(default_factory=list)
+    messages: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated response time of the query."""
+        return sum(self.hop_times)
+
+
+def people_search(graph, start: int, name: str, hops: int = 3,
+                  network: SimNetwork | None = None,
+                  params: ComputeParams | None = None) -> PeopleSearchResult:
+    """Find all nodes named ``name`` within ``hops`` of ``start``.
+
+    The graph must use a schema with a ``Name`` attribute (see
+    :func:`repro.graph.model.social_graph_schema`).
+    """
+    if hops < 1:
+        raise QueryError("hops must be >= 1")
+    if "Name" not in graph.graph_schema.attribute_fields:
+        raise QueryError("people_search needs a graph with a Name attribute")
+    network = network or SimNetwork()
+    params = params or ComputeParams()
+
+    result = PeopleSearchResult(start=start, name=name, hops=hops)
+    visited = {start}
+    frontier = [start]
+    for hop in range(1, hops + 1):
+        if not frontier:
+            break
+        round_ = ParallelRound(network)
+        # Group the frontier by owning machine; each machine expands its
+        # share in parallel.
+        by_machine: dict[int, list[int]] = defaultdict(list)
+        for node in frontier:
+            by_machine[graph.machine_of(node)].append(node)
+
+        next_frontier: list[int] = []
+        delivery: dict[tuple[int, int], int] = defaultdict(int)
+        for machine, nodes in by_machine.items():
+            edges_scanned = 0
+            for node in nodes:
+                neighbors = graph.outlinks(node)
+                edges_scanned += len(neighbors)
+                for neighbor in neighbors:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+                    delivery[(machine, graph.machine_of(neighbor))] += 1
+            # Expansion: one cell access per frontier node + its edges.
+            round_.add_compute(
+                machine,
+                len(nodes) * params.cell_access_cost
+                + edges_scanned * params.edge_scan_cost,
+            )
+
+        # Each delivered node is name-checked on its own machine (a cell
+        # access to read the Name attribute).
+        checks_by_machine: dict[int, int] = defaultdict(int)
+        for node in next_frontier:
+            checks_by_machine[graph.machine_of(node)] += 1
+            if graph.attribute(node, "Name") == name:
+                result.matches.append(node)
+        for machine, checks in checks_by_machine.items():
+            round_.add_compute(machine, checks * params.cell_access_cost)
+
+        for (src, dst), count in delivery.items():
+            round_.add_message(src, dst, count * _FRONTIER_ID_BYTES, count)
+            result.messages += count
+
+        result.hop_times.append(
+            round_.finish(parallelism=params.threads_per_machine)
+        )
+        frontier = next_frontier
+    result.visited = len(visited) - 1
+    result.matches.sort()
+    return result

@@ -1,0 +1,90 @@
+"""Result-validation kernels (the Graph 500 discipline).
+
+Section 7 notes that the "Graph 500 Benchmark adopts BFS as one of its
+two computation kernels"; Graph 500 also mandates that every BFS result
+be *validated*, not just timed.  These checkers implement the same
+discipline for the reproduction's analytics results, and the test suite
+plus benchmarks use them instead of trusting the engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ComputeError
+
+
+def validate_bfs_levels(topology, root: int, levels: np.ndarray) -> None:
+    """Graph500-style BFS validation; raises ComputeError on any defect.
+
+    Checks: the root has level 0; every reached vertex (except the root)
+    has an in-neighbor exactly one level shallower; no edge spans more
+    than one level; unreached vertices have no reached in-neighbor.
+    """
+    levels = np.asarray(levels)
+    n = topology.n
+    if len(levels) != n:
+        raise ComputeError("levels length != vertex count")
+    if levels[root] != 0:
+        raise ComputeError(f"root level is {levels[root]}, not 0")
+    if (levels[levels >= 0] > n).any():
+        raise ComputeError("a level exceeds the vertex count")
+
+    src = np.repeat(np.arange(n), topology.out_degrees())
+    dst = topology.out_indices
+    both_reached = (levels[src] >= 0) & (levels[dst] >= 0)
+    # A traversed edge cannot skip a level downwards; on a directed
+    # graph an edge may point arbitrarily far back *up* the tree, so
+    # only the forward direction is constrained.
+    if (levels[dst[both_reached]]
+            > levels[src[both_reached]] + 1).any():
+        raise ComputeError("an edge skips a BFS level")
+
+    # Every reached vertex has a predecessor one level up.
+    has_predecessor = np.zeros(n, dtype=bool)
+    parent_edge = both_reached & (levels[dst] == levels[src] + 1)
+    has_predecessor[dst[parent_edge]] = True
+    reached = np.nonzero(levels > 0)[0]
+    orphans = reached[~has_predecessor[reached]]
+    if len(orphans):
+        raise ComputeError(
+            f"{len(orphans)} reached vertices have no parent edge "
+            f"(first: {int(orphans[0])})"
+        )
+
+    # Unreached vertices must not be adjacent to any reached vertex.
+    leak = (levels[src] >= 0) & (levels[dst] < 0)
+    if leak.any():
+        vertex = int(dst[np.nonzero(leak)[0][0]])
+        raise ComputeError(
+            f"vertex {vertex} is unreached but has a reached in-neighbor"
+        )
+
+
+def validate_pagerank(ranks: np.ndarray, tolerance: float = 1e-6) -> None:
+    """PageRank sanity: a strictly positive probability distribution."""
+    ranks = np.asarray(ranks)
+    if not np.isfinite(ranks).all():
+        raise ComputeError("non-finite PageRank values")
+    if (ranks <= 0).any():
+        raise ComputeError("non-positive PageRank values")
+    total = float(ranks.sum())
+    if abs(total - 1.0) > tolerance:
+        raise ComputeError(f"ranks sum to {total}, not 1")
+
+
+def validate_components(topology, labels: np.ndarray) -> None:
+    """WCC sanity: endpoints of every edge share a label, and each label
+    equals the smallest member of its component (HashMin convention)."""
+    labels = np.asarray(labels)
+    n = topology.n
+    src = np.repeat(np.arange(n), topology.out_degrees())
+    dst = topology.out_indices
+    if (labels[src] != labels[dst]).any():
+        raise ComputeError("an edge crosses two components")
+    for label in np.unique(labels):
+        members = np.nonzero(labels == label)[0]
+        if label != members.min():
+            raise ComputeError(
+                f"component label {int(label)} is not its minimum member"
+            )

@@ -1,0 +1,30 @@
+"""Comparator systems (Section 7's baselines and Table 1).
+
+The paper compares Trinity against PBGL (C++/MPI, ghost cells) and
+Giraph (JVM/Hadoop Pregel).  Neither ships in this offline environment,
+so each is reproduced as a *mechanistic simulator*: the same generated
+graphs, the same algorithms, but the memory layout and communication
+charged with that system's cost model — ghost-cell replication and
+two-sided MPI for PBGL, JVM object overhead and Hadoop per-superstep
+scheduling for Giraph.  The constants are documented in
+:mod:`~repro.baselines.costmodel` with their calibration sources (the
+paper's own measured points).
+"""
+
+from .costmodel import GiraphCostModel, PbglCostModel, TrinityCostModel
+from .pbgl import PbglBfsResult, PbglSimulation
+from .giraph import GiraphPageRankResult, GiraphSimulation
+from .capabilities import PAPER_TABLE_1, SystemCapabilities, capability_table
+
+__all__ = [
+    "PbglCostModel",
+    "GiraphCostModel",
+    "TrinityCostModel",
+    "PbglSimulation",
+    "PbglBfsResult",
+    "GiraphSimulation",
+    "GiraphPageRankResult",
+    "SystemCapabilities",
+    "capability_table",
+    "PAPER_TABLE_1",
+]

@@ -1,0 +1,176 @@
+"""PBGL simulator: BFS with ghost cells and two-sided MPI (Figure 13).
+
+Runs the *same* BFS as :func:`repro.algorithms.bfs.bfs` on the same
+topology, but measures memory and charges time with PBGL's mechanisms:
+
+* **memory** — every local vertex and edge is a runtime object, and every
+  remote vertex adjacent to a local one is replicated as a *ghost cell*;
+  ghost counts are **measured** on the actual generated graph, not
+  assumed.  Hash-partitioned power-law graphs ghost their hubs onto
+  nearly every machine, which is why PBGL's footprint explodes (the
+  paper: ~10x Trinity at degree 16, OOM at 256M nodes degree 32).
+* **time** — per level, frontier edges are scanned at pointer-chasing
+  cost and every cut edge is a two-sided MPI message (no transparent
+  packing), followed by a ghost-synchronisation round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ComputeError
+from .costmodel import PbglCostModel
+
+
+@dataclass
+class PbglBfsResult:
+    levels: np.ndarray
+    level_times: list[float] = field(default_factory=list)
+    memory_per_machine: list[int] = field(default_factory=list)
+    ghost_cells: int = 0
+    out_of_memory: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        return sum(self.level_times)
+
+    @property
+    def total_memory(self) -> int:
+        return sum(self.memory_per_machine)
+
+    @property
+    def peak_memory(self) -> int:
+        return max(self.memory_per_machine, default=0)
+
+
+class PbglSimulation:
+    """A PBGL 'deployment' of one topology."""
+
+    def __init__(self, topology, model: PbglCostModel | None = None):
+        self.topology = topology
+        self.model = model or PbglCostModel()
+        self._ghosts_per_machine = self._measure_ghosts()
+
+    def _measure_ghosts(self) -> np.ndarray:
+        """Distinct remote neighbors per machine (measured ghost cells)."""
+        topo = self.topology
+        machines = topo.machine_count
+        ghosts = np.zeros(machines, dtype=np.int64)
+        src_machine = topo.machine[
+            np.repeat(np.arange(topo.n), topo.out_degrees())
+        ]
+        dst = topo.out_indices
+        for machine in range(machines):
+            mask = src_machine == machine
+            remote = dst[mask][topo.machine[dst[mask]] != machine]
+            ghosts[machine] = len(np.unique(remote))
+        return ghosts
+
+    # -- memory -------------------------------------------------------------
+
+    def memory_per_machine(self) -> list[int]:
+        """Measured PBGL footprint per machine, in bytes."""
+        topo = self.topology
+        model = self.model
+        out = []
+        degrees = topo.out_degrees()
+        for machine in range(topo.machine_count):
+            local = topo.nodes_of_machine(machine)
+            local_edges = int(degrees[local].sum())
+            out.append(
+                len(local) * model.vertex_object_bytes
+                + local_edges * model.edge_entry_bytes
+                + int(self._ghosts_per_machine[machine])
+                * model.ghost_object_bytes
+            )
+        return out
+
+    @property
+    def ghost_cells(self) -> int:
+        return int(self._ghosts_per_machine.sum())
+
+    def check_memory(self) -> bool:
+        """True if every machine fits in RAM."""
+        return all(
+            m <= self.model.ram_per_machine
+            for m in self.memory_per_machine()
+        )
+
+    # -- BFS -----------------------------------------------------------------
+
+    def run_bfs(self, root: int, allow_oom: bool = True) -> PbglBfsResult:
+        """Level-synchronous BFS under the PBGL cost model.
+
+        With ``allow_oom`` the run proceeds but flags ``out_of_memory``
+        (Figure 13 plots the OOM point as missing); otherwise raises.
+        """
+        topo = self.topology
+        n = topo.n
+        if not 0 <= root < n:
+            raise ComputeError(f"root {root} out of range")
+        model = self.model
+        memory = self.memory_per_machine()
+        oom = any(m > model.ram_per_machine for m in memory)
+        if oom and not allow_oom:
+            raise MemoryError(
+                f"PBGL needs {max(memory) / 1e9:.1f} GB on the largest "
+                f"machine; {model.ram_per_machine / 1e9:.0f} GB available"
+            )
+
+        machines = topo.machine_count
+        edge_src = np.repeat(np.arange(n), topo.out_degrees())
+        src_machine = topo.machine[edge_src]
+        dst_machine = topo.machine[topo.out_indices]
+        cut_edge = src_machine != dst_machine
+
+        levels = np.full(n, -1, dtype=np.int64)
+        levels[root] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[root] = True
+        result = PbglBfsResult(
+            levels=levels,
+            memory_per_machine=memory,
+            ghost_cells=self.ghost_cells,
+            out_of_memory=oom,
+        )
+
+        level = 0
+        while frontier.any():
+            active_edges = frontier[edge_src]
+            # Compute: slowest machine's frontier edge scan.
+            per_machine_edges = np.bincount(
+                src_machine[active_edges], minlength=machines
+            )
+            compute = (per_machine_edges.max() * model.edge_scan_cost
+                       / model.processes_per_machine)
+            # Communication: every active cut edge is a two-sided MPI
+            # message; the busiest sender serialises its own sends.
+            active_cut = active_edges & cut_edge
+            per_machine_msgs = np.bincount(
+                src_machine[active_cut], minlength=machines
+            )
+            msgs = int(per_machine_msgs.max())
+            comm = (msgs * model.mpi_message_cost
+                    + msgs * 12 / model.bandwidth
+                    + (2 * model.mpi_latency if msgs else 0.0))
+            # Ghost synchronisation: each machine refreshes the ghosts
+            # touched this level (bounded by its ghost population).
+            touched_ghosts = min(
+                int(self._ghosts_per_machine.max()), msgs
+            )
+            ghost_sync = touched_ghosts * 8 / model.bandwidth
+            result.level_times.append(
+                compute + comm + ghost_sync + model.mpi_collective_cost
+            )
+
+            # Advance the frontier (same semantics as the real BFS).
+            gather = topo.out_indices[active_edges]
+            fresh = np.unique(gather[levels[gather] < 0])
+            level += 1
+            levels[fresh] = level
+            frontier = np.zeros(n, dtype=bool)
+            frontier[fresh] = True
+        result.levels = levels
+        return result

@@ -1,0 +1,33 @@
+"""Cluster roles and fault tolerance (Sections 2 and 6.2).
+
+A Trinity system is made of **slaves** (store data + compute), optional
+**proxies** (middle-tier aggregators that own no data) and **clients**
+(user-facing libraries).  This package implements those roles over the
+simulated fabric, plus the paper's fault-tolerance machinery:
+
+* heartbeat-based failure detection (plus detection-on-failed-access),
+* leader election with a TFS flag against split brain,
+* the recovery protocol: reload the failed machine's trunks from TFS onto
+  survivors, update the primary addressing table, persist it, broadcast,
+* RAMCloud-style buffered logging so online updates between TFS backups
+  survive a crash.
+"""
+
+from .slave import Slave
+from .proxy import Proxy
+from .client import Client
+from .heartbeat import HeartbeatMonitor
+from .leader import LeaderElection
+from .recovery import BufferedLog, RecoveryCoordinator
+from .cluster import TrinityCluster
+
+__all__ = [
+    "Slave",
+    "Proxy",
+    "Client",
+    "HeartbeatMonitor",
+    "LeaderElection",
+    "BufferedLog",
+    "RecoveryCoordinator",
+    "TrinityCluster",
+]

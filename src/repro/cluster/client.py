@@ -1,0 +1,80 @@
+"""Trinity clients: the user-interface tier (Section 2).
+
+"A Trinity client ... communicates with Trinity slaves and Trinity
+proxies through the APIs provided by the Trinity library."  The client
+implements the access-failure protocol of Section 6.2: an access to a
+down machine reports the failure to the leader, waits for the addressing
+table to be updated, and retries.
+"""
+
+from __future__ import annotations
+
+from ..errors import CellNotFoundError, MachineDownError, RecoveryError
+
+
+class Client:
+    """A library handle for issuing key-value and protocol requests."""
+
+    def __init__(self, client_id: int, cluster):
+        self.client_id = client_id          # fabric address
+        self.cluster = cluster
+        self.retries = 0
+
+    # -- key-value access with failure detection -----------------------------
+
+    def get_cell(self, cell_id: int, max_retries: int = 2) -> bytes:
+        """Read a cell, driving recovery if its host machine is down.
+
+        Mirrors Section 6.2: "a machine A that attempts to access a data
+        item on machine B which is down can detect the failure of machine
+        B ... will inform the leader machine ... wait for the addressing
+        table to be updated, and attempt to access the item again."
+        """
+        for _ in range(max_retries + 1):
+            machine = self.cluster.cloud.addressing.machine_for_cell(cell_id)
+            slave = self.cluster.slaves[machine]
+            if slave.alive:
+                payload = self.cluster.runtime.send_sync(
+                    self.client_id, machine, "__get_cell__",
+                    cell_id.to_bytes(8, "little"),
+                )
+                if payload == b"":
+                    raise CellNotFoundError(cell_id)
+                return payload
+            # Detected a dead machine: report and wait for recovery.
+            self.retries += 1
+            self.cluster.report_failure(machine)
+        raise MachineDownError(machine)
+
+    def put_cell(self, cell_id: int, value: bytes,
+                 max_retries: int = 2) -> None:
+        """Write a cell with the same failure-driven retry protocol."""
+        for _ in range(max_retries + 1):
+            machine = self.cluster.cloud.addressing.machine_for_cell(cell_id)
+            slave = self.cluster.slaves[machine]
+            if slave.alive:
+                self.cluster.runtime.send_sync(
+                    self.client_id, machine, "__put_cell__",
+                    cell_id.to_bytes(8, "little") + value,
+                )
+                return
+            self.retries += 1
+            self.cluster.report_failure(machine)
+        raise MachineDownError(machine)
+
+    # -- protocol calls ----------------------------------------------------
+
+    def call(self, machine_id: int, protocol: str, payload=None):
+        """Invoke a TSL protocol on one machine, like a local method."""
+        return self.cluster.runtime.send_sync(
+            self.client_id, machine_id, protocol, payload
+        )
+
+    def call_proxy(self, protocol: str, payload=None):
+        """Invoke a protocol through the first live proxy."""
+        for proxy in self.cluster.proxies:
+            if proxy.alive:
+                return self.cluster.runtime.send_sync(
+                    self.client_id, proxy.proxy_id, protocol, payload
+                )
+        raise RecoveryError("no live proxy available")

@@ -1,0 +1,50 @@
+"""Heartbeat-based failure detection (Section 6.2).
+
+"Trinity uses heartbeat messages to proactively detect machine failures."
+The monitor runs on simulated time: every :meth:`tick` advances the clock
+one heartbeat period; live slaves beat, dead ones do not, and a machine
+missing ``miss_threshold`` consecutive beats is reported failed.
+"""
+
+from __future__ import annotations
+
+
+class HeartbeatMonitor:
+    """Tracks last-heard-from times for every slave."""
+
+    def __init__(self, cluster, miss_threshold: int = 3):
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.cluster = cluster
+        self.miss_threshold = miss_threshold
+        self.time = 0
+        self._last_beat = {
+            machine_id: 0 for machine_id in cluster.slaves
+        }
+        self._reported: set[int] = set()
+
+    def tick(self) -> list[int]:
+        """One heartbeat period: collect beats, return newly failed ids."""
+        self.time += 1
+        for machine_id, slave in self.cluster.slaves.items():
+            if slave.alive:
+                self._last_beat[machine_id] = self.time
+                self._reported.discard(machine_id)
+        failed = []
+        for machine_id, last in self._last_beat.items():
+            silent = self.time - last
+            if silent >= self.miss_threshold and machine_id not in self._reported:
+                self._reported.add(machine_id)
+                failed.append(machine_id)
+        return failed
+
+    def run_until_detection(self, max_ticks: int = 100) -> list[int]:
+        """Tick until some failure is detected (or the budget runs out)."""
+        for _ in range(max_ticks):
+            failed = self.tick()
+            if failed:
+                return failed
+        return []
+
+    def missed_beats(self, machine_id: int) -> int:
+        return self.time - self._last_beat[machine_id]

@@ -1,0 +1,64 @@
+"""Leader election with a TFS flag against split brain (Section 6.2).
+
+"If the leader machine fails, a new round of leader election will be
+triggered.  The new leader marks a flag on the shared distributed
+fault-tolerant file system to avoid multiple leaders in the case that the
+cluster machines are partitioned into disjointed sets due to network
+failure."
+
+Election itself is the classic lowest-alive-id rule; what matters is the
+flag protocol: a candidate only becomes leader if it can *atomically*
+observe-and-replace the flag in TFS, so two partitions that both elect a
+candidate cannot both win (TFS, being replicated storage, is the single
+source of truth).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import LeaderElectionError
+from ..tfs import TrinityFileSystem
+
+_FLAG_PATH = "/trinity/leader.flag"
+
+
+class LeaderElection:
+    """Elects and records the cluster leader."""
+
+    def __init__(self, tfs: TrinityFileSystem):
+        self.tfs = tfs
+        self.epoch = 0
+
+    def current_leader(self) -> int | None:
+        """The leader recorded in TFS, or None before any election."""
+        if not self.tfs.exists(_FLAG_PATH):
+            return None
+        doc = json.loads(self.tfs.read(_FLAG_PATH).decode("utf-8"))
+        return doc["leader"]
+
+    def current_epoch(self) -> int:
+        if not self.tfs.exists(_FLAG_PATH):
+            return 0
+        doc = json.loads(self.tfs.read(_FLAG_PATH).decode("utf-8"))
+        return doc["epoch"]
+
+    def elect(self, alive_machines) -> int:
+        """Run one election round among ``alive_machines``.
+
+        Returns the new leader id and bumps the epoch in the TFS flag.
+        A candidate set that cannot reach TFS (no quorum of datanodes)
+        cannot win — that is the split-brain guard.
+        """
+        candidates = sorted(alive_machines)
+        if not candidates:
+            raise LeaderElectionError("no alive machines to elect from")
+        winner = candidates[0]
+        epoch = self.current_epoch() + 1
+        flag = json.dumps({"leader": winner, "epoch": epoch}).encode("utf-8")
+        self.tfs.write(_FLAG_PATH, flag)
+        self.epoch = epoch
+        return winner
+
+    def is_leader(self, machine_id: int) -> bool:
+        return self.current_leader() == machine_id

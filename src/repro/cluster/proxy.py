@@ -1,0 +1,61 @@
+"""Trinity proxies: data-less middle-tier aggregators (Section 2).
+
+"A Trinity proxy only handles messages but does not own any data ... it
+dispatches requests from clients to slaves and sends results back to the
+clients after aggregating partial results received from slaves.  Proxies
+are optional."
+
+Proxies get machine ids *above* the slave range so the fabric can route to
+them without colliding with trunk ownership.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineDownError
+
+
+class Proxy:
+    """Scatter-gather middle tier between clients and slaves."""
+
+    def __init__(self, proxy_id: int, cluster):
+        self.proxy_id = proxy_id            # fabric address
+        self.cluster = cluster
+        self.alive = True
+        self.requests_served = 0
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise MachineDownError(self.proxy_id)
+
+    def scatter_gather(self, protocol: str, payload,
+                       combine=None):
+        """Dispatch a request to every live slave and aggregate replies.
+
+        ``combine(list_of_replies)`` folds the partial results; by default
+        the raw reply list is returned.  This is the paper's "information
+        aggregator" pattern.
+        """
+        self._check_alive()
+        self.requests_served += 1
+        replies = []
+        for slave in self.cluster.slaves.values():
+            if not slave.alive:
+                continue
+            replies.append(self.cluster.runtime.send_sync(
+                self.proxy_id, slave.machine_id, protocol, payload
+            ))
+        if combine is None:
+            return replies
+        return combine(replies)
+
+    def register_protocol(self, protocol: str, handler) -> None:
+        """Install a message handler on the proxy itself."""
+
+        def wrapped(message, payload):
+            self._check_alive()
+            self.requests_served += 1
+            return handler(message, payload)
+
+        self.cluster.runtime.register_handler(
+            self.proxy_id, protocol, wrapped
+        )

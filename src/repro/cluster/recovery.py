@@ -1,0 +1,192 @@
+"""Failure recovery: trunk reload, table broadcast and buffered logging.
+
+Section 6.2's recovery path, end to end:
+
+1. a failure is confirmed (heartbeat or failed access);
+2. the leader redistributes the failed machine's trunk slots over the
+   survivors and **reloads those trunks from their TFS images**;
+3. online updates made since the last TFS backup are replayed from the
+   RAMCloud-style **buffered log** — each write was logged "to remote
+   memory buffers before committing [it] to the local memory";
+4. the primary addressing table is persisted to TFS *before* the update
+   commits, then broadcast; slaves that miss the broadcast re-sync
+   lazily on their next failed load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BlockNotFoundError, RecoveryError
+from ..memcloud import persistence
+from ..utils.hashing import trunk_of
+
+_ADDRESSING_PATH = "/trinity/addressing.tbl"
+
+
+@dataclass
+class _LogRecord:
+    sequence: int
+    cell_id: int
+    value: bytes
+
+
+@dataclass
+class BufferedLog:
+    """Remote-memory operation log for online update queries.
+
+    Every write on machine *M* is appended to buffers held in the memory
+    of ``replication`` other machines before it commits locally, so a
+    crash of *M* loses nothing: survivors replay the records on recovery.
+    """
+
+    machines: int
+    replication: int = 2
+    # holder machine -> origin machine -> records
+    _buffers: dict[int, dict[int, list[_LogRecord]]] = field(
+        default_factory=dict
+    )
+    _sequence: int = 0
+
+    def holders_for(self, origin: int) -> list[int]:
+        """The machines holding origin's log (the next ``replication``
+        machines on the ring, skipping origin itself)."""
+        holders = []
+        machine = origin
+        while len(holders) < min(self.replication, self.machines - 1):
+            machine = (machine + 1) % self.machines
+            if machine != origin:
+                holders.append(machine)
+        return holders
+
+    def append(self, origin: int, cell_id: int, value: bytes) -> None:
+        """Log one write before it commits on ``origin``."""
+        self._sequence += 1
+        record = _LogRecord(self._sequence, cell_id, value)
+        for holder in self.holders_for(origin):
+            self._buffers.setdefault(holder, {}).setdefault(
+                origin, []
+            ).append(record)
+
+    def records_for(self, origin: int,
+                    exclude_holders=()) -> list[_LogRecord]:
+        """All surviving log records for a failed machine, in order."""
+        best: dict[int, _LogRecord] = {}
+        for holder, by_origin in self._buffers.items():
+            if holder in exclude_holders:
+                continue
+            for record in by_origin.get(origin, ()):
+                best[record.sequence] = record
+        return [best[s] for s in sorted(best)]
+
+    def truncate(self, origin: int) -> None:
+        """Drop origin's log (after a fresh TFS backup makes it redundant)."""
+        for by_origin in self._buffers.values():
+            by_origin.pop(origin, None)
+
+    def drop_holder(self, holder: int) -> None:
+        """A holder machine crashed: its buffered copies are gone too."""
+        self._buffers.pop(holder, None)
+
+
+class RecoveryCoordinator:
+    """The leader-side recovery logic."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.recoveries = 0
+
+    # -- addressing table persistence -------------------------------------
+
+    def persist_addressing(self) -> None:
+        """Write the primary table to TFS (must precede the commit)."""
+        self.cluster.tfs.write(
+            _ADDRESSING_PATH, self.cluster.cloud.addressing.to_bytes()
+        )
+
+    def load_persisted_addressing(self):
+        from ..memcloud.addressing import AddressingTable
+        return AddressingTable.from_bytes(
+            self.cluster.tfs.read(_ADDRESSING_PATH)
+        )
+
+    def broadcast_addressing(self) -> int:
+        """Push the primary table to every live slave's replica."""
+        updated = 0
+        for slave in self.cluster.slaves.values():
+            if slave.alive and slave.sync_addressing():
+                updated += 1
+        return updated
+
+    # -- the recovery flow ---------------------------------------------------
+
+    def recover_machine(self, failed_id: int) -> dict[int, int]:
+        """Run the full Section-6.2 recovery for one failed machine.
+
+        Returns the trunk relocation map.  Raises
+        :class:`RecoveryError` if some trunk has neither a TFS image nor
+        buffered-log coverage (i.e. data genuinely lost).
+        """
+        cluster = self.cluster
+        survivors = [
+            m for m, slave in cluster.slaves.items()
+            if slave.alive and m != failed_id
+        ]
+        if not survivors:
+            raise RecoveryError("no survivors to recover onto")
+
+        failed_trunks = cluster.cloud.addressing.trunks_of(failed_id)
+        # 1) persist the *new* table before committing it (paper: "an
+        # update to the primary table must be applied to the persistent
+        # replica before committing").
+        moves = cluster.cloud.addressing.remove_machine(failed_id, survivors)
+        self.persist_addressing()
+
+        # 2) reload each lost trunk from TFS onto its new owner.
+        missing_images = []
+        for trunk_id in failed_trunks:
+            try:
+                persistence.restore_trunk(
+                    cluster.cloud, trunk_id, cluster.tfs
+                )
+            except BlockNotFoundError:
+                missing_images.append(trunk_id)
+        if missing_images:
+            # Without an image the trunk starts empty; the buffered log
+            # below replays online updates, which covers the case where
+            # the machine never completed a backup.
+            from ..memcloud.trunk import MemoryTrunk
+            for trunk_id in missing_images:
+                cluster.cloud.trunks[trunk_id] = MemoryTrunk(
+                    trunk_id, cluster.config.memory
+                )
+
+        # 3) replay buffered-log records for the failed machine, then
+        # re-persist the restored trunks to TFS *before* truncating the
+        # log — otherwise a second failure of the new owner would lose
+        # the replayed writes (they exist nowhere else).
+        replayed = 0
+        if cluster.buffered_log is not None:
+            records = cluster.buffered_log.records_for(
+                failed_id, exclude_holders=(failed_id,)
+            )
+            for record in records:
+                # Only replay writes that actually lived on the failed
+                # machine's trunks (its log may predate a relocation).
+                if trunk_of(record.cell_id,
+                            cluster.config.trunk_bits) in failed_trunks:
+                    cluster.cloud.put(record.cell_id, record.value)
+                    replayed += 1
+            if replayed:
+                for trunk_id in failed_trunks:
+                    persistence.backup_trunk(
+                        cluster.cloud, trunk_id, cluster.tfs
+                    )
+            cluster.buffered_log.truncate(failed_id)
+            cluster.buffered_log.drop_holder(failed_id)
+
+        # 4) broadcast the new table.
+        self.broadcast_addressing()
+        self.recoveries += 1
+        self.last_replayed = replayed
+        return moves

@@ -1,0 +1,84 @@
+"""Trinity slaves: the machines that store graph data and compute on it.
+
+"A Trinity slave plays two roles: storing graph data and performing
+computation on the data ... each slave stores a portion of the data and
+processes messages received from other slaves, proxies, or clients"
+(Section 2).
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineDownError
+from ..memcloud import AddressingTable
+
+
+class Slave:
+    """One storage + compute node of the cluster.
+
+    The slave caches its own replica of the addressing table ("each
+    machine keeps a replica of the addressing table", Section 3) and
+    refreshes it from the leader's primary when an access misroutes.
+    """
+
+    def __init__(self, machine_id: int, cluster):
+        self.machine_id = machine_id
+        self.cluster = cluster
+        self.alive = True
+        self.addressing_replica: AddressingTable = (
+            cluster.cloud.addressing.copy()
+        )
+        self.messages_handled = 0
+
+    # -- liveness ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash: in-memory trunks are lost; the fabric stops routing here."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Come back empty; the leader decides what data to assign."""
+        self.alive = True
+        self.addressing_replica = self.cluster.cloud.addressing.copy()
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise MachineDownError(self.machine_id)
+
+    # -- data plane ----------------------------------------------------------
+
+    def owns(self, cell_id: int) -> bool:
+        """Whether this slave hosts the cell per its *cached* table."""
+        return (
+            self.addressing_replica.machine_for_cell(cell_id)
+            == self.machine_id
+        )
+
+    def local_get(self, cell_id: int) -> bytes:
+        """Serve a cell from local trunks (the fast path)."""
+        self._check_alive()
+        return self.cluster.cloud.get(cell_id)
+
+    def local_put(self, cell_id: int, value: bytes) -> None:
+        self._check_alive()
+        self.cluster.cloud.put(cell_id, value)
+        log = self.cluster.buffered_log
+        if log is not None:
+            log.append(self.machine_id, cell_id, value)
+
+    def sync_addressing(self) -> bool:
+        """Pull the primary addressing table if ours is stale."""
+        return self.addressing_replica.sync_from(self.cluster.cloud.addressing)
+
+    # -- protocol handling ----------------------------------------------
+
+    def register_protocol(self, protocol: str, handler) -> None:
+        """Install a message handler on this slave (TSL-style)."""
+
+        def wrapped(message, payload):
+            self._check_alive()
+            self.messages_handled += 1
+            return handler(message, payload)
+
+        self.cluster.runtime.register_handler(
+            self.machine_id, protocol, wrapped
+        )

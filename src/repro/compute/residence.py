@@ -1,0 +1,108 @@
+"""Type A / Type B memory residence for offline analytics (Section 5.4).
+
+Because the offline access pattern is predictable (execution proceeds
+partition by partition, in the same order every iteration), Trinity keeps
+only the scheduled partition's vertices fully resident:
+
+* **Type A** (currently scheduled): full cell — UID, neighbors,
+  attributes, local variables, message box.
+* **Type B** (everything else): only UID and message box, since Type A
+  vertices may read their messages.
+
+The paper's formulas, reproduced by :class:`MemoryResidenceModel`::
+
+    S  = V * (16 + k + l + m) + 8 * E          (online / all-resident)
+    S' = p * S + (1 - p) * V * (16 + m)        (offline, fraction p Type A)
+    saved = (1 - p) * (k + l) * V + (1 - p) * 8 * E
+
+with k, l, m the average attribute, local-variable and message sizes, and
+16 bytes for storing/accessing the UID.  With k = l = m = 8 and p = 0.1
+the paper computes 78 GB saved for a Facebook-scale graph — the
+``test_sec54_memory_model`` benchmark reproduces that number exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ComputeError
+
+
+@dataclass(frozen=True)
+class MemoryResidenceModel:
+    """The analytic memory model with the paper's parameter names."""
+
+    k: float = 8.0   # average attribute bytes per vertex
+    l: float = 8.0   # average local-variable bytes per vertex
+    m: float = 8.0   # average message bytes per vertex
+    uid_bytes: float = 16.0
+    edge_bytes: float = 8.0
+
+    def online_bytes(self, vertices: int, edges: int) -> float:
+        """S: memory to keep the whole graph resident (online mode)."""
+        return (vertices * (self.uid_bytes + self.k + self.l + self.m)
+                + self.edge_bytes * edges)
+
+    def offline_bytes(self, vertices: int, edges: int,
+                      type_a_fraction: float) -> float:
+        """S': memory in offline mode with fraction ``p`` Type A."""
+        p = self._check_fraction(type_a_fraction)
+        full = self.online_bytes(vertices, edges)
+        return p * full + (1 - p) * vertices * (self.uid_bytes + self.m)
+
+    def saved_bytes(self, vertices: int, edges: int,
+                    type_a_fraction: float) -> float:
+        """S - S': the paper's headline savings formula."""
+        p = self._check_fraction(type_a_fraction)
+        return ((1 - p) * (self.k + self.l) * vertices
+                + (1 - p) * self.edge_bytes * edges)
+
+    @staticmethod
+    def _check_fraction(p: float) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ComputeError(f"type_a_fraction must be in [0, 1], got {p}")
+        return p
+
+
+@dataclass
+class ResidencePlan:
+    """A concrete Type A/B split for one machine and one scheduled
+    partition, with *measured* byte counts from the actual topology."""
+
+    machine: int
+    type_a: np.ndarray          # dense indices, fully resident
+    type_b: np.ndarray          # dense indices, message box only
+    type_a_bytes: int
+    type_b_bytes: int
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.type_a_bytes + self.type_b_bytes
+
+    @property
+    def type_a_fraction(self) -> float:
+        total = len(self.type_a) + len(self.type_b)
+        return len(self.type_a) / total if total else 0.0
+
+
+def plan_residence(topology, machine: int, scheduled_partition: np.ndarray,
+                   model: MemoryResidenceModel | None = None) -> ResidencePlan:
+    """Split one machine's vertices into Type A/B for a scheduled partition
+    and price both classes with the analytic model (Figure 10)."""
+    model = model or MemoryResidenceModel()
+    local = topology.nodes_of_machine(machine)
+    scheduled = set(int(v) for v in scheduled_partition)
+    is_a = np.fromiter(
+        (int(v) in scheduled for v in local), dtype=bool, count=len(local)
+    )
+    type_a = local[is_a]
+    type_b = local[~is_a]
+    degrees = topology.out_indptr[local + 1] - topology.out_indptr[local]
+    a_bytes = int(
+        len(type_a) * (model.uid_bytes + model.k + model.l + model.m)
+        + model.edge_bytes * degrees[is_a].sum()
+    )
+    b_bytes = int(len(type_b) * (model.uid_bytes + model.m))
+    return ResidencePlan(machine, type_a, type_b, a_bytes, b_bytes)

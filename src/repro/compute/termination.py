@@ -1,0 +1,98 @@
+"""Safra's distributed termination-detection algorithm (Section 6.2).
+
+For asynchronous computation Trinity cannot checkpoint at barriers —
+there are none.  Instead it periodically interrupts all vertices and
+"calls Safra's termination detection algorithm to check whether the system
+ceases"; only then is a snapshot written.
+
+Safra's algorithm (Dijkstra's note EWD 998, cited by the paper):
+
+* Machines form a logical ring.  Each machine keeps a message *counter*
+  (sends minus receives) and a *colour* (a machine turns black when it
+  receives a message).
+* Machine 0 starts a probe by sending a white token with count 0 around
+  the ring.  Each machine forwards the token only when it is passive,
+  adding its counter; a black machine blackens the token and whitens
+  itself.
+* When the token returns to machine 0: if the token and machine 0 are
+  white and token count + machine 0's counter is zero, the computation
+  has terminated; otherwise a new probe starts.
+
+The invariants ("never declare termination while a message is in flight")
+are exercised property-style in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..errors import ComputeError
+
+WHITE = "white"
+BLACK = "black"
+
+
+class SafraDetector:
+    """Tracks message counts/colours for a ring of machines and runs
+    token probes on demand.
+
+    The host (the async engine) reports sends, receives and activity;
+    :meth:`probe` circulates the token and returns True exactly when
+    Safra's predicate certifies global termination.
+    """
+
+    def __init__(self, machines: int):
+        if machines < 1:
+            raise ComputeError("need at least one machine")
+        self.machines = machines
+        self._counter = [0] * machines
+        self._colour = [WHITE] * machines
+        self._active = [False] * machines
+        self.probes = 0
+
+    # -- events reported by the computation ----------------------------------
+
+    def record_send(self, machine: int) -> None:
+        self._counter[machine] += 1
+
+    def record_receive(self, machine: int) -> None:
+        self._counter[machine] -= 1
+        self._colour[machine] = BLACK
+        self._active[machine] = True
+
+    def set_active(self, machine: int, active: bool) -> None:
+        """A machine is active while it has local work queued."""
+        self._active[machine] = active
+
+    @property
+    def any_active(self) -> bool:
+        return any(self._active)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet received (ground truth, for tests)."""
+        return sum(self._counter)
+
+    # -- the probe -------------------------------------------------------
+
+    def probe(self) -> bool:
+        """Circulate the token once; True iff termination is certified.
+
+        A probe only makes sense between interruptions, when machines
+        forward the token as they become passive; an active machine simply
+        delays its hop, which in this in-process setting means the probe
+        reports not-terminated.
+        """
+        self.probes += 1
+        if self.any_active:
+            # Some machine would hold the token; the initiator times out.
+            return False
+        token_count = 0
+        token_colour = WHITE
+        # Token travels 0 -> m-1 -> ... -> 1 -> 0 (direction is arbitrary
+        # but fixed); each passive machine adds its counter and whitens.
+        for machine in range(self.machines - 1, -1, -1):
+            token_count += self._counter[machine]
+            if self._colour[machine] == BLACK:
+                token_colour = BLACK
+                self._colour[machine] = WHITE
+        terminated = token_colour == WHITE and token_count == 0
+        return terminated

@@ -1,0 +1,142 @@
+"""Vertex programs: the user-facing abstraction for offline analytics.
+
+Section 5.3 contrasts two vertex-centric models:
+
+* the **general** model (Pregel): "a vertex may receive messages sent to
+  it by any vertex in the previous super-step, send messages to any
+  vertex, and modify its vertex values";
+* the **restrictive** model (Trinity): a vertex exchanges messages with a
+  *fixed* set of vertices, usually its neighbors, which makes the
+  communication pattern predictable and optimisable.
+
+A :class:`VertexProgram` declares which model it needs via
+``restrictive``; restrictive programs should send with
+``ctx.send_to_neighbors`` so the engine can apply hub-vertex buffering and
+action-script scheduling.
+"""
+
+from __future__ import annotations
+
+from ..errors import ComputeError
+
+
+class VertexProgram:
+    """Base class for vertex-centric computations.
+
+    Subclasses override :meth:`compute`; optional hooks cover
+    initialisation and per-superstep aggregation.  Vertex state lives in
+    ``values`` arrays owned by the engine, keyed by dense vertex index.
+    """
+
+    restrictive: bool = True
+    """True if vertices only message their out-neighbors (Trinity's model).
+    The engine verifies this at runtime and raises on violations, since
+    the message-scheduling optimisations are only sound under it."""
+
+    uniform_messages: bool = False
+    """True if, within one superstep, a vertex sends the *same* value to
+    every destination (PageRank, connected components...).  Uniform
+    restrictive programs are eligible for hub-vertex buffering: a hub's
+    value crosses the wire once per machine instead of once per edge."""
+
+    message_bytes: int = 16
+    """Modelled wire size per logical message (8-byte dst + 8-byte value
+    by default); only affects simulated time, not results."""
+
+    def init(self, ctx: "ComputeContext", vertex: int) -> None:
+        """Called for every vertex before superstep 0."""
+
+    def compute(self, ctx: "ComputeContext", vertex: int,
+                messages: list) -> None:
+        """The superstep kernel; must be overridden."""
+        raise NotImplementedError
+
+    def after_superstep(self, ctx: "ComputeContext") -> None:
+        """Called once per superstep after the barrier (aggregation etc.)."""
+
+
+class ComputeContext:
+    """Per-superstep view handed to :meth:`VertexProgram.compute`.
+
+    Created by the engine; exposes topology, messaging and aggregation.
+    The context is bound to one vertex at a time via ``_current``.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._current = -1
+        self.superstep = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.topology.n
+
+    def out_neighbors(self):
+        """Dense indices of the current vertex's out-neighbors."""
+        return self._engine.topology.out_neighbors(self._current)
+
+    def out_degree(self) -> int:
+        topo = self._engine.topology
+        return int(topo.out_indptr[self._current + 1]
+                   - topo.out_indptr[self._current])
+
+    def node_id(self, vertex: int) -> int:
+        """The 64-bit cell id behind a dense vertex index."""
+        return int(self._engine.topology.node_ids[vertex])
+
+    # -- state ---------------------------------------------------------------
+
+    def get_value(self, vertex: int):
+        return self._engine.values[vertex]
+
+    def set_value(self, vertex: int, value) -> None:
+        self._engine.values[vertex] = value
+
+    @property
+    def value(self):
+        """Value of the vertex currently being computed."""
+        return self._engine.values[self._current]
+
+    @value.setter
+    def value(self, new_value) -> None:
+        self._engine.values[self._current] = new_value
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, dst: int, value) -> None:
+        """Send ``value`` to dense vertex ``dst`` (general model).
+
+        Restrictive programs may only target out-neighbors; the engine
+        enforces this.
+        """
+        self._engine.enqueue(self._current, dst, value)
+
+    def send_to_neighbors(self, value) -> None:
+        """Send the same value to every out-neighbor (restrictive fast
+        path, eligible for hub buffering)."""
+        self._engine.enqueue_to_neighbors(self._current, value)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate the current vertex until a message wakes it."""
+        self._engine.halt(self._current)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def aggregate(self, name: str, value: float) -> None:
+        """Add ``value`` into the superstep's named sum-aggregator."""
+        self._engine.aggregators_next[name] = (
+            self._engine.aggregators_next.get(name, 0.0) + value
+        )
+
+    def aggregated(self, name: str, default: float = 0.0) -> float:
+        """Read the aggregator value from the *previous* superstep."""
+        return self._engine.aggregators.get(name, default)
+
+    # -- internal ------------------------------------------------------------
+
+    def _bind(self, vertex: int) -> None:
+        if vertex < 0 or vertex >= self._engine.topology.n:
+            raise ComputeError(f"vertex index {vertex} out of range")
+        self._current = vertex

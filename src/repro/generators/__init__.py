@@ -1,0 +1,26 @@
+"""Synthetic graph generators used throughout the evaluation.
+
+The paper's experiments run on synthetic graphs: R-MAT graphs for
+PageRank/BFS (Section 7, citing Chakrabarti et al.), and power-law
+"Facebook-like" social graphs (8e8 nodes, average degree 13, generated
+from P(k) = c*k^-gamma with c = 1.16 and gamma = 2.16) for people search
+and the hub-vertex analysis of Section 5.4.  These modules implement the
+same generator families at simulation scale.
+"""
+
+from .rmat import rmat_edges
+from .powerlaw import powerlaw_degree_sequence, powerlaw_edges
+from .social import build_social_graph, social_edges
+from .erdos_renyi import erdos_renyi_edges
+from .names import FIRST_NAMES, sample_names
+
+__all__ = [
+    "rmat_edges",
+    "powerlaw_degree_sequence",
+    "powerlaw_edges",
+    "social_edges",
+    "build_social_graph",
+    "erdos_renyi_edges",
+    "FIRST_NAMES",
+    "sample_names",
+]

@@ -1,0 +1,31 @@
+"""Erdos-Renyi random graphs (uniform baseline topology).
+
+Used by tests and ablations as the *non*-scale-free control: hub-vertex
+buffering should help little here, since no vertex dominates the message
+traffic the way power-law hubs do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def erdos_renyi_edges(n: int, avg_degree: float = 8.0,
+                      directed: bool = True, seed: int = 0) -> np.ndarray:
+    """G(n, m)-style edge list with ``m = n * avg_degree`` (directed) or
+    ``m = n * avg_degree / 2`` (undirected) uniform random edges.
+
+    Self-loops are rejected; duplicates are allowed (multigraph), matching
+    how R-MAT output behaves unless deduplicated.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    m = int(round(n * avg_degree)) if directed else int(round(n * avg_degree / 2))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    loops = src == dst
+    while loops.any():
+        dst[loops] = rng.integers(0, n, size=int(loops.sum()), dtype=np.int64)
+        loops = src == dst
+    return np.stack([src, dst], axis=1)

@@ -1,0 +1,103 @@
+"""Facebook-like social graphs with names (Sections 5.1 and 7).
+
+The people-search experiment deploys "a synthetic, power-law graph ...
+[with] Facebook-like size and distribution (8e8 nodes, 1.4e10 edges, with
+each node having on average 130 edges)"; the response-time figure sweeps
+the out-degree from 10 to 200.  ``social_edges`` produces the topology and
+``build_social_graph`` loads it into a memory cloud with sampled names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import GraphBuilder, social_graph_schema
+from ..memcloud import MemoryCloud
+from .names import sample_names
+from .powerlaw import powerlaw_edges
+
+
+def social_edges(n: int, avg_degree: float = 13.0, gamma: float = 2.16,
+                 seed: int = 0) -> np.ndarray:
+    """Undirected friendship edges with power-law degrees."""
+    return powerlaw_edges(n, gamma=gamma, avg_degree=avg_degree, seed=seed)
+
+
+def community_edges(n: int, communities: int = 16, avg_degree: float = 13.0,
+                    inter_fraction: float = 0.05, gamma: float = 2.16,
+                    layout: str = "random", bridges_per_pair: int = 2,
+                    seed: int = 0) -> np.ndarray:
+    """Power-law edges with planted community structure.
+
+    Real social networks are strongly clustered: most edges stay within a
+    community, a few bridge between them.  The distance-oracle experiment
+    (Figure 8b) depends on this — betweenness-selected landmarks sit on
+    the bridges that shortest paths funnel through, while degree-selected
+    landmarks are community-internal hubs that paths route *around*.
+
+    ``layout`` controls the community-level topology:
+
+    * ``"random"`` — ``inter_fraction`` of the edge budget becomes uniform
+      cross-community edges (small-world, short diameter);
+    * ``"ring"`` — communities form a ring with ``bridges_per_pair``
+      bridge edges between adjacent communities only.  Shortest paths
+      between distant communities must traverse the ring, concentrating
+      betweenness on the bridge endpoints — the regime where landmark
+      quality separates sharply by selection strategy.
+    """
+    if communities < 1:
+        raise ValueError("communities must be >= 1")
+    if layout not in ("random", "ring"):
+        raise ValueError(f"unknown layout {layout!r}")
+    rng = np.random.default_rng(seed)
+    membership = rng.integers(0, communities, size=n)
+    members_of = [np.nonzero(membership == c)[0] for c in range(communities)]
+    blocks: list[np.ndarray] = []
+    for c, members in enumerate(members_of):
+        if len(members) < 2:
+            continue
+        local = powerlaw_edges(
+            len(members), gamma=gamma,
+            avg_degree=avg_degree * (1.0 - inter_fraction),
+            seed=seed + 101 * c + 1,
+        )
+        blocks.append(members[local])
+    if layout == "ring" and communities > 1:
+        for c in range(communities):
+            left = members_of[c]
+            right = members_of[(c + 1) % communities]
+            if not len(left) or not len(right):
+                continue
+            src = rng.choice(left, size=bridges_per_pair)
+            dst = rng.choice(right, size=bridges_per_pair)
+            blocks.append(np.stack([src, dst], axis=1))
+    else:
+        inter_count = int(round(n * avg_degree * inter_fraction / 2))
+        if inter_count:
+            src = rng.integers(0, n, size=inter_count)
+            dst = rng.integers(0, n, size=inter_count)
+            keep = membership[src] != membership[dst]
+            blocks.append(np.stack([src[keep], dst[keep]], axis=1))
+    edges = np.vstack([b for b in blocks if len(b)])
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keep = lo != hi
+    return np.unique(
+        np.stack([lo[keep], hi[keep]], axis=1), axis=0
+    ).astype(np.int64)
+
+
+def build_social_graph(cloud: MemoryCloud, n: int, avg_degree: float = 13.0,
+                       gamma: float = 2.16, seed: int = 0):
+    """Generate and load a named friendship graph; returns the Graph.
+
+    Node ids are 0..n-1; every node gets a first name sampled from the
+    Zipf-weighted pool (so "David" queries have realistic selectivity).
+    """
+    edges = social_edges(n, avg_degree=avg_degree, gamma=gamma, seed=seed)
+    names = sample_names(n, seed=seed + 17)
+    builder = GraphBuilder(cloud, social_graph_schema())
+    for node_id, name in enumerate(names):
+        builder.add_node(node_id, Name=name)
+    builder.add_edges(edges.tolist())
+    return builder.finalize()

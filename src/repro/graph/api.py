@@ -1,0 +1,173 @@
+"""The Graph API: adjacency and attribute access over cloud-resident cells.
+
+Reads decode straight from the node's blob in its memory trunk — the graph
+is never shadow-copied into Python objects (the paper's Section 4.3
+argument against runtime objects).  For tight analytic loops the compute
+engines build a :class:`~repro.graph.csr.CsrTopology` snapshot once and
+reuse it across supersteps, matching Trinity's memory-resident topology.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..memcloud import MemoryCloud
+from ..tsl.accessor import use_cell
+from .model import GraphSchema
+
+
+class Graph:
+    """A graph whose nodes live as cells in a memory cloud.
+
+    Construct via :class:`~repro.graph.builder.GraphBuilder` rather than
+    directly; the builder guarantees every node's cell exists.
+    """
+
+    def __init__(self, cloud: MemoryCloud, graph_schema: GraphSchema,
+                 node_ids: list[int]):
+        self.cloud = cloud
+        self.graph_schema = graph_schema
+        self.node_ids = list(node_ids)
+        self._node_type = graph_schema.node_type
+
+    # -- basic shape --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def directed(self) -> bool:
+        return self.graph_schema.directed
+
+    def __contains__(self, node_id: int) -> bool:
+        return self.cloud.contains(node_id)
+
+    def num_edges(self) -> int:
+        total = sum(len(self.outlinks(n)) for n in self.node_ids)
+        return total if self.directed else total // 2
+
+    # -- adjacency ---------------------------------------------------------
+
+    def _read_field(self, node_id: int, field_name: str):
+        blob = self.cloud.get(node_id)
+        field_type = self._node_type.field_type(field_name)
+        offset = self._node_type.field_offset(blob, field_name)
+        value, _ = field_type.decode(blob, offset)
+        return value
+
+    def outlinks(self, node_id: int) -> list[int]:
+        """Outgoing neighbor ids (all neighbors when undirected)."""
+        return self._read_field(node_id, self.graph_schema.out_field)
+
+    def inlinks(self, node_id: int) -> list[int]:
+        """Incoming neighbor ids; equals :meth:`outlinks` when undirected."""
+        if self.graph_schema.in_field is None:
+            return self._read_field(node_id, self.graph_schema.out_field)
+        return self._read_field(node_id, self.graph_schema.in_field)
+
+    def degree(self, node_id: int) -> int:
+        return len(self.outlinks(node_id))
+
+    # -- attributes ---------------------------------------------------------
+
+    def attribute(self, node_id: int, field_name: str):
+        """Read one attribute field of a node."""
+        if field_name not in self.graph_schema.attribute_fields:
+            raise QueryError(
+                f"{field_name!r} is not an attribute of "
+                f"{self.graph_schema.cell_name}"
+            )
+        return self._read_field(node_id, field_name)
+
+    def read_field(self, node_id: int, field_name: str):
+        """Read any declared field of a node's cell (attribute or edge
+        list) — the raw access surface TQL queries are compiled onto."""
+        if field_name not in self._node_type.field_names():
+            raise QueryError(
+                f"{self.graph_schema.cell_name} has no field "
+                f"{field_name!r}"
+            )
+        return self._read_field(node_id, field_name)
+
+    def node(self, node_id: int) -> dict:
+        """Materialise a node's full cell as a dict."""
+        blob = self.cloud.get(node_id)
+        value, _ = self._node_type.decode(blob, 0)
+        return value
+
+    def use_node(self, node_id: int):
+        """Open a cell accessor on a node (for in-place mutation)."""
+        return use_cell(self.cloud, node_id, self._node_type)
+
+    # -- online mutation ---------------------------------------------------
+
+    def add_node(self, node_id: int, **attributes) -> None:
+        """Insert one node into the live graph (online update path).
+
+        Writes go through the buffered log when the cloud belongs to a
+        cluster with logging enabled, so online inserts survive crashes
+        exactly like client writes (Section 6.2).
+        """
+        if self.cloud.contains(node_id):
+            raise QueryError(f"node {node_id} already exists")
+        schema = self.graph_schema
+        unknown = set(attributes) - set(schema.attribute_fields)
+        if unknown:
+            raise QueryError(f"unknown attributes: {sorted(unknown)}")
+        record = dict(attributes)
+        record[schema.out_field] = []
+        if schema.in_field is not None:
+            record[schema.in_field] = []
+        self.cloud.put(node_id, self._node_type.encode(record))
+        self.node_ids.append(node_id)
+        cached = getattr(self, "_node_set_cache", None)
+        if cached is not None:
+            cached.add(node_id)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Insert one edge into the live graph via cell accessors.
+
+        Grows the endpoint cells in place (exercising the short-lived
+        reservation path of Section 6.1 when blobs outgrow their slots).
+        """
+        for endpoint in (src, dst):
+            if not self.cloud.contains(endpoint):
+                self.add_node(endpoint)
+        schema = self.graph_schema
+        with self.use_node(src) as cell:
+            cell.get(schema.out_field).append(dst)
+        if schema.in_field is not None:
+            with self.use_node(dst) as cell:
+                cell.get(schema.in_field).append(src)
+        else:
+            with self.use_node(dst) as cell:
+                cell.get(schema.out_field).append(src)
+
+    # -- placement ---------------------------------------------------------
+
+    def machine_of(self, node_id: int) -> int:
+        """The machine hosting this node's cell."""
+        return self.cloud.machine_of(node_id)
+
+    def nodes_on(self, machine_id: int) -> list[int]:
+        """Node ids hosted by one machine (ascending)."""
+        return sorted(
+            uid for uid in self.cloud.cells_on(machine_id)
+            if self.cloud.contains(uid) and uid in self._node_set()
+        )
+
+    def partition(self) -> dict[int, list[int]]:
+        """machine id → node ids, for the whole graph."""
+        machines: dict[int, list[int]] = {
+            m: [] for m in range(self.cloud.config.machines)
+        }
+        for node_id in self.node_ids:
+            machines[self.machine_of(node_id)].append(node_id)
+        return machines
+
+    def _node_set(self) -> set[int]:
+        cached = getattr(self, "_node_set_cache", None)
+        if cached is None:
+            cached = set(self.node_ids)
+            self._node_set_cache = cached
+        return cached

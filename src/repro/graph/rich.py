@@ -1,0 +1,238 @@
+"""Rich-edge graph modeling: StructEdge and HyperEdge graphs (Section 4.1).
+
+"When edges are associated with rich information, we may represent edges
+using cells, and store the rich information associated with the edges in
+the edge cells.  Correspondingly, a node will store a set of edge
+cellids.  We can also model hypergraphs in this way, as we can easily
+store a set of node cellids in an edge cell."
+
+Two builder/graph pairs implement exactly that:
+
+* :class:`RichGraphBuilder` / :class:`RichGraph` — every edge is a
+  ``Relation`` cell carrying a kind and a weight; nodes store relation
+  cell ids.
+* :class:`HyperGraphBuilder` / :class:`HyperGraph` — hyperedges are
+  ``Group`` cells holding member node ids; members hold group ids.
+
+Edge/group cell ids are allocated from a reserved high range so they can
+never collide with caller-chosen node ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..memcloud import MemoryCloud
+from .model import hyperedge_schema, struct_edge_schema
+
+_EDGE_ID_BASE = 1 << 62
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A materialised StructEdge."""
+
+    cell_id: int
+    kind: str
+    weight: float
+    source: int
+    target: int
+
+
+class RichGraphBuilder:
+    """Builds a graph whose edges are independent cells."""
+
+    def __init__(self, cloud: MemoryCloud):
+        self.cloud = cloud
+        self.schema = struct_edge_schema()
+        self._entity_type = self.schema.cell("Entity")
+        self._relation_type = self.schema.cell("Relation")
+        self._names: dict[int, str] = {}
+        self._relations: dict[int, list[int]] = {}
+        self._edge_ids = itertools.count(_EDGE_ID_BASE)
+        self._edges: list[Relation] = []
+        self._finalized = False
+
+    def add_node(self, node_id: int, name: str = "") -> None:
+        if node_id >= _EDGE_ID_BASE:
+            raise QueryError("node ids above 2^62 are reserved for edges")
+        self._names.setdefault(node_id, name)
+        if name:
+            self._names[node_id] = name
+        self._relations.setdefault(node_id, [])
+
+    def add_edge(self, src: int, dst: int, kind: str = "related",
+                 weight: float = 1.0) -> int:
+        """Create one StructEdge cell; returns its cell id."""
+        self.add_node(src)
+        self.add_node(dst)
+        cell_id = next(self._edge_ids)
+        self._edges.append(Relation(cell_id, kind, weight, src, dst))
+        self._relations[src].append(cell_id)
+        self._relations[dst].append(cell_id)
+        return cell_id
+
+    def finalize(self) -> "RichGraph":
+        if self._finalized:
+            raise QueryError("builder already finalized")
+        self._finalized = True
+        for node_id, relation_ids in self._relations.items():
+            self.cloud.put(node_id, self._entity_type.encode({
+                "Name": self._names.get(node_id, ""),
+                "Relations": relation_ids,
+            }))
+        for edge in self._edges:
+            self.cloud.put(edge.cell_id, self._relation_type.encode({
+                "Kind": edge.kind,
+                "Weight": edge.weight,
+                "Source": edge.source,
+                "Target": edge.target,
+            }))
+        return RichGraph(self.cloud, sorted(self._relations))
+
+
+class RichGraph:
+    """Query surface over a StructEdge graph."""
+
+    def __init__(self, cloud: MemoryCloud, node_ids: list[int]):
+        self.cloud = cloud
+        self.schema = struct_edge_schema()
+        self._entity_type = self.schema.cell("Entity")
+        self._relation_type = self.schema.cell("Relation")
+        self.node_ids = list(node_ids)
+
+    def name(self, node_id: int) -> str:
+        entity, _ = self._entity_type.decode(self.cloud.get(node_id), 0)
+        return entity["Name"]
+
+    def relations(self, node_id: int) -> list[Relation]:
+        """All edge cells incident to a node (either endpoint)."""
+        entity, _ = self._entity_type.decode(self.cloud.get(node_id), 0)
+        out = []
+        for cell_id in entity["Relations"]:
+            record, _ = self._relation_type.decode(
+                self.cloud.get(cell_id), 0
+            )
+            out.append(Relation(cell_id, record["Kind"], record["Weight"],
+                                record["Source"], record["Target"]))
+        return out
+
+    def neighbors(self, node_id: int, kind: str | None = None) -> list[int]:
+        """Adjacent node ids, optionally restricted to one edge kind."""
+        neighbors = []
+        for relation in self.relations(node_id):
+            if kind is not None and relation.kind != kind:
+                continue
+            other = (relation.target if relation.source == node_id
+                     else relation.source)
+            neighbors.append(other)
+        return sorted(set(neighbors))
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        """Weight of the first edge between two nodes."""
+        for relation in self.relations(src):
+            if {relation.source, relation.target} == {src, dst}:
+                return relation.weight
+        raise QueryError(f"no edge between {src} and {dst}")
+
+    def reweight(self, edge_cell_id: int, weight: float) -> None:
+        """Mutate an edge cell in place through its accessor."""
+        from ..tsl.accessor import use_cell
+        with use_cell(self.cloud, edge_cell_id, self._relation_type) as cell:
+            cell.Weight = weight
+
+
+class HyperGraphBuilder:
+    """Builds a hypergraph: Group cells holding member node ids."""
+
+    def __init__(self, cloud: MemoryCloud):
+        self.cloud = cloud
+        self.schema = hyperedge_schema()
+        self._member_type = self.schema.cell("Member")
+        self._group_type = self.schema.cell("Group")
+        self._member_names: dict[int, str] = {}
+        self._member_groups: dict[int, list[int]] = {}
+        self._groups: dict[int, tuple[str, list[int]]] = {}
+        self._group_ids = itertools.count(_EDGE_ID_BASE)
+        self._finalized = False
+
+    def add_member(self, member_id: int, name: str = "") -> None:
+        if member_id >= _EDGE_ID_BASE:
+            raise QueryError("member ids above 2^62 are reserved")
+        if name or member_id not in self._member_names:
+            self._member_names[member_id] = name
+        self._member_groups.setdefault(member_id, [])
+
+    def add_group(self, label: str, members) -> int:
+        """Create one hyperedge over ``members``; returns its cell id."""
+        members = list(members)
+        if len(members) < 1:
+            raise QueryError("a hyperedge needs at least one member")
+        group_id = next(self._group_ids)
+        for member in members:
+            self.add_member(member)
+            self._member_groups[member].append(group_id)
+        self._groups[group_id] = (label, members)
+        return group_id
+
+    def finalize(self) -> "HyperGraph":
+        if self._finalized:
+            raise QueryError("builder already finalized")
+        self._finalized = True
+        for member_id, groups in self._member_groups.items():
+            self.cloud.put(member_id, self._member_type.encode({
+                "Name": self._member_names.get(member_id, ""),
+                "Groups": groups,
+            }))
+        for group_id, (label, members) in self._groups.items():
+            self.cloud.put(group_id, self._group_type.encode({
+                "Label": label,
+                "Members": members,
+            }))
+        return HyperGraph(self.cloud, sorted(self._member_groups),
+                          sorted(self._groups))
+
+
+class HyperGraph:
+    """Query surface over a hypergraph of Group cells."""
+
+    def __init__(self, cloud: MemoryCloud, member_ids, group_ids):
+        self.cloud = cloud
+        self.schema = hyperedge_schema()
+        self._member_type = self.schema.cell("Member")
+        self._group_type = self.schema.cell("Group")
+        self.member_ids = list(member_ids)
+        self.group_ids = list(group_ids)
+
+    def groups_of(self, member_id: int) -> list[int]:
+        member, _ = self._member_type.decode(self.cloud.get(member_id), 0)
+        return list(member["Groups"])
+
+    def members_of(self, group_id: int) -> list[int]:
+        group, _ = self._group_type.decode(self.cloud.get(group_id), 0)
+        return list(group["Members"])
+
+    def label_of(self, group_id: int) -> str:
+        group, _ = self._group_type.decode(self.cloud.get(group_id), 0)
+        return group["Label"]
+
+    def co_members(self, member_id: int) -> list[int]:
+        """Everyone sharing at least one group with ``member_id``."""
+        out: set[int] = set()
+        for group_id in self.groups_of(member_id):
+            out.update(self.members_of(group_id))
+        out.discard(member_id)
+        return sorted(out)
+
+    def two_section_edges(self) -> list[tuple[int, int]]:
+        """The 2-section (clique expansion): a plain edge per co-member
+        pair, for feeding hypergraphs into the analytics stack."""
+        edges: set[tuple[int, int]] = set()
+        for group_id in self.group_ids:
+            members = self.members_of(group_id)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    edges.add((min(a, b), max(a, b)))
+        return sorted(edges)

@@ -1,0 +1,119 @@
+"""Weighted graphs: per-edge data stored beside the cell ids (Section 4.1).
+
+"Additional data associated with an edge (e.g., its name, type, weight,
+etc.) can simply stay with the cellid as (cellid, associatedData) pairs."
+The weighted schema keeps a ``List<double> Weights`` parallel to the
+adjacency list inside the same node cell — one blob read serves both —
+and the builder/topology plumbing carries the weights through to the
+weighted analytics (:func:`repro.algorithms.sssp.sssp`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import QueryError
+from ..memcloud import MemoryCloud
+from ..tsl import compile_tsl
+from .api import Graph
+from .csr import CsrTopology
+from .model import GraphSchema
+
+WEIGHTED_TSL = """
+[CellType: NodeCell]
+cell struct WeightedNode {
+    [EdgeType: SimpleEdge, ReferencedCell: WeightedNode]
+    List<long> Outlinks;
+    List<double> Weights;
+    [EdgeType: SimpleEdge, ReferencedCell: WeightedNode]
+    List<long> Inlinks;
+}
+"""
+
+
+def weighted_graph_schema() -> GraphSchema:
+    """Directed nodes whose out-adjacency carries parallel weights."""
+    return GraphSchema(
+        compile_tsl(WEIGHTED_TSL), "WeightedNode",
+        out_field="Outlinks", in_field="Inlinks",
+        attribute_fields=("Weights",),
+    )
+
+
+class WeightedGraphBuilder:
+    """Bulk loader for weighted directed graphs."""
+
+    def __init__(self, cloud: MemoryCloud):
+        self.cloud = cloud
+        self.graph_schema = weighted_graph_schema()
+        self._out: dict[int, list[int]] = defaultdict(list)
+        self._weights: dict[int, list[float]] = defaultdict(list)
+        self._in: dict[int, list[int]] = defaultdict(list)
+        self._nodes: set[int] = set()
+        self._finalized = False
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        if self._finalized:
+            raise QueryError("builder already finalized")
+        if weight < 0:
+            raise QueryError("negative edge weights are not supported")
+        self._nodes.add(src)
+        self._nodes.add(dst)
+        self._out[src].append(dst)
+        self._weights[src].append(float(weight))
+        self._in[dst].append(src)
+
+    def add_edges(self, edges) -> None:
+        """Add (src, dst, weight) triples."""
+        for src, dst, weight in edges:
+            self.add_edge(src, dst, weight)
+
+    def finalize(self) -> "WeightedGraph":
+        if self._finalized:
+            raise QueryError("builder already finalized")
+        self._finalized = True
+        node_type = self.graph_schema.node_type
+        for node in self._nodes:
+            self.cloud.put(node, node_type.encode({
+                "Outlinks": self._out.get(node, []),
+                "Weights": self._weights.get(node, []),
+                "Inlinks": self._in.get(node, []),
+            }))
+        return WeightedGraph(self.cloud, self.graph_schema,
+                             sorted(self._nodes))
+
+
+class WeightedGraph(Graph):
+    """Graph API plus weight access from the same cell read."""
+
+    def weights(self, node_id: int) -> list[float]:
+        """Weights parallel to :meth:`outlinks` (same blob)."""
+        return self._read_field(node_id, "Weights")
+
+    def weighted_outlinks(self, node_id: int) -> list[tuple[int, float]]:
+        """(target, weight) pairs for one node."""
+        return list(zip(self.outlinks(node_id), self.weights(node_id)))
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        """Weight of the first src->dst edge."""
+        for target, weight in self.weighted_outlinks(src):
+            if target == dst:
+                return weight
+        raise QueryError(f"no edge {src} -> {dst}")
+
+    def weighted_topology(self) -> tuple[CsrTopology, np.ndarray]:
+        """CSR snapshot plus the per-edge weight array aligned with
+        ``out_indices`` — the inputs :func:`repro.algorithms.sssp.sssp`
+        takes for weighted shortest paths."""
+        topology = CsrTopology(self)
+        weights = np.empty(topology.num_edges)
+        cursor = 0
+        for node in topology.node_ids:
+            node_weights = self.weights(int(node))
+            weights[cursor:cursor + len(node_weights)] = node_weights
+            cursor += len(node_weights)
+        if cursor != topology.num_edges:
+            raise QueryError("weights do not align with adjacency")
+        return topology, weights

@@ -1,0 +1,180 @@
+"""The shared addressing table (Section 3, Figure 3; maintenance in 6.2).
+
+Global addressing works in two hops: a 64-bit UID is hashed to a p-bit
+trunk index ``i``, and slot ``i`` of the addressing table names the machine
+currently hosting memory trunk ``i``.  Because the table is the unit of
+consistency for the whole cloud, the paper keeps a *primary* replica on the
+leader machine, persists it to TFS before committing updates, and lets every
+machine cache a copy that it re-syncs when an access fails.
+
+This module implements the table itself plus the relocation policies used
+when machines join or leave.  Replication, persistence and the failure
+protocol live in :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import AddressingError
+from ..utils.hashing import trunk_of
+
+
+class AddressingTable:
+    """Maps each of the 2**p memory trunks to a hosting machine.
+
+    The table is versioned: every mutation bumps ``version`` so cached
+    replicas can detect staleness (machines "sync up with the primary
+    addressing table replica when [they fail] to load a data item").
+    """
+
+    def __init__(self, trunk_bits: int, machines):
+        self.trunk_bits = trunk_bits
+        machines = list(machines)
+        if not machines:
+            raise AddressingError("addressing table needs at least one machine")
+        self.version = 1
+        self._slots: list[int] = [
+            machines[i % len(machines)] for i in range(2 ** trunk_bits)
+        ]
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    def machine_for_trunk(self, trunk_id: int) -> int:
+        try:
+            return self._slots[trunk_id]
+        except IndexError:
+            raise AddressingError(f"trunk {trunk_id} out of range") from None
+
+    def machine_for_cell(self, cell_id: int) -> int:
+        """Resolve the machine hosting ``cell_id`` (hash, then table)."""
+        return self._slots[trunk_of(cell_id, self.trunk_bits)]
+
+    def trunks_of(self, machine_id: int) -> list[int]:
+        """All trunk ids currently hosted by ``machine_id``."""
+        return [t for t, m in enumerate(self._slots) if m == machine_id]
+
+    def machines(self) -> list[int]:
+        """Distinct machines referenced by the table, sorted."""
+        return sorted(set(self._slots))
+
+    def load_per_machine(self) -> dict[int, int]:
+        """Trunk count per machine — the balance metric for relocation."""
+        counts: dict[int, int] = {}
+        for machine in self._slots:
+            counts[machine] = counts.get(machine, 0) + 1
+        return counts
+
+    # -- membership changes ----------------------------------------------
+
+    def reassign(self, trunk_id: int, machine_id: int) -> None:
+        """Point one slot at a new machine (used by targeted recovery)."""
+        if not 0 <= trunk_id < len(self._slots):
+            raise AddressingError(f"trunk {trunk_id} out of range")
+        self._slots[trunk_id] = machine_id
+        self.version += 1
+
+    def remove_machine(self, machine_id: int, survivors) -> dict[int, int]:
+        """Redistribute a failed machine's trunks over ``survivors``.
+
+        Returns ``{trunk_id: new_machine}`` for every relocated trunk.  The
+        survivors with the fewest trunks receive new ones first so load
+        stays balanced — the paper "reloads the memory trunks it owns from
+        the TFS to other alive machines".
+        """
+        survivors = [m for m in survivors if m != machine_id]
+        if not survivors:
+            raise AddressingError("no surviving machines to take over trunks")
+        counts = self.load_per_machine()
+        loads = {m: counts.get(m, 0) for m in survivors}
+        moves: dict[int, int] = {}
+        for trunk_id, owner in enumerate(self._slots):
+            if owner != machine_id:
+                continue
+            target = min(loads, key=lambda m: (loads[m], m))
+            self._slots[trunk_id] = target
+            loads[target] += 1
+            moves[trunk_id] = target
+        if moves:
+            self.version += 1
+        return moves
+
+    def add_machine(self, machine_id: int) -> dict[int, int]:
+        """Relocate trunks onto a newly joined machine.
+
+        Steals trunks from the most loaded machines until the newcomer
+        holds its fair share (slot_count / machine_count, rounded down).
+        Returns ``{trunk_id: machine_id}`` for the relocated trunks.
+        """
+        current = set(self._slots)
+        if machine_id in current:
+            raise AddressingError(f"machine {machine_id} already present")
+        fair_share = len(self._slots) // (len(current) + 1)
+        moves: dict[int, int] = {}
+        loads = self.load_per_machine()
+        while len(moves) < fair_share:
+            donor = max(loads, key=lambda m: (loads[m], m))
+            if loads[donor] <= 1:
+                break
+            trunk_id = next(
+                t for t, m in enumerate(self._slots)
+                if m == donor and t not in moves
+            )
+            self._slots[trunk_id] = machine_id
+            loads[donor] -= 1
+            moves[trunk_id] = machine_id
+        if moves:
+            self.version += 1
+        return moves
+
+    # -- replication & persistence ----------------------------------------
+
+    def copy(self) -> "AddressingTable":
+        """An independent replica (what each slave caches locally)."""
+        replica = AddressingTable.__new__(AddressingTable)
+        replica.trunk_bits = self.trunk_bits
+        replica.version = self.version
+        replica._slots = list(self._slots)
+        return replica
+
+    def sync_from(self, primary: "AddressingTable") -> bool:
+        """Pull the primary's state if it is newer; True if updated."""
+        if primary.version <= self.version:
+            return False
+        self.trunk_bits = primary.trunk_bits
+        self._slots = list(primary._slots)
+        self.version = primary.version
+        return True
+
+    def to_bytes(self) -> bytes:
+        """Serialise for the persistent TFS replica (Section 6.2)."""
+        return json.dumps({
+            "trunk_bits": self.trunk_bits,
+            "version": self.version,
+            "slots": self._slots,
+        }).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "AddressingTable":
+        doc = json.loads(payload.decode("utf-8"))
+        table = cls.__new__(cls)
+        table.trunk_bits = doc["trunk_bits"]
+        table.version = doc["version"]
+        table._slots = list(doc["slots"])
+        if len(table._slots) != 2 ** table.trunk_bits:
+            raise AddressingError("corrupt addressing table image")
+        return table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AddressingTable):
+            return NotImplemented
+        return (self.trunk_bits == other.trunk_bits
+                and self._slots == other._slots)
+
+    def __repr__(self) -> str:
+        return (f"AddressingTable(v{self.version}, {self.slot_count} slots, "
+                f"{len(self.machines())} machines)")

@@ -1,0 +1,142 @@
+"""The memory cloud facade: a globally addressable key-value store.
+
+Combines the addressing table and the memory trunks into the store the rest
+of the system is built on (Figure 2: "Memory Cloud (Distributed Key-Value
+Store)").  Keys are 64-bit UIDs, values are blobs of arbitrary length.
+
+The whole cloud lives in one process, but the ownership structure is real:
+every trunk belongs to exactly one simulated machine, lookups resolve
+through the addressing table exactly as in Figure 3, and the simulated
+network layer charges for every access that crosses a machine boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from ..config import ClusterConfig
+from ..errors import AddressingError
+from ..utils.hashing import trunk_of
+from .addressing import AddressingTable
+from .trunk import MemoryTrunk, TrunkStats
+
+
+class MemoryCloud:
+    """A distributed in-memory key-value store over 2**p memory trunks.
+
+    Parameters
+    ----------
+    config:
+        Cluster shape: machine count, trunk bits, memory parameters.
+
+    Examples
+    --------
+    >>> from repro.config import ClusterConfig
+    >>> cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=5))
+    >>> cloud.put(42, b"hello")
+    >>> cloud.get(42)
+    b'hello'
+    """
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.addressing = AddressingTable(
+            self.config.trunk_bits, range(self.config.machines)
+        )
+        self.trunks: dict[int, MemoryTrunk] = {
+            trunk_id: MemoryTrunk(trunk_id, self.config.memory)
+            for trunk_id in range(self.config.trunk_count)
+        }
+
+    # -- addressing ----------------------------------------------------------
+
+    def trunk_for(self, cell_id: int) -> MemoryTrunk:
+        """The trunk that stores ``cell_id`` (first hash of Figure 3)."""
+        return self.trunks[trunk_of(cell_id, self.config.trunk_bits)]
+
+    def machine_of(self, cell_id: int) -> int:
+        """The machine hosting ``cell_id`` per the addressing table."""
+        return self.addressing.machine_for_cell(cell_id)
+
+    def trunks_on(self, machine_id: int) -> list[MemoryTrunk]:
+        """All trunks currently owned by one machine."""
+        return [self.trunks[t] for t in self.addressing.trunks_of(machine_id)]
+
+    def cells_on(self, machine_id: int):
+        """Yield every cell UID stored on ``machine_id``."""
+        for trunk in self.trunks_on(machine_id):
+            yield from trunk.uids()
+
+    # -- key-value operations ----------------------------------------------
+
+    def put(self, cell_id: int, value: bytes) -> None:
+        """Insert or overwrite a cell."""
+        self.trunk_for(cell_id).put(cell_id, value)
+
+    def get(self, cell_id: int) -> bytes:
+        """Read a copy of a cell's payload; raises CellNotFoundError."""
+        return self.trunk_for(cell_id).get(cell_id)
+
+    def remove(self, cell_id: int) -> None:
+        """Delete a cell; raises CellNotFoundError if absent."""
+        self.trunk_for(cell_id).remove(cell_id)
+
+    def contains(self, cell_id: int) -> bool:
+        return cell_id in self.trunk_for(cell_id)
+
+    __contains__ = contains
+
+    def size_of(self, cell_id: int) -> int:
+        return self.trunk_for(cell_id).size_of(cell_id)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.trunks.values())
+
+    @contextlib.contextmanager
+    def pin(self, cell_id: int):
+        """Lock a cell and yield a zero-copy view of its payload.
+
+        While the view is held the cell cannot be moved by the defrag
+        daemon or mutated by another accessor — the "lock and pin" protocol
+        of Section 3.  The view is released (and the lock dropped) on exit.
+        """
+        trunk = self.trunk_for(cell_id)
+        lock = trunk.lock_of(cell_id)
+        lock.acquire(self.config.memory.spinlock_budget)
+        try:
+            view = trunk.get_view(cell_id)
+            try:
+                yield view
+            finally:
+                view.release()
+        finally:
+            lock.release()
+
+    # -- accounting ----------------------------------------------------------
+
+    def machine_stats(self, machine_id: int) -> TrunkStats:
+        """Aggregated trunk statistics for one machine."""
+        stats = [t.stats() for t in self.trunks_on(machine_id)]
+        if not stats:
+            raise AddressingError(f"machine {machine_id} owns no trunks")
+        return TrunkStats(
+            cell_count=sum(s.cell_count for s in stats),
+            live_bytes=sum(s.live_bytes for s in stats),
+            reserved_bytes=sum(s.reserved_bytes for s in stats),
+            garbage_bytes=sum(s.garbage_bytes for s in stats),
+            committed_bytes=sum(s.committed_bytes for s in stats),
+            trunk_size=sum(s.trunk_size for s in stats),
+            defrag_passes=sum(s.defrag_passes for s in stats),
+            relocations=sum(s.relocations for s in stats),
+        )
+
+    def total_live_bytes(self) -> int:
+        """Live bytes (headers + payloads) across the whole cloud."""
+        return sum(t.stats().live_bytes for t in self.trunks.values())
+
+    def total_committed_bytes(self) -> int:
+        return sum(t.stats().committed_bytes for t in self.trunks.values())
+
+    def defragment_all(self) -> int:
+        """Run a defrag pass on every trunk; returns trunks compacted."""
+        return sum(1 for t in self.trunks.values() if t.defragment())

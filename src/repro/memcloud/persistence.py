@@ -1,0 +1,99 @@
+"""Trunk persistence: backing memory trunks up in TFS (Section 3).
+
+"To support fault-tolerant data persistence, these memory trunks are also
+backed up in a shared distributed file system called TFS."  When a machine
+fails, its trunks are *reloaded from TFS* onto survivors (Section 6.2);
+this module provides the trunk image format and the backup/restore paths
+the recovery protocol in :mod:`repro.cluster.recovery` drives.
+
+Image format (version 1, little-endian):
+
+    magic   4 bytes  b"TRNK"
+    version varint   (1)
+    trunk_id varint
+    count   varint   number of cells
+    cells   repeated: uid varint, size varint, payload bytes
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryCloudError
+from ..tfs import TrinityFileSystem
+from ..utils.varint import decode_varint, encode_varint
+from .cloud import MemoryCloud
+from .trunk import MemoryTrunk
+
+_MAGIC = b"TRNK"
+_FORMAT_VERSION = 1
+
+
+def trunk_image_path(trunk_id: int) -> str:
+    """Canonical TFS path for one trunk's backup image."""
+    return f"/trinity/trunks/{trunk_id:05d}.img"
+
+
+def trunk_to_bytes(trunk: MemoryTrunk) -> bytes:
+    """Serialise a trunk's live cells into a portable image."""
+    parts = [_MAGIC, encode_varint(_FORMAT_VERSION),
+             encode_varint(trunk.trunk_id)]
+    cells = list(trunk.dump_cells())
+    parts.append(encode_varint(len(cells)))
+    for uid, payload in cells:
+        parts.append(encode_varint(uid))
+        parts.append(encode_varint(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def trunk_from_bytes(image: bytes, trunk: MemoryTrunk) -> int:
+    """Load an image's cells into ``trunk``; returns the cell count.
+
+    The target trunk need not be the original: recovery loads a failed
+    machine's trunk images into fresh trunks on surviving machines.
+    """
+    if image[:4] != _MAGIC:
+        raise MemoryCloudError("not a trunk image (bad magic)")
+    offset = 4
+    version, offset = decode_varint(image, offset)
+    if version != _FORMAT_VERSION:
+        raise MemoryCloudError(f"unsupported trunk image version {version}")
+    _source_trunk_id, offset = decode_varint(image, offset)
+    count, offset = decode_varint(image, offset)
+    for _ in range(count):
+        uid, offset = decode_varint(image, offset)
+        size, offset = decode_varint(image, offset)
+        payload = bytes(image[offset:offset + size])
+        if len(payload) != size:
+            raise MemoryCloudError("truncated trunk image")
+        offset += size
+        trunk.put(uid, payload)
+    return count
+
+
+def backup_trunk(cloud: MemoryCloud, trunk_id: int,
+                 tfs: TrinityFileSystem) -> int:
+    """Write one trunk's image to TFS; returns the image size."""
+    image = trunk_to_bytes(cloud.trunks[trunk_id])
+    tfs.write(trunk_image_path(trunk_id), image)
+    return len(image)
+
+
+def backup_all(cloud: MemoryCloud, tfs: TrinityFileSystem) -> int:
+    """Back every trunk up to TFS; returns total image bytes written."""
+    return sum(
+        backup_trunk(cloud, trunk_id, tfs) for trunk_id in cloud.trunks
+    )
+
+
+def restore_trunk(cloud: MemoryCloud, trunk_id: int,
+                  tfs: TrinityFileSystem) -> int:
+    """Rebuild one trunk from its TFS image; returns cells restored.
+
+    The trunk object is replaced wholesale so stale cells from the failed
+    incarnation cannot linger.
+    """
+    image = tfs.read(trunk_image_path(trunk_id))
+    fresh = MemoryTrunk(trunk_id, cloud.config.memory)
+    count = trunk_from_bytes(image, fresh)
+    cloud.trunks[trunk_id] = fresh
+    return count

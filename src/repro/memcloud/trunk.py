@@ -1,0 +1,411 @@
+"""Memory trunks with circular memory management (Sections 3 and 6.1).
+
+A trunk is a contiguous reserved address space (a ``bytearray`` here, a 2 GB
+VirtualAlloc reservation in the paper) holding variable-length cells plus a
+hash table locating them.  Allocation follows the paper's circular scheme:
+
+* New cells are appended at ``append_head``; in most cases allocation is a
+  pointer bump.
+* Pages are *committed* lazily as the head advances (tracked per page so the
+  reservation ablation can report committed memory honestly).
+* Updates that outgrow their slot are reallocated at the head; the old slot
+  becomes garbage.  The *short-lived reservation* mechanism over-allocates
+  growing cells by ``reservation_factor`` so repeated growth does not keep
+  relocating them; unused reservations are reclaimed by the next defrag.
+* When the head reaches the end of the trunk it wraps to offset 0, skipping
+  a tail gap — the "endless circular movement" of Figure 11.
+* A defragmentation pass compacts live cells, drops reservations, releases
+  pages outside the live region and moves ``committed_tail`` forward.
+
+Every cell carries a 16-byte in-arena header (UID, live size, reserved
+size), matching the 16 bytes/cell the paper's memory model in Section 5.4
+charges for "storing and accessing the UID".
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+
+from ..config import MemoryParams
+from ..errors import CellNotFoundError, TrunkFullError
+from .hashtable import TrunkHashTable
+from .locks import SpinLock
+
+CELL_HEADER_BYTES = 16
+_HEADER = struct.Struct("<QII")  # uid, live size, reserved size
+
+
+@dataclass
+class _CellEntry:
+    """In-index record for one cell: where its payload lives."""
+
+    uid: int
+    offset: int      # payload offset (header is at offset - 16)
+    size: int        # live payload bytes
+    reserved: int    # payload capacity (>= size)
+    lock: SpinLock
+
+    @property
+    def footprint(self) -> int:
+        return CELL_HEADER_BYTES + self.reserved
+
+
+@dataclass(frozen=True)
+class TrunkStats:
+    """Snapshot of a trunk's memory accounting."""
+
+    cell_count: int
+    live_bytes: int        # headers + live payload
+    reserved_bytes: int    # headers + reserved payload (footprints)
+    garbage_bytes: int     # dead regions awaiting defragmentation
+    committed_bytes: int   # pages currently committed
+    trunk_size: int        # reserved address space
+    defrag_passes: int
+    relocations: int       # cells moved because growth outran reservation
+
+    @property
+    def utilization(self) -> float:
+        """Live data as a fraction of committed memory."""
+        if not self.committed_bytes:
+            return 1.0
+        return self.live_bytes / self.committed_bytes
+
+
+class MemoryTrunk:
+    """One memory trunk: a circular arena plus its hash table.
+
+    Structural operations (allocation, index updates, defragmentation)
+    are serialised by a per-trunk mutex.  This is the paper's trunk-level
+    parallelism: workers that partition the key space by trunk never
+    contend on it (Section 3's "without any overhead of locking" refers
+    to cross-trunk traffic), while the per-cell spin locks handle
+    fine-grained pinning within a trunk.
+    """
+
+    def __init__(self, trunk_id: int, params: MemoryParams | None = None):
+        self.trunk_id = trunk_id
+        self.params = params or MemoryParams()
+        # Re-entrant: put() may trigger defragment() internally.
+        self._mutex = threading.RLock()
+        self._arena = bytearray(self.params.trunk_size)
+        self._index = TrunkHashTable()
+        self._entries: list[_CellEntry | None] = []
+        self._free_slots: list[int] = []
+        self._append_head = 0
+        self._committed_tail = 0
+        self._wrapped = False          # head has wrapped behind the tail
+        self._end_gap = 0              # skipped bytes at arena end after wrap
+        self._garbage_bytes = 0
+        self._committed_pages: set[int] = set()
+        self._defrag_passes = 0
+        self._relocations = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._index)
+
+    def __contains__(self, uid: int) -> bool:
+        with self._mutex:
+            return uid in self._index
+
+    def uids(self):
+        """All cell UIDs in the trunk (snapshot, arbitrary order)."""
+        with self._mutex:
+            return list(self._index.keys())
+
+    def put(self, uid: int, value: bytes) -> None:
+        """Insert or replace the cell ``uid`` with ``value``."""
+        with self._mutex:
+            entry = self._lookup(uid)
+            if entry is None:
+                self._insert(uid, value)
+            else:
+                self._update(entry, value)
+
+    def get(self, uid: int) -> bytes:
+        """Return a copy of the cell's payload."""
+        with self._mutex:
+            entry = self._require(uid)
+            return bytes(self._arena[entry.offset:entry.offset + entry.size])
+
+    def get_view(self, uid: int) -> memoryview:
+        """Zero-copy view of the cell payload.
+
+        The caller must hold the cell's spin lock (see :meth:`lock_of`) for
+        as long as the view is used: defragmentation relocates cells and a
+        stale view would read garbage.  Cell accessors in :mod:`repro.tsl`
+        wrap this in a context manager that takes the lock.
+        """
+        with self._mutex:
+            entry = self._require(uid)
+            return memoryview(self._arena)[
+                entry.offset:entry.offset + entry.size
+            ]
+
+    def lock_of(self, uid: int) -> SpinLock:
+        """The spin lock associated with the cell (Section 3)."""
+        with self._mutex:
+            return self._require(uid).lock
+
+    def remove(self, uid: int) -> None:
+        """Delete a cell; its region becomes garbage until defrag."""
+        with self._mutex:
+            entry = self._require(uid)
+            self._remove_locked(entry)
+        # defrag trigger outside is fine; re-enter via mutex
+        self._maybe_defrag()
+
+    def _remove_locked(self, entry: _CellEntry) -> None:
+        with entry.lock:
+            slot = self._index.get(entry.uid)
+            assert slot is not None
+            self._index.delete(entry.uid)
+            self._entries[slot] = None
+            self._free_slots.append(slot)
+            self._garbage_bytes += entry.footprint
+
+    def size_of(self, uid: int) -> int:
+        """Live payload size of the cell in bytes."""
+        with self._mutex:
+            return self._require(uid).size
+
+    def resize(self, uid: int, new_size: int, fill: int = 0) -> None:
+        """Grow or shrink a cell in place where possible.
+
+        Growth within the reserved slot only bumps the live size; growth
+        beyond it relocates the cell (counting a relocation and leaving
+        garbage behind), which is exactly the traffic the short-lived
+        reservation mechanism of Section 6.1 is designed to dampen.
+        """
+        if new_size < 0:
+            raise ValueError("cell size cannot be negative")
+        with self._mutex:
+            entry = self._require(uid)
+            current = self.get(uid)
+            if new_size <= len(current):
+                self._update(entry, current[:new_size])
+            else:
+                self._update(
+                    entry,
+                    current + bytes([fill]) * (new_size - len(current)),
+                )
+
+    def stats(self) -> TrunkStats:
+        with self._mutex:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> TrunkStats:
+        live = sum(
+            CELL_HEADER_BYTES + e.size for e in self._entries if e is not None
+        )
+        reserved = sum(e.footprint for e in self._entries if e is not None)
+        return TrunkStats(
+            cell_count=len(self._index),
+            live_bytes=live,
+            reserved_bytes=reserved,
+            garbage_bytes=self._garbage_bytes,
+            committed_bytes=len(self._committed_pages) * self.params.page_size,
+            trunk_size=self.params.trunk_size,
+            defrag_passes=self._defrag_passes,
+            relocations=self._relocations,
+        )
+
+    @property
+    def mean_probe_length(self) -> float:
+        """Hash-conflict metric of the trunk's hash table."""
+        return self._index.mean_probe_length
+
+    # -- persistence hooks (used by repro.memcloud.persistence) --------------
+
+    def dump_cells(self):
+        """Return (uid, payload bytes) for every live cell (snapshot)."""
+        with self._mutex:
+            out = []
+            for uid, slot in self._index.items():
+                entry = self._entries[slot]
+                assert entry is not None and entry.uid == uid
+                out.append((uid, bytes(
+                    self._arena[entry.offset:entry.offset + entry.size]
+                )))
+            return out
+
+    def load_cells(self, cells) -> None:
+        """Bulk-load (uid, payload) pairs into an empty trunk."""
+        for uid, payload in cells:
+            self.put(uid, payload)
+
+    # -- allocation internals --------------------------------------------
+
+    def _lookup(self, uid: int) -> _CellEntry | None:
+        slot = self._index.get(uid)
+        if slot is None:
+            return None
+        entry = self._entries[slot]
+        assert entry is not None
+        return entry
+
+    def _require(self, uid: int) -> _CellEntry:
+        entry = self._lookup(uid)
+        if entry is None:
+            raise CellNotFoundError(uid)
+        return entry
+
+    def _insert(self, uid: int, value: bytes, reserve: bool = False) -> None:
+        reserved = len(value)
+        if reserve:
+            reserved = max(
+                reserved, int(len(value) * self.params.reservation_factor)
+            )
+        offset = self._allocate(CELL_HEADER_BYTES + reserved)
+        payload_offset = offset + CELL_HEADER_BYTES
+        self._write_cell(offset, uid, value, reserved)
+        entry = _CellEntry(uid, payload_offset, len(value), reserved, SpinLock())
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._entries[slot] = entry
+        else:
+            slot = len(self._entries)
+            self._entries.append(entry)
+        self._index.set(uid, slot)
+
+    def _update(self, entry: _CellEntry, value: bytes) -> None:
+        with entry.lock:
+            if len(value) <= entry.reserved:
+                # In-place update; shrinking only adjusts the live size and
+                # the slack stays reserved (reclaimed at next defrag).
+                self._arena[entry.offset:entry.offset + len(value)] = value
+                entry.size = len(value)
+                self._write_header(
+                    entry.offset - CELL_HEADER_BYTES,
+                    entry.uid, entry.size, entry.reserved,
+                )
+                return
+            # Outgrew the slot: relocate with a short-lived reservation.
+            self._relocations += 1
+            self._garbage_bytes += entry.footprint
+            slot = self._index.get(entry.uid)
+            assert slot is not None
+            self._index.delete(entry.uid)
+            self._entries[slot] = None
+            self._free_slots.append(slot)
+        self._insert(entry.uid, value, reserve=True)
+        self._maybe_defrag()
+
+    def _allocate(self, footprint: int) -> int:
+        """Reserve ``footprint`` bytes at the append head, wrapping/
+        defragmenting as needed.  Returns the region's start offset."""
+        if footprint > self.params.trunk_size:
+            raise TrunkFullError(
+                f"cell footprint {footprint} exceeds trunk size "
+                f"{self.params.trunk_size}"
+            )
+        offset = self._try_allocate(footprint)
+        if offset is None:
+            self.defragment()
+            offset = self._try_allocate(footprint)
+        if offset is None:
+            raise TrunkFullError(
+                f"trunk {self.trunk_id} cannot fit {footprint} bytes "
+                f"(live {self.stats().reserved_bytes}, "
+                f"size {self.params.trunk_size})"
+            )
+        self._commit_range(offset, offset + footprint)
+        return offset
+
+    def _try_allocate(self, footprint: int) -> int | None:
+        size = self.params.trunk_size
+        if not self._wrapped:
+            if self._append_head + footprint <= size:
+                offset = self._append_head
+                self._append_head += footprint
+                return offset
+            # Wrap: the slack at the end becomes a skip gap.
+            if footprint <= self._committed_tail:
+                self._end_gap = size - self._append_head
+                self._garbage_bytes += self._end_gap
+                self._wrapped = True
+                self._append_head = footprint
+                return 0
+            return None
+        if self._append_head + footprint <= self._committed_tail:
+            offset = self._append_head
+            self._append_head += footprint
+            return offset
+        return None
+
+    def _write_cell(self, offset: int, uid: int, value: bytes,
+                    reserved: int) -> None:
+        self._write_header(offset, uid, len(value), reserved)
+        start = offset + CELL_HEADER_BYTES
+        self._arena[start:start + len(value)] = value
+
+    def _write_header(self, offset: int, uid: int, size: int,
+                      reserved: int) -> None:
+        _HEADER.pack_into(self._arena, offset, uid, size, reserved)
+
+    def _commit_range(self, start: int, end: int) -> None:
+        page = self.params.page_size
+        for index in range(start // page, (max(end, start + 1) - 1) // page + 1):
+            self._committed_pages.add(index)
+
+    # -- defragmentation ---------------------------------------------------
+
+    def _maybe_defrag(self) -> None:
+        committed = len(self._committed_pages) * self.params.page_size
+        if not committed:
+            return
+        if self._garbage_bytes / committed >= self.params.defrag_trigger_ratio:
+            self.defragment()
+
+    def defragment(self) -> bool:
+        """Compact live cells, drop reservations, release free pages.
+
+        Mirrors the daemon of Section 6.1: key-value pairs are slid
+        together, unused short-lived reservations are collected, and pages
+        outside the live region are decommitted.  A cell whose spin lock is
+        held is *pinned*; the pass is aborted (returns False) and will be
+        retried by the next trigger, since compaction cannot move around a
+        pinned cell without fragmenting its neighbours.
+        """
+        with self._mutex:
+            return self._defragment_locked()
+
+    def _defragment_locked(self) -> bool:
+        live = [e for e in self._entries if e is not None]
+        if any(e.lock.held for e in live):
+            return False
+        # Order by current circular position from the committed tail so
+        # relative order (and therefore locality) is preserved.
+        def circular_key(entry: _CellEntry) -> int:
+            start = entry.offset - CELL_HEADER_BYTES
+            if start >= self._committed_tail:
+                return start
+            return start + self.params.trunk_size
+
+        live.sort(key=circular_key)
+        images = [
+            (e, bytes(self._arena[e.offset:e.offset + e.size])) for e in live
+        ]
+        cursor = 0
+        for entry, payload in images:
+            entry.reserved = entry.size            # reclaim reservation
+            self._write_cell(cursor, entry.uid, payload, entry.reserved)
+            entry.offset = cursor + CELL_HEADER_BYTES
+            cursor += CELL_HEADER_BYTES + entry.reserved
+        self._committed_tail = 0
+        self._append_head = cursor
+        self._wrapped = False
+        self._end_gap = 0
+        self._garbage_bytes = 0
+        # Decommit pages wholly beyond the new head.
+        page = self.params.page_size
+        last_live_page = (cursor - 1) // page if cursor else -1
+        self._committed_pages = {
+            p for p in self._committed_pages if p <= last_live_page
+        }
+        self._defrag_passes += 1
+        return True

@@ -1,0 +1,43 @@
+"""Message envelopes for the Trinity message-passing framework."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical message between two cluster components.
+
+    ``payload`` is the already-encoded request or response blob; its size
+    is what the fabric charges for.  ``protocol`` names a TSL protocol so
+    the receiver can dispatch to the right handler, mirroring the paper's
+    generated ``EchoHandler``-style dispatch.
+    """
+
+    src: int
+    dst: int
+    protocol: str
+    payload: bytes
+    is_request: bool = True
+    correlation_id: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    @property
+    def size(self) -> int:
+        """Wire size: payload plus a fixed 24-byte envelope (src, dst,
+        protocol id, correlation id — what a binary header would carry)."""
+        return len(self.payload) + 24
+
+    def reply(self, payload: bytes) -> "Message":
+        """Build the response envelope for this request."""
+        return Message(
+            src=self.dst,
+            dst=self.src,
+            protocol=self.protocol,
+            payload=payload,
+            is_request=False,
+            correlation_id=self.correlation_id,
+        )

@@ -1,0 +1,230 @@
+"""The message-passing runtime: one-sided request/response dispatch.
+
+Implements the communication semantics of Sections 2 and 4.2:
+
+* **One-sided**: a component sends to a machine without any prior
+  rendezvous; the receiver's registered protocol handler runs on arrival
+  (the paper contrasts this with MPI's two-sided paradigm).
+* **Synchronous protocols** (`Type: Syn`) return the handler's response to
+  the caller, charging a full round trip.
+* **Asynchronous protocols** (`Type: Asyn`) are buffered per destination
+  and *packed*: many small messages bound for the same machine share one
+  physical transfer when ``NetworkParams.packing_enabled`` is set — the
+  optimisation the paper singles out as essential when "the total number
+  of messages in the system is huge although each message may be small".
+* Handlers are registered per (machine, protocol), mirroring the generated
+  ``EchoHandler`` pattern: users implement the algorithm logic "as if
+  implementing a local method".
+
+If a :class:`~repro.tsl.compiler.CompiledSchema` is supplied, payloads are
+encoded/decoded through the protocol's TSL message structs, so wire sizes
+are the real blob sizes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from ..errors import MachineDownError, ProtocolError
+from .message import Message
+from .simnet import ParallelRound, SimNetwork
+
+Handler = Callable[[Message, object], object]
+
+
+class MessageRuntime:
+    """Dispatches messages between simulated cluster components."""
+
+    def __init__(self, network: SimNetwork | None = None, schema=None):
+        self.network = network or SimNetwork()
+        self.schema = schema
+        self._handlers: dict[tuple[int, str], Handler] = {}
+        self._async_buffers: dict[tuple[int, int], list[Message]] = (
+            defaultdict(list)
+        )
+        self._reply_callbacks: dict[int, Handler] = {}
+        self._down: set[int] = set()
+        self.delivered = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def fail_machine(self, machine_id: int) -> None:
+        """Mark a machine dead: sends to it raise MachineDownError."""
+        self._down.add(machine_id)
+
+    def recover_machine(self, machine_id: int) -> None:
+        self._down.discard(machine_id)
+
+    def is_alive(self, machine_id: int) -> bool:
+        return machine_id not in self._down
+
+    # -- handler registry ---------------------------------------------------
+
+    def register_handler(self, machine_id: int, protocol: str,
+                         handler: Handler) -> None:
+        """Install the message handler for ``protocol`` on one machine."""
+        self._handlers[(machine_id, protocol)] = handler
+
+    def register_everywhere(self, machines, protocol: str,
+                            handler_factory) -> None:
+        """Install ``handler_factory(machine_id)`` on every machine."""
+        for machine_id in machines:
+            self.register_handler(machine_id, protocol,
+                                  handler_factory(machine_id))
+
+    # -- encoding ------------------------------------------------------------
+
+    def _encode(self, protocol: str, payload, request: bool) -> bytes:
+        if self.schema is not None and protocol in self.schema.protocols:
+            spec = self.schema.protocol(protocol)
+            struct_type = spec.request if request else spec.response
+            if struct_type is None:
+                if payload not in (None, b"", {}):
+                    raise ProtocolError(
+                        f"{protocol}: protocol declares void "
+                        f"{'request' if request else 'response'}"
+                    )
+                return b""
+            if isinstance(payload, dict):
+                return struct_type.encode(payload)
+        if isinstance(payload, bytes):
+            return payload
+        if payload is None:
+            return b""
+        raise ProtocolError(
+            f"{protocol}: cannot encode payload of type "
+            f"{type(payload).__name__} without a schema"
+        )
+
+    def _decode(self, protocol: str, blob: bytes, request: bool):
+        if self.schema is not None and protocol in self.schema.protocols:
+            spec = self.schema.protocol(protocol)
+            struct_type = spec.request if request else spec.response
+            if struct_type is None:
+                return None
+            value, _ = struct_type.decode(blob, 0)
+            return value
+        return blob
+
+    # -- sending ---------------------------------------------------------
+
+    def send_sync(self, src: int, dst: int, protocol: str, payload=None):
+        """Synchronous request/response; returns the decoded response.
+
+        Charges request transfer + handler dispatch + response transfer on
+        the simulated clock.
+        """
+        self._check_alive(dst)
+        request_blob = self._encode(protocol, payload, request=True)
+        message = Message(src, dst, protocol, request_blob)
+        self.network.clock.advance(
+            self.network.transfer(src, dst, message.size)
+        )
+        response_payload = self._dispatch(message)
+        response_blob = self._encode(protocol, response_payload, request=False)
+        response = message.reply(response_blob)
+        self.network.clock.advance(
+            self.network.transfer(dst, src, response.size)
+        )
+        return self._decode(protocol, response_blob, request=False)
+
+    def send_async(self, src: int, dst: int, protocol: str,
+                   payload=None, on_reply=None) -> None:
+        """One-sided asynchronous send; buffered until :meth:`flush`.
+
+        ``on_reply``, if given, receives the handler's decoded response
+        after delivery — TSL's asynchronous protocols with responses
+        ("calling a protocol defined in the TSL is like calling a local
+        method", but without blocking the caller).
+        """
+        self._check_alive(dst)
+        blob = self._encode(protocol, payload, request=True)
+        message = Message(src, dst, protocol, blob)
+        if on_reply is not None:
+            self._reply_callbacks[message.correlation_id] = on_reply
+        self._async_buffers[(src, dst)].append(message)
+
+    def flush(self, parallelism: int = 1) -> float:
+        """Deliver all buffered async messages as one parallel round.
+
+        Messages sharing a (src, dst) link are packed: the round charges
+        one (or few) physical transfers per link instead of one per
+        message.  Returns the round's elapsed simulated time.
+        """
+        if not self._async_buffers:
+            return 0.0
+        wave = ParallelRound(self.network)
+        buffers = self._async_buffers
+        self._async_buffers = defaultdict(list)
+        for (src, dst), messages in buffers.items():
+            total = sum(m.size for m in messages)
+            wave.add_message(src, dst, total, len(messages))
+        elapsed = wave.finish(parallelism=parallelism)
+        for messages in buffers.values():
+            for message in messages:
+                if message.dst in self._down:
+                    raise MachineDownError(message.dst)
+                response = self._dispatch(message)
+                callback = self._reply_callbacks.pop(
+                    message.correlation_id, None
+                )
+                if callback is not None:
+                    # The reply rides the next packed transfer back; its
+                    # size is charged with the same cost model.
+                    blob = self._encode(message.protocol, response,
+                                        request=False)
+                    self.network.clock.advance(self.network.transfer(
+                        message.dst, message.src,
+                        message.reply(blob).size,
+                    ))
+                    callback(self._decode(message.protocol, blob,
+                                          request=False))
+        return elapsed
+
+    def broadcast_sync(self, src: int, machines, protocol: str,
+                       payload=None) -> list:
+        """Bulk-synchronous call: one request per machine, issued in a
+        single parallel round; returns the decoded replies in machine
+        order (TSL's "bulk synchronous message passing")."""
+        machines = list(machines)
+        blob = self._encode(protocol, payload, request=True)
+        round_ = ParallelRound(self.network)
+        for dst in machines:
+            self._check_alive(dst)
+            round_.add_message(src, dst, len(blob) + 24)
+        round_.finish()
+        replies = []
+        for dst in machines:
+            message = Message(src, dst, protocol, blob)
+            response = self._dispatch(message)
+            response_blob = self._encode(protocol, response, request=False)
+            replies.append(self._decode(protocol, response_blob,
+                                        request=False))
+        # All replies return in one gather round.
+        gather = ParallelRound(self.network)
+        for dst in machines:
+            gather.add_message(dst, src, len(blob) + 24)
+        gather.finish()
+        return replies
+
+    @property
+    def pending_async(self) -> int:
+        return sum(len(v) for v in self._async_buffers.values())
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, message: Message):
+        handler = self._handlers.get((message.dst, message.protocol))
+        if handler is None:
+            raise ProtocolError(
+                f"machine {message.dst} has no handler for protocol "
+                f"{message.protocol!r}"
+            )
+        decoded = self._decode(message.protocol, message.payload, request=True)
+        self.delivered += 1
+        return handler(message, decoded)
+
+    def _check_alive(self, machine_id: int) -> None:
+        if machine_id in self._down:
+            raise MachineDownError(machine_id)

@@ -1,0 +1,30 @@
+"""RDF on Trinity (the Figure 14b workload).
+
+The paper evaluates "four SPARQL queries on a LUBM RDF data set" served
+by the Trinity-based distributed RDF engine of Zeng et al. (VLDB'13),
+which models RDF as a native graph in the memory cloud: entities are
+cells, and each cell stores its outgoing and incoming predicate-grouped
+adjacency.  This package implements that design:
+
+* :mod:`~repro.rdf.store` — dictionary-encoded triple store over the
+  memory cloud with predicate-grouped adjacency cells.
+* :mod:`~repro.rdf.sparql` — a basic-graph-pattern SPARQL subset
+  (SELECT / WHERE with triple patterns) executed by distributed
+  binding joins with simulated-cost accounting.
+* :mod:`~repro.rdf.lubm` — a LUBM-like university-domain generator and
+  the four benchmark queries.
+"""
+
+from .store import RdfStore
+from .sparql import SparqlQuery, SparqlResult, execute_sparql, parse_sparql
+from .lubm import LUBM_QUERIES, generate_lubm
+
+__all__ = [
+    "RdfStore",
+    "SparqlQuery",
+    "SparqlResult",
+    "parse_sparql",
+    "execute_sparql",
+    "generate_lubm",
+    "LUBM_QUERIES",
+]

@@ -1,0 +1,105 @@
+"""A LUBM-like university-domain RDF generator and benchmark queries.
+
+The real Lehigh University Benchmark dataset cannot ship offline, so this
+generator reproduces its schema (universities → departments →
+professors / students / courses with the standard predicates) and scale
+knobs.  Figure 14(b)'s experiment runs four SPARQL queries of increasing
+join complexity; the four below mirror LUBM's canonical mix: one highly
+selective lookup, two medium star joins, and one multi-hop path join.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .store import RdfStore
+
+TYPE = "rdf:type"
+
+LUBM_QUERIES = {
+    # Q1: selective lookup — students taking one specific course.
+    "Q1": (
+        "SELECT ?x WHERE { "
+        "?x rdf:type GraduateStudent . "
+        "?x takesCourse <Course0_of_Dept0_of_Univ0> }"
+    ),
+    # Q3: star join — publications/professor-like star on one anchor.
+    "Q3": (
+        "SELECT ?x WHERE { "
+        "?x rdf:type FullProfessor . "
+        "?x worksFor <Dept0_of_Univ0> }"
+    ),
+    # Q5: unanchored membership sweep — every undergraduate with their
+    # department (LUBM's large "flat" queries; volume grows with data).
+    "Q5": (
+        "SELECT ?x ?d WHERE { "
+        "?x rdf:type UndergraduateStudent . "
+        "?x memberOf ?d }"
+    ),
+    # Q7: unanchored triangle join (LUBM Q9's shape) — students taking a
+    # course taught by their own advisor.
+    "Q7": (
+        "SELECT ?x ?p WHERE { "
+        "?x advisor ?p . "
+        "?p teacherOf ?y . "
+        "?x takesCourse ?y }"
+    ),
+}
+
+
+def generate_lubm(store: RdfStore, universities: int = 2,
+                  departments_per_university: int = 4,
+                  professors_per_department: int = 6,
+                  students_per_department: int = 60,
+                  courses_per_department: int = 10,
+                  seed: int = 0) -> None:
+    """Populate ``store`` with a LUBM-shaped dataset.
+
+    Call ``store.finalize()`` afterwards (left to the caller so several
+    generators can feed one store).
+    """
+    rng = random.Random(seed)
+    for u in range(universities):
+        university = f"Univ{u}"
+        store.add_triple(university, TYPE, "University")
+        for d in range(departments_per_university):
+            department = f"Dept{d}_of_{university}"
+            store.add_triple(department, TYPE, "Department")
+            store.add_triple(department, "subOrganizationOf", university)
+
+            courses = []
+            for c in range(courses_per_department):
+                course = f"Course{c}_of_{department}"
+                store.add_triple(course, TYPE, "Course")
+                courses.append(course)
+
+            professors = []
+            for p in range(professors_per_department):
+                professor = f"Prof{p}_of_{department}"
+                rank = "FullProfessor" if p % 3 == 0 else "AssociateProfessor"
+                store.add_triple(professor, TYPE, rank)
+                store.add_triple(professor, "worksFor", department)
+                degree_univ = f"Univ{rng.randrange(universities)}"
+                store.add_triple(
+                    professor, "undergraduateDegreeFrom", degree_univ
+                )
+                taught = rng.sample(
+                    courses, k=min(2, len(courses))
+                )
+                for course in taught:
+                    store.add_triple(professor, "teacherOf", course)
+                professors.append(professor)
+
+            for s in range(students_per_department):
+                graduate = s % 5 == 0
+                kind = ("GraduateStudent" if graduate
+                        else "UndergraduateStudent")
+                student = f"Student{s}_of_{department}"
+                store.add_triple(student, TYPE, kind)
+                store.add_triple(student, "memberOf", department)
+                for course in rng.sample(courses, k=min(3, len(courses))):
+                    store.add_triple(student, "takesCourse", course)
+                if graduate and professors:
+                    store.add_triple(
+                        student, "advisor", rng.choice(professors)
+                    )

@@ -1,0 +1,125 @@
+"""An interactive TQL shell over a demo Trinity deployment.
+
+Usage::
+
+    python -m repro.shell                  # interactive prompt
+    python -m repro.shell --people 5000    # bigger demo graph
+    echo "MATCH (a = 0) -[Friends]-> (b) RETURN b" | python -m repro.shell
+
+Builds a named social graph in a simulated cluster and evaluates TQL
+queries against it, printing rows and the simulated execution cost.
+Meta-commands: ``:help``, ``:stats``, ``:node <id>``, ``:quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import ClusterConfig, MemoryParams
+from .errors import TrinityError
+from .generators.social import build_social_graph
+from .memcloud import MemoryCloud
+from .tql import execute_tql
+
+_BANNER = """Trinity TQL shell — {nodes} people, {edges} friendships, \
+{machines} machines
+type a TQL query (MATCH ... RETURN ...), :help for commands, :quit to exit"""
+
+_HELP = """commands:
+  :help            this message
+  :stats           memory-cloud statistics
+  :node <id>       dump one person's cell
+  :quit            exit
+example queries:
+  MATCH (a = 0) -[Friends]-> (b) RETURN b, b.Name
+  MATCH (a = 0) -[Friends*1..3]-> (b {Name: 'David'}) RETURN b LIMIT 10
+  MATCH (a) -[Friends]-> (b) WHERE a < b RETURN a, b LIMIT 5"""
+
+
+def build_demo(people: int, machines: int, seed: int):
+    cloud = MemoryCloud(ClusterConfig(
+        machines=machines, trunk_bits=8,
+        memory=MemoryParams(trunk_size=32 * 1024 * 1024),
+    ))
+    graph = build_social_graph(cloud, people, avg_degree=12, seed=seed)
+    return cloud, graph
+
+
+def handle_meta(command: str, cloud, graph, out) -> bool:
+    """Execute a :meta command; returns False for :quit."""
+    parts = command.split()
+    if parts[0] == ":quit":
+        return False
+    if parts[0] == ":help":
+        print(_HELP, file=out)
+    elif parts[0] == ":stats":
+        print(f"cells: {len(cloud)}  live bytes: "
+              f"{cloud.total_live_bytes()}  committed: "
+              f"{cloud.total_committed_bytes()}", file=out)
+        for machine in range(cloud.config.machines):
+            stats = cloud.machine_stats(machine)
+            print(f"  machine {machine}: {stats.cell_count} cells, "
+                  f"{stats.live_bytes} live bytes", file=out)
+    elif parts[0] == ":node" and len(parts) == 2:
+        try:
+            node = int(parts[1])
+            print(graph.node(node), file=out)
+        except (ValueError, TrinityError) as exc:
+            print(f"error: {exc}", file=out)
+    else:
+        print(f"unknown command {command!r}; :help for help", file=out)
+    return True
+
+
+def run_query(graph, text: str, out) -> None:
+    try:
+        result = execute_tql(graph, text)
+    except TrinityError as exc:
+        print(f"error: {exc}", file=out)
+        return
+    for row in result.rows[:50]:
+        print("  " + ", ".join(str(cell) for cell in row), file=out)
+    suffix = " (truncated)" if result.truncated else ""
+    print(f"-- {len(result.rows)} rows, {result.cells_touched} cells "
+          f"touched, simulated {result.elapsed * 1e3:.2f} ms{suffix}",
+          file=out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--people", type=int, default=2000)
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    cloud, graph = build_demo(args.people, args.machines, args.seed)
+    out = sys.stdout
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(_BANNER.format(nodes=graph.num_nodes,
+                             edges=graph.num_edges(),
+                             machines=args.machines), file=out)
+    while True:
+        if interactive:
+            try:
+                line = input("tql> ")
+            except (EOFError, KeyboardInterrupt):
+                break
+        else:
+            line = sys.stdin.readline()
+            if not line:
+                break
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(":"):
+            if not handle_meta(line, cloud, graph, out):
+                break
+        else:
+            run_query(graph, line, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

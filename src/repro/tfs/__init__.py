@@ -1,0 +1,16 @@
+"""Trinity File System (TFS) — the HDFS-like persistence substrate.
+
+Section 3 of the paper backs every memory trunk up in "a shared distributed
+file system called TFS (Trinity File System), which is similar to HDFS".
+Section 6.2 uses it for the persistent replica of the addressing table, BSP
+checkpoints, and async-computation snapshots.
+
+This package implements TFS as a namenode plus replicated in-memory
+datanodes.  Files are write-once (like HDFS), split into fixed-size blocks,
+and each block is replicated onto ``replication`` distinct datanodes so the
+cluster survives datanode loss.
+"""
+
+from .filesystem import TrinityFileSystem, DataNode, FileInfo
+
+__all__ = ["TrinityFileSystem", "DataNode", "FileInfo"]

@@ -1,0 +1,305 @@
+"""The Trinity File System: a write-once, block-replicated store.
+
+Design (mirroring HDFS, which the paper cites as TFS's model):
+
+* A single :class:`TrinityFileSystem` object plays the namenode role.  It
+  owns the file namespace — a map from path to :class:`FileInfo` — and the
+  block-location table.
+* :class:`DataNode` objects hold block payloads.  A block is replicated on
+  ``replication`` distinct datanodes chosen round-robin from the live set.
+* Files are immutable once written (``write`` replaces atomically, it never
+  appends), which is all the memory cloud needs: trunk images, checkpoints
+  and addressing-table snapshots are always written whole.
+* Reads succeed as long as *any* replica of every block survives; losing all
+  replicas of some block raises :class:`BlockNotFoundError`.
+
+The failure-recovery path of Section 6.2 ("reload the memory trunks it owns
+from the TFS to other alive machines") is exercised through this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import BlockNotFoundError, TfsError
+
+
+@dataclass
+class FileInfo:
+    """Namenode metadata for one file."""
+
+    path: str
+    size: int
+    block_ids: list[int] = field(default_factory=list)
+    version: int = 1
+
+
+class DataNode:
+    """One storage node holding block payloads.
+
+    ``alive`` is toggled by fault-injection tests and the cluster's failure
+    simulator; a dead datanode rejects reads and writes.
+
+    With a ``disk_root`` the node also spills every block to a file under
+    ``<disk_root>/node-<id>/`` and reloads the directory on construction —
+    blocks then survive process restarts, which is what makes the paper's
+    "persistent disk storage" recovery stories real rather than simulated.
+    """
+
+    def __init__(self, node_id: int, disk_root=None):
+        self.node_id = node_id
+        self.alive = True
+        self._blocks: dict[int, bytes] = {}
+        self._disk_dir = None
+        if disk_root is not None:
+            import pathlib
+            self._disk_dir = pathlib.Path(disk_root) / f"node-{node_id}"
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+            for block_file in self._disk_dir.glob("*.blk"):
+                self._blocks[int(block_file.stem)] = block_file.read_bytes()
+
+    def store(self, block_id: int, payload: bytes) -> None:
+        if not self.alive:
+            raise TfsError(f"datanode {self.node_id} is down")
+        self._blocks[block_id] = payload
+        if self._disk_dir is not None:
+            (self._disk_dir / f"{block_id}.blk").write_bytes(payload)
+
+    def read(self, block_id: int) -> bytes | None:
+        """Return the block payload, or None if absent/dead."""
+        if not self.alive:
+            return None
+        return self._blocks.get(block_id)
+
+    def drop(self, block_id: int) -> None:
+        self._blocks.pop(block_id, None)
+        if self._disk_dir is not None:
+            block_file = self._disk_dir / f"{block_id}.blk"
+            if block_file.exists():
+                block_file.unlink()
+
+    def fail(self) -> None:
+        """Simulate a crash: all blocks on this node become unreachable."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the node back with whatever blocks it still holds."""
+        self.alive = True
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+
+class TrinityFileSystem:
+    """Namenode + datanode ensemble with synchronous replication.
+
+    Parameters
+    ----------
+    datanodes:
+        Number of storage nodes.  The simulated cluster typically creates
+        one per slave machine.
+    replication:
+        Copies kept of every block.  Writes fail unless at least this many
+        datanodes are alive.
+    block_size:
+        Split granularity for file payloads.
+    """
+
+    def __init__(self, datanodes: int = 3, replication: int = 2,
+                 block_size: int = 1 << 20, disk_root=None):
+        if datanodes < 1:
+            raise TfsError("need at least one datanode")
+        if not 1 <= replication <= datanodes:
+            raise TfsError(
+                f"replication {replication} must be in [1, {datanodes}]"
+            )
+        if block_size < 1:
+            raise TfsError("block_size must be positive")
+        self.replication = replication
+        self.block_size = block_size
+        self.disk_root = disk_root
+        self.nodes = [DataNode(i, disk_root) for i in range(datanodes)]
+        self._files: dict[str, FileInfo] = {}
+        self._block_locations: dict[int, list[int]] = {}
+        self._next_block_id = itertools.count()
+        self._placement_cursor = 0
+        if disk_root is not None:
+            self._load_manifest()
+
+    # -- namespace ----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """All paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def stat(self, path: str) -> FileInfo:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise BlockNotFoundError(path) from None
+
+    def delete(self, path: str) -> None:
+        """Remove a file and free its blocks on every replica."""
+        info = self._files.pop(path, None)
+        if info is None:
+            return
+        for block_id in info.block_ids:
+            for node_id in self._block_locations.pop(block_id, []):
+                self.nodes[node_id].drop(block_id)
+        self._save_manifest()
+
+    # -- I/O ----------------------------------------------------------------
+
+    def write(self, path: str, payload: bytes) -> FileInfo:
+        """Write ``payload`` to ``path``, replacing any previous version.
+
+        The write is atomic at the namespace level: the old version remains
+        readable until the new one is fully replicated.
+        """
+        live = [n for n in self.nodes if n.alive]
+        if len(live) < self.replication:
+            raise TfsError(
+                f"only {len(live)} datanodes alive, need {self.replication}"
+            )
+        block_ids: list[int] = []
+        new_locations: dict[int, list[int]] = {}
+        for start in range(0, max(len(payload), 1), self.block_size):
+            chunk = payload[start:start + self.block_size]
+            block_id = next(self._next_block_id)
+            holders = self._pick_nodes(live)
+            for node in holders:
+                node.store(block_id, chunk)
+            block_ids.append(block_id)
+            new_locations[block_id] = [n.node_id for n in holders]
+
+        old = self._files.get(path)
+        version = old.version + 1 if old else 1
+        self._files[path] = FileInfo(path, len(payload), block_ids, version)
+        self._block_locations.update(new_locations)
+        if old:
+            for block_id in old.block_ids:
+                for node_id in self._block_locations.pop(block_id, []):
+                    self.nodes[node_id].drop(block_id)
+        self._save_manifest()
+        return self._files[path]
+
+    def read(self, path: str) -> bytes:
+        """Reassemble a file from any surviving replica of each block."""
+        info = self.stat(path)
+        parts: list[bytes] = []
+        for block_id in info.block_ids:
+            chunk = self._read_block(block_id)
+            if chunk is None:
+                raise BlockNotFoundError(f"{path} (block {block_id})")
+            parts.append(chunk)
+        data = b"".join(parts)
+        # A zero-byte file still stores one empty block; normalise.
+        return data[: info.size]
+
+    def _read_block(self, block_id: int) -> bytes | None:
+        for node_id in self._block_locations.get(block_id, []):
+            chunk = self.nodes[node_id].read(block_id)
+            if chunk is not None:
+                return chunk
+        return None
+
+    def _pick_nodes(self, live: list[DataNode]) -> list[DataNode]:
+        """Round-robin placement over live datanodes, replication-many."""
+        picked = []
+        for _ in range(self.replication):
+            node = live[self._placement_cursor % len(live)]
+            self._placement_cursor += 1
+            picked.append(node)
+        # Round-robin over >=replication live nodes cannot repeat, but be
+        # explicit for the replication == len(live) edge case.
+        unique = {n.node_id: n for n in picked}
+        while len(unique) < self.replication:
+            node = live[self._placement_cursor % len(live)]
+            self._placement_cursor += 1
+            unique[node.node_id] = node
+        return list(unique.values())
+
+    # -- on-disk namespace manifest -------------------------------------
+
+    def _manifest_path(self):
+        import pathlib
+        return pathlib.Path(self.disk_root) / "namenode.json"
+
+    def _save_manifest(self) -> None:
+        if self.disk_root is None:
+            return
+        import json
+        document = {
+            "files": {
+                path: {"size": info.size, "blocks": info.block_ids,
+                       "version": info.version}
+                for path, info in self._files.items()
+            },
+            "locations": {
+                str(block): holders
+                for block, holders in self._block_locations.items()
+            },
+        }
+        self._manifest_path().write_text(json.dumps(document))
+
+    def _load_manifest(self) -> None:
+        manifest = self._manifest_path()
+        if not manifest.exists():
+            return
+        import json
+        document = json.loads(manifest.read_text())
+        for path, meta in document["files"].items():
+            self._files[path] = FileInfo(
+                path, meta["size"], list(meta["blocks"]), meta["version"],
+            )
+        self._block_locations = {
+            int(block): list(holders)
+            for block, holders in document["locations"].items()
+        }
+        highest = max(self._block_locations, default=-1)
+        self._next_block_id = itertools.count(highest + 1)
+
+    # -- maintenance --------------------------------------------------------
+
+    def re_replicate(self) -> int:
+        """Restore the replication factor after datanode failures.
+
+        For every block with fewer than ``replication`` live holders, copy a
+        surviving replica onto additional live nodes.  Returns the number of
+        new copies made.  Blocks with no surviving replica are left as-is
+        (they will surface as :class:`BlockNotFoundError` on read).
+        """
+        live = [n for n in self.nodes if n.alive]
+        copies = 0
+        for block_id, holders in self._block_locations.items():
+            alive_holders = [
+                h for h in holders
+                if self.nodes[h].alive
+                and self.nodes[h].read(block_id) is not None
+            ]
+            if not alive_holders or len(alive_holders) >= self.replication:
+                continue
+            payload = self.nodes[alive_holders[0]].read(block_id)
+            assert payload is not None
+            candidates = [n for n in live if n.node_id not in alive_holders]
+            needed = self.replication - len(alive_holders)
+            for node in candidates[:needed]:
+                node.store(block_id, payload)
+                alive_holders.append(node.node_id)
+                copies += 1
+            self._block_locations[block_id] = alive_holders
+        return copies
+
+    @property
+    def total_bytes(self) -> int:
+        """Raw bytes stored across all replicas (for capacity accounting)."""
+        return sum(n.used_bytes for n in self.nodes)

@@ -1,0 +1,29 @@
+"""TQL — a traversal query language on Trinity graphs.
+
+Section 4.2 notes that "a sophisticated graph query language (TQL)" was
+implemented on top of the TSL-generated data-manipulation layer; the
+paper does not specify its syntax, so this package provides a compact
+pattern-matching language in the same spirit, compiled onto the
+:class:`~repro.graph.api.Graph` access surface::
+
+    MATCH (a {Name: 'David'}) -[Friends]-> (b) -[Friends]-> (c)
+    WHERE c.Name = 'Alice' AND b != a
+    RETURN b, c
+    LIMIT 10
+
+* node patterns bind variables, optionally anchored to a cell id
+  (``(a = 42)``) or filtered by field equality (``(a {Name: 'David'})``),
+* edge patterns traverse any declared ``List<long>`` field of the cell
+  (``-[Friends]->``, ``<-[Outlinks]-`` for reverse),
+* WHERE supports field/variable comparisons, RETURN projects variables
+  or ``var.Field`` expressions, LIMIT caps the result.
+
+Execution is exploration-based backtracking over the cloud-resident
+cells — the same no-index philosophy as Section 5.2 — with the usual
+simulated cost accounting.
+"""
+
+from .parser import TqlSyntaxError, parse_tql
+from .engine import TqlResult, execute_tql
+
+__all__ = ["parse_tql", "execute_tql", "TqlResult", "TqlSyntaxError"]

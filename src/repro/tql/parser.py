@@ -1,0 +1,298 @@
+"""Parser for the TQL pattern language.
+
+Grammar::
+
+    query    := "MATCH" pattern ("WHERE" cond ("AND" cond)*)?
+                "RETURN" item ("," item)* ("LIMIT" INT)?
+    pattern  := node (edge node)*
+    node     := "(" VAR anchor? filter? ")"
+    anchor   := "=" INT
+    filter   := "{" FIELD ":" literal ("," FIELD ":" literal)* "}"
+    edge     := "-[" FIELD range? "]->" | "<-[" FIELD range? "]-"
+    range    := "*" INT ".." INT | "*" INT
+    cond     := operand OP operand        OP in = != < <= > >=
+    operand  := VAR | VAR "." FIELD | literal
+    item     := VAR | VAR "." FIELD
+    literal  := INT | FLOAT | 'single-quoted string'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QueryError
+
+
+class TqlSyntaxError(QueryError):
+    """The TQL query text could not be parsed."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<arrow_out>-\[)
+  | (?P<arrow_in><-\[)
+  | (?P<close_out>\]->)
+  | (?P<close_in>\]-)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<float>-?\d+\.\d+(?!\.))
+  | (?P<dotdot>\.\.)
+  | (?P<int>-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<star>\*)
+  | (?P<punct>[(){},.:])
+""", re.VERBOSE)
+
+_KEYWORDS = {"MATCH", "WHERE", "AND", "RETURN", "LIMIT"}
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    var: str
+    anchor: int | None = None                  # (a = 42)
+    filters: tuple[tuple[str, object], ...] = ()  # {Name: 'David'}
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    field: str
+    reverse: bool          # True for <-[Field]-
+    min_hops: int = 1      # -[Field*2..4]-> traverses 2 to 4 times
+    max_hops: int = 1
+
+    @property
+    def variable_length(self) -> bool:
+        return (self.min_hops, self.max_hops) != (1, 1)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A condition/return operand: variable, variable.field or literal."""
+
+    var: str | None = None
+    field: str | None = None
+    literal: object = None
+
+    @property
+    def is_literal(self) -> bool:
+        return self.var is None
+
+
+@dataclass(frozen=True)
+class Condition:
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class TqlQuery:
+    nodes: tuple[NodePattern, ...]
+    edges: tuple[EdgePattern, ...]
+    conditions: tuple[Condition, ...]
+    returns: tuple[Operand, ...]
+    limit: int | None
+
+    def variables(self) -> list[str]:
+        return [n.var for n in self.nodes]
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TqlSyntaxError(
+                f"unexpected character {text[position]!r} at {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self):
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise TqlSyntaxError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind=None, text=None):
+        token = self._next()
+        if ((kind is not None and token[0] != kind)
+                or (text is not None and token[1] != text)):
+            raise TqlSyntaxError(
+                f"expected {text or kind}, found {token[1]!r}"
+            )
+        return token
+
+    def _at(self, kind=None, text=None) -> bool:
+        token = self._peek()
+        if token is None:
+            return False
+        return ((kind is None or token[0] == kind)
+                and (text is None or token[1] == text))
+
+    def _keyword(self, word: str) -> bool:
+        return self._at("name") and self._peek()[1].upper() == word
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> TqlQuery:
+        if not self._keyword("MATCH"):
+            raise TqlSyntaxError("query must start with MATCH")
+        self._next()
+        nodes = [self._parse_node()]
+        edges = []
+        while self._at("arrow_out") or self._at("arrow_in"):
+            edges.append(self._parse_edge())
+            nodes.append(self._parse_node())
+
+        conditions = []
+        if self._keyword("WHERE"):
+            self._next()
+            conditions.append(self._parse_condition())
+            while self._keyword("AND"):
+                self._next()
+                conditions.append(self._parse_condition())
+
+        if not self._keyword("RETURN"):
+            raise TqlSyntaxError("query must have a RETURN clause")
+        self._next()
+        returns = [self._parse_operand()]
+        while self._at("punct", ","):
+            self._next()
+            returns.append(self._parse_operand())
+        for item in returns:
+            if item.is_literal:
+                raise TqlSyntaxError("RETURN items must reference variables")
+
+        limit = None
+        if self._keyword("LIMIT"):
+            self._next()
+            limit = int(self._expect("int")[1])
+            if limit < 1:
+                raise TqlSyntaxError("LIMIT must be positive")
+        if self._peek() is not None:
+            raise TqlSyntaxError(
+                f"trailing tokens after query: {self._peek()[1]!r}"
+            )
+        query = TqlQuery(tuple(nodes), tuple(edges), tuple(conditions),
+                         tuple(returns), limit)
+        self._validate(query)
+        return query
+
+    def _parse_node(self) -> NodePattern:
+        self._expect("punct", "(")
+        var = self._expect("name")[1]
+        if var.upper() in _KEYWORDS:
+            raise TqlSyntaxError(f"{var!r} cannot be a variable name")
+        anchor = None
+        filters = []
+        if self._at("op", "="):
+            self._next()
+            anchor = int(self._expect("int")[1])
+        if self._at("punct", "{"):
+            self._next()
+            while True:
+                field = self._expect("name")[1]
+                self._expect("punct", ":")
+                filters.append((field, self._parse_literal()))
+                if self._at("punct", ","):
+                    self._next()
+                    continue
+                break
+            self._expect("punct", "}")
+        self._expect("punct", ")")
+        return NodePattern(var, anchor, tuple(filters))
+
+    def _parse_edge(self) -> EdgePattern:
+        reverse = self._at("arrow_in")
+        if reverse:
+            self._next()
+        else:
+            self._expect("arrow_out")
+        field = self._expect("name")[1]
+        min_hops = max_hops = 1
+        if self._at("star"):
+            self._next()
+            min_hops = int(self._expect("int")[1])
+            max_hops = min_hops
+            if self._at("dotdot"):
+                self._next()
+                max_hops = int(self._expect("int")[1])
+            if min_hops < 0 or max_hops < min_hops or max_hops > 8:
+                raise TqlSyntaxError(
+                    f"bad hop range *{min_hops}..{max_hops} "
+                    "(need 0 <= min <= max <= 8)"
+                )
+        self._expect("close_in" if reverse else "close_out")
+        return EdgePattern(field, reverse=reverse,
+                           min_hops=min_hops, max_hops=max_hops)
+
+    def _parse_condition(self) -> Condition:
+        left = self._parse_operand()
+        op = self._expect("op")[1]
+        right = self._parse_operand()
+        return Condition(left, op, right)
+
+    def _parse_operand(self) -> Operand:
+        token = self._peek()
+        if token is None:
+            raise TqlSyntaxError("expected an operand")
+        if token[0] in ("int", "float", "string"):
+            return Operand(literal=self._parse_literal())
+        var = self._expect("name")[1]
+        if self._at("punct", "."):
+            self._next()
+            field = self._expect("name")[1]
+            return Operand(var=var, field=field)
+        return Operand(var=var)
+
+    def _parse_literal(self):
+        kind, text = self._next()
+        if kind == "int":
+            return int(text)
+        if kind == "float":
+            return float(text)
+        if kind == "string":
+            return text[1:-1].replace("\\'", "'")
+        raise TqlSyntaxError(f"expected a literal, found {text!r}")
+
+    @staticmethod
+    def _validate(query: TqlQuery) -> None:
+        variables = set()
+        for node in query.nodes:
+            if node.var in variables:
+                # Re-mentioning a variable joins back to it; allowed.
+                continue
+            variables.add(node.var)
+        for condition in query.conditions:
+            for operand in (condition.left, condition.right):
+                if operand.var is not None and operand.var not in variables:
+                    raise TqlSyntaxError(
+                        f"WHERE references unbound variable {operand.var!r}"
+                    )
+        for item in query.returns:
+            if item.var not in variables:
+                raise TqlSyntaxError(
+                    f"RETURN references unbound variable {item.var!r}"
+                )
+
+
+def parse_tql(text: str) -> TqlQuery:
+    """Parse a TQL query string into a :class:`TqlQuery`."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,83 @@
+"""TSL — the Trinity Specification Language (Sections 4.2 and 4.3).
+
+TSL is the high-level language through which users declare graph data
+schemas and network communication protocols.  The paper's TSL compiler
+emits C# source; this reproduction compiles TSL scripts at runtime into:
+
+* :class:`~repro.tsl.compiler.CompiledSchema` — cell/struct codecs and
+  protocol specifications,
+* cell accessors (:mod:`repro.tsl.accessor`) that map field reads and
+  writes onto the underlying blob in the memory cloud, in place for
+  fixed-size fields ("zero memory copy overhead", Section 4.3),
+* message types consumed by the message-passing runtime in
+  :mod:`repro.net`.
+
+Typical use::
+
+    from repro.tsl import compile_tsl
+
+    schema = compile_tsl('''
+        [CellType: NodeCell]
+        cell struct Movie {
+            string Name;
+            [EdgeType: SimpleEdge, ReferencedCell: Actor]
+            List<long> Actors;
+        }
+    ''')
+    blob = schema.encode("Movie", {"Name": "Heat", "Actors": [1, 2]})
+"""
+
+from .ast import (
+    Attribute,
+    FieldDecl,
+    ProtocolDecl,
+    Script,
+    StructDecl,
+    TypeExpr,
+)
+from .lexer import Token, tokenize
+from .parser import parse_tsl
+from .compiler import CompiledSchema, ProtocolSpec, compile_tsl
+from .accessor import CellAccessor
+from .types import (
+    BOOL,
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    STRING,
+    BitArrayType,
+    ListType,
+    StructType,
+    TslType,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_tsl",
+    "compile_tsl",
+    "CompiledSchema",
+    "ProtocolSpec",
+    "CellAccessor",
+    "Script",
+    "StructDecl",
+    "FieldDecl",
+    "ProtocolDecl",
+    "TypeExpr",
+    "Attribute",
+    "TslType",
+    "StructType",
+    "ListType",
+    "BitArrayType",
+    "BYTE",
+    "BOOL",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "STRING",
+]

@@ -1,0 +1,111 @@
+"""Abstract syntax tree for parsed TSL scripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One ``[Key: Value, Key2: Value2]`` construct.
+
+    The paper uses attributes to annotate cells (``[CellType: NodeCell]``)
+    and edge fields (``[EdgeType: SimpleEdge, ReferencedCell: Actor]``).
+    """
+
+    entries: tuple[tuple[str, str], ...]
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        return any(k == key for k, _ in self.entries)
+
+
+def _merged(attributes: tuple[Attribute, ...]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for attr in attributes:
+        out.update(attr.entries)
+    return out
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """A (possibly generic) type reference, e.g. ``List<long>``."""
+
+    name: str
+    args: tuple["TypeExpr", ...] = ()
+
+    def __str__(self) -> str:
+        if self.args:
+            inner = ", ".join(str(a) for a in self.args)
+            return f"{self.name}<{inner}>"
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """One field inside a struct or cell struct."""
+
+    name: str
+    type_expr: TypeExpr
+    attributes: tuple[Attribute, ...] = ()
+
+    @property
+    def attribute_map(self) -> dict[str, str]:
+        return _merged(self.attributes)
+
+    @property
+    def edge_type(self) -> str | None:
+        """SimpleEdge / StructEdge / HyperEdge, if this field holds edges."""
+        return self.attribute_map.get("EdgeType")
+
+    @property
+    def referenced_cell(self) -> str | None:
+        return self.attribute_map.get("ReferencedCell")
+
+
+@dataclass(frozen=True)
+class StructDecl:
+    """A ``struct`` or ``cell struct`` declaration."""
+
+    name: str
+    fields: tuple[FieldDecl, ...]
+    is_cell: bool
+    attributes: tuple[Attribute, ...] = ()
+
+    @property
+    def attribute_map(self) -> dict[str, str]:
+        return _merged(self.attributes)
+
+
+@dataclass(frozen=True)
+class ProtocolDecl:
+    """A ``protocol`` declaration (Figure 5).
+
+    ``kind`` is "Syn" or "Asyn"; ``request``/``response`` name message
+    struct types, or None for ``void``.
+    """
+
+    name: str
+    kind: str
+    request: str | None
+    response: str | None
+    attributes: tuple[Attribute, ...] = ()
+
+
+@dataclass(frozen=True)
+class Script:
+    """A whole parsed TSL script."""
+
+    structs: tuple[StructDecl, ...] = field(default=())
+    protocols: tuple[ProtocolDecl, ...] = field(default=())
+
+    def struct(self, name: str) -> StructDecl:
+        for decl in self.structs:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)

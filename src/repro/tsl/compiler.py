@@ -1,0 +1,205 @@
+"""The TSL compiler: AST → runtime schemas, codecs and protocol specs.
+
+``compile_tsl`` is the public entry point.  It resolves user struct
+references (including nesting — ``StructEdge`` cells reference other
+structs), rejects cycles (a struct physically containing itself would have
+infinite size; references across cells go through 64-bit cell ids instead),
+and packages the result as a :class:`CompiledSchema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TslTypeError
+from .ast import FieldDecl, Script, StructDecl, TypeExpr
+from .parser import parse_tsl
+from .types import BitArrayType, ListType, PRIMITIVES, StructType, TslType
+
+
+@dataclass(frozen=True)
+class EdgeField:
+    """Metadata for a field that models graph edges (Section 4.1)."""
+
+    field_name: str
+    edge_type: str                # SimpleEdge | StructEdge | HyperEdge
+    referenced_cell: str | None   # target cell type, if declared
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A compiled communication protocol (Figure 5).
+
+    ``kind`` is ``"Syn"`` (synchronous request/response) or ``"Asyn"``
+    (one-sided; responses, if declared, arrive via callback).  The message
+    runtime validates payloads against these schemas.
+    """
+
+    name: str
+    kind: str
+    request: StructType | None
+    response: StructType | None
+
+    @property
+    def is_synchronous(self) -> bool:
+        return self.kind == "Syn"
+
+
+class CompiledSchema:
+    """Everything a Trinity deployment derives from one TSL script."""
+
+    def __init__(self, script: Script):
+        self.script = script
+        self.structs: dict[str, StructType] = {}
+        self.cells: dict[str, StructType] = {}
+        self._cell_attributes: dict[str, dict[str, str]] = {}
+        self._edge_fields: dict[str, list[EdgeField]] = {}
+        self.protocols: dict[str, ProtocolSpec] = {}
+        self._build(script)
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, script: Script) -> None:
+        declarations = {decl.name: decl for decl in script.structs}
+        if len(declarations) != len(script.structs):
+            names = [d.name for d in script.structs]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise TslTypeError(f"duplicate struct declarations: {dupes}")
+        for decl in script.structs:
+            self._resolve_struct(decl.name, declarations, stack=())
+        for decl in script.structs:
+            if decl.is_cell:
+                self.cells[decl.name] = self.structs[decl.name]
+                self._cell_attributes[decl.name] = decl.attribute_map
+                self._edge_fields[decl.name] = [
+                    EdgeField(f.name, f.edge_type, f.referenced_cell)
+                    for f in decl.fields if f.edge_type is not None
+                ]
+        for proto in script.protocols:
+            self.protocols[proto.name] = ProtocolSpec(
+                proto.name,
+                proto.kind,
+                self._message_struct(proto.request, proto.name),
+                self._message_struct(proto.response, proto.name),
+            )
+
+    def _message_struct(self, name: str | None,
+                        protocol: str) -> StructType | None:
+        if name is None:
+            return None
+        if name not in self.structs:
+            raise TslTypeError(
+                f"protocol {protocol}: unknown message type {name!r}"
+            )
+        return self.structs[name]
+
+    def _resolve_struct(self, name: str,
+                        declarations: dict[str, StructDecl],
+                        stack: tuple[str, ...]) -> StructType:
+        if name in self.structs:
+            return self.structs[name]
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise TslTypeError(
+                f"struct embedding cycle: {cycle}; reference cells by id "
+                "(long) instead of embedding them"
+            )
+        decl = declarations[name]
+        fields = [
+            (f.name, self._resolve_type(f.type_expr, declarations,
+                                        stack + (name,), f))
+            for f in decl.fields
+        ]
+        struct_type = StructType(name, fields)
+        self.structs[name] = struct_type
+        return struct_type
+
+    def _resolve_type(self, expr: TypeExpr,
+                      declarations: dict[str, StructDecl],
+                      stack: tuple[str, ...],
+                      field: FieldDecl) -> TslType:
+        if expr.name == "List":
+            if len(expr.args) != 1:
+                raise TslTypeError(f"List takes one type argument: {expr}")
+            return ListType(
+                self._resolve_type(expr.args[0], declarations, stack, field)
+            )
+        if expr.name == "BitArray":
+            if expr.args:
+                raise TslTypeError("BitArray takes no type arguments")
+            return BitArrayType()
+        if expr.args:
+            raise TslTypeError(f"unknown generic type {expr.name!r}")
+        if expr.name in PRIMITIVES:
+            return PRIMITIVES[expr.name]
+        if expr.name in declarations:
+            return self._resolve_struct(expr.name, declarations, stack)
+        raise TslTypeError(
+            f"unknown type {expr.name!r} in field {field.name!r}"
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def struct(self, name: str) -> StructType:
+        try:
+            return self.structs[name]
+        except KeyError:
+            raise TslTypeError(f"no struct named {name!r}") from None
+
+    def cell(self, name: str) -> StructType:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise TslTypeError(f"no cell struct named {name!r}") from None
+
+    def cell_attributes(self, name: str) -> dict[str, str]:
+        """The merged ``[...]`` attributes on a cell declaration."""
+        self.cell(name)
+        return dict(self._cell_attributes[name])
+
+    def edge_fields(self, cell_name: str) -> list[EdgeField]:
+        """Edge-bearing fields of a cell, for the graph layer."""
+        self.cell(cell_name)
+        return list(self._edge_fields[cell_name])
+
+    def encode(self, struct_name: str, value: dict) -> bytes:
+        """Encode a dict into the struct's blob layout."""
+        return self.struct(struct_name).encode(value)
+
+    def decode(self, struct_name: str, blob) -> dict:
+        """Decode a blob back into a dict (whole-struct read)."""
+        value, end = self.struct(struct_name).decode(blob, 0)
+        if end != len(blob):
+            raise TslTypeError(
+                f"{struct_name}: blob has {len(blob) - end} trailing bytes"
+            )
+        return value
+
+    def protocol(self, name: str) -> ProtocolSpec:
+        try:
+            return self.protocols[name]
+        except KeyError:
+            raise TslTypeError(f"no protocol named {name!r}") from None
+
+    # -- generated cell API (SaveX / LoadX / UseXAccessor) -----------------
+
+    def save_cell(self, cloud, cell_name: str, cell_id: int,
+                  values: dict) -> None:
+        """Encode ``values`` with the cell schema and store the blob."""
+        from .accessor import save_cell
+        save_cell(cloud, cell_id, self.cell(cell_name), values)
+
+    def load_cell(self, cloud, cell_name: str, cell_id: int) -> dict:
+        """Load and fully decode a cell into a dict."""
+        from .accessor import load_cell
+        return load_cell(cloud, cell_id, self.cell(cell_name))
+
+    def use_cell(self, cloud, cell_name: str, cell_id: int):
+        """Open a :class:`~repro.tsl.accessor.CellAccessor` context."""
+        from .accessor import use_cell
+        return use_cell(cloud, cell_id, self.cell(cell_name))
+
+
+def compile_tsl(source: str) -> CompiledSchema:
+    """Parse and compile a TSL script in one step."""
+    return CompiledSchema(parse_tsl(source))

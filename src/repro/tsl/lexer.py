@@ -1,0 +1,103 @@
+"""Tokenizer for TSL scripts.
+
+TSL syntax follows C# conventions (Figure 4 and Figure 5 of the paper):
+``cell struct`` / ``struct`` / ``protocol`` declarations, ``[...]``
+attribute blocks, generic types like ``List<long>``, and ``//`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TslSyntaxError
+
+# Single-character punctuation tokens.
+_PUNCTUATION = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "<": "LANGLE",
+    ">": "RANGLE",
+    ";": "SEMI",
+    ":": "COLON",
+    ",": "COMMA",
+}
+
+KEYWORDS = frozenset({"cell", "struct", "protocol"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str      # IDENT, KEYWORD, NUMBER, or a punctuation kind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert a TSL script into a token list.
+
+    Raises :class:`TslSyntaxError` on characters that cannot start a token.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "/" and source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise TslSyntaxError("unterminated block comment", line, column)
+            skipped = source[i:end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "KEYWORD" if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token("NUMBER", source[start:i], line, column))
+            column += i - start
+            continue
+        raise TslSyntaxError(f"unexpected character {ch!r}", line, column)
+    return tokens

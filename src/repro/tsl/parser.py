@@ -1,0 +1,186 @@
+"""Recursive-descent parser for TSL.
+
+Grammar (attributes may precede any declaration or field)::
+
+    script     := (attribute* declaration)*
+    declaration:= cell_struct | struct | protocol
+    cell_struct:= "cell" "struct" IDENT "{" field* "}"
+    struct     := "struct" IDENT "{" field* "}"
+    field      := attribute* type IDENT ";"
+    type       := IDENT ("<" type ("," type)* ">")?
+    protocol   := "protocol" IDENT "{" setting* "}"
+    setting    := IDENT ":" IDENT ";"
+    attribute  := "[" IDENT (":" value)? ("," IDENT (":" value)?)* "]"
+"""
+
+from __future__ import annotations
+
+from ..errors import TslSyntaxError
+from .ast import Attribute, FieldDecl, ProtocolDecl, Script, StructDecl, TypeExpr
+from .lexer import Token, tokenize
+
+_PROTOCOL_SETTINGS = {"Type", "Request", "Response"}
+_PROTOCOL_KINDS = {"Syn", "Asyn"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            line = last.line if last else 0
+            raise TslSyntaxError("unexpected end of script", line, 0)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise TslSyntaxError(
+                f"expected {wanted}, found {token.text!r}",
+                token.line, token.column,
+            )
+        return token
+
+    def _at(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        if token is None:
+            return False
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Script:
+        structs: list[StructDecl] = []
+        protocols: list[ProtocolDecl] = []
+        while self._peek() is not None:
+            attributes = self._parse_attributes()
+            token = self._peek()
+            assert token is not None
+            if token.kind != "KEYWORD":
+                raise TslSyntaxError(
+                    f"expected declaration, found {token.text!r}",
+                    token.line, token.column,
+                )
+            if token.text == "protocol":
+                protocols.append(self._parse_protocol(attributes))
+            else:
+                structs.append(self._parse_struct(attributes))
+        return Script(tuple(structs), tuple(protocols))
+
+    def _parse_attributes(self) -> tuple[Attribute, ...]:
+        attributes: list[Attribute] = []
+        while self._at("LBRACKET"):
+            self._next()
+            entries: list[tuple[str, str]] = []
+            while not self._at("RBRACKET"):
+                key = self._expect("IDENT").text
+                value = ""
+                if self._at("COLON"):
+                    self._next()
+                    value = self._next().text
+                entries.append((key, value))
+                if self._at("COMMA"):
+                    self._next()
+            self._expect("RBRACKET")
+            attributes.append(Attribute(tuple(entries)))
+        return tuple(attributes)
+
+    def _parse_struct(self, attributes: tuple[Attribute, ...]) -> StructDecl:
+        is_cell = False
+        if self._at("KEYWORD", "cell"):
+            self._next()
+            is_cell = True
+        self._expect("KEYWORD", "struct")
+        name = self._expect("IDENT").text
+        self._expect("LBRACE")
+        fields: list[FieldDecl] = []
+        while not self._at("RBRACE"):
+            fields.append(self._parse_field())
+        self._expect("RBRACE")
+        self._check_unique(name, [f.name for f in fields])
+        return StructDecl(name, tuple(fields), is_cell, attributes)
+
+    def _parse_field(self) -> FieldDecl:
+        attributes = self._parse_attributes()
+        type_expr = self._parse_type()
+        name = self._expect("IDENT").text
+        self._expect("SEMI")
+        return FieldDecl(name, type_expr, attributes)
+
+    def _parse_type(self) -> TypeExpr:
+        name = self._expect("IDENT").text
+        args: list[TypeExpr] = []
+        if self._at("LANGLE"):
+            self._next()
+            args.append(self._parse_type())
+            while self._at("COMMA"):
+                self._next()
+                args.append(self._parse_type())
+            self._expect("RANGLE")
+        return TypeExpr(name, tuple(args))
+
+    def _parse_protocol(
+        self, attributes: tuple[Attribute, ...]
+    ) -> ProtocolDecl:
+        self._expect("KEYWORD", "protocol")
+        name = self._expect("IDENT").text
+        self._expect("LBRACE")
+        settings: dict[str, str] = {}
+        while not self._at("RBRACE"):
+            key_token = self._expect("IDENT")
+            if key_token.text not in _PROTOCOL_SETTINGS:
+                raise TslSyntaxError(
+                    f"unknown protocol setting {key_token.text!r}",
+                    key_token.line, key_token.column,
+                )
+            self._expect("COLON")
+            value = self._expect("IDENT").text
+            self._expect("SEMI")
+            if key_token.text in settings:
+                raise TslSyntaxError(
+                    f"duplicate protocol setting {key_token.text!r}",
+                    key_token.line, key_token.column,
+                )
+            settings[key_token.text] = value
+        end = self._expect("RBRACE")
+        kind = settings.get("Type", "Syn")
+        if kind not in _PROTOCOL_KINDS:
+            raise TslSyntaxError(
+                f"protocol Type must be Syn or Asyn, got {kind!r}",
+                end.line, end.column,
+            )
+        request = settings.get("Request")
+        response = settings.get("Response")
+        if request == "void":
+            request = None
+        if response == "void":
+            response = None
+        return ProtocolDecl(name, kind, request, response, attributes)
+
+    @staticmethod
+    def _check_unique(struct_name: str, names: list[str]) -> None:
+        seen: set[str] = set()
+        for field_name in names:
+            if field_name in seen:
+                raise TslSyntaxError(
+                    f"duplicate field {field_name!r} in struct {struct_name}"
+                )
+            seen.add(field_name)
+
+
+def parse_tsl(source: str) -> Script:
+    """Parse a TSL script into a :class:`Script` AST."""
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,16 @@
+"""Small shared utilities: 64-bit hashing, varint codec, statistics."""
+
+from .hashing import hash64, mix64, trunk_of, uid_from
+from .varint import decode_varint, encode_varint
+from .stats import OnlineStats, percentile
+
+__all__ = [
+    "hash64",
+    "mix64",
+    "trunk_of",
+    "uid_from",
+    "encode_varint",
+    "decode_varint",
+    "OnlineStats",
+    "percentile",
+]

@@ -1,0 +1,46 @@
+"""64-bit hashing used throughout the memory cloud.
+
+Section 3 of the paper locates a key-value pair in two hops: the 64-bit UID
+is hashed to a p-bit trunk index, then hashed again inside the trunk's hash
+table.  Both hops use the same finalizer here: a splitmix64-style avalanche
+mix, which is cheap, deterministic across processes (unlike Python's builtin
+``hash``) and has full 64-bit dispersion so p-bit prefixes are uniform.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """Avalanche-mix a 64-bit integer (splitmix64 finalizer).
+
+    Every input bit affects every output bit, so taking the low ``p`` bits
+    of the result gives a uniform trunk index even for sequential UIDs.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def hash64(data: bytes, seed: int = 0) -> int:
+    """Hash a byte string to a 64-bit value (FNV-1a core + final mix)."""
+    h = (0xCBF29CE484222325 ^ mix64(seed)) & _MASK64
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & _MASK64
+    return mix64(h)
+
+
+def trunk_of(cell_id: int, trunk_bits: int) -> int:
+    """Map a 64-bit UID to its p-bit memory-trunk index (Figure 3)."""
+    return mix64(cell_id) & ((1 << trunk_bits) - 1)
+
+
+def uid_from(name: str) -> int:
+    """Derive a stable 64-bit UID from a human-readable name.
+
+    Convenience for examples and tests; production callers normally assign
+    UIDs from an allocator.
+    """
+    return hash64(name.encode("utf-8"))

@@ -1,0 +1,83 @@
+"""Lightweight statistics helpers used by benchmarks and schedulers."""
+
+from __future__ import annotations
+
+import math
+
+
+class OnlineStats:
+    """Streaming mean/variance/min/max (Welford's algorithm).
+
+    Used by the benchmark harness to summarise per-query latencies without
+    holding every sample, and by the BSP scheduler to track per-partition
+    message volume.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def update(self, values) -> None:
+        """Fold an iterable of samples into the summary."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 with fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineStats(count={self.count}, mean={self.mean:.6g}, "
+            f"stddev={self.stddev:.6g}, min={self.minimum:.6g}, "
+            f"max={self.maximum:.6g})"
+        )
+
+
+def percentile(values, q: float) -> float:
+    """Return the ``q``-th percentile (0..100) by linear interpolation.
+
+    Small, dependency-free replacement for ``numpy.percentile`` used on the
+    latency lists the benchmark harness collects.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[lo])
+    frac = rank - lo
+    interpolated = data[lo] * (1.0 - frac) + data[hi] * frac
+    # Interpolation rounding must not escape the sample range.
+    return min(max(interpolated, data[lo]), data[hi])

@@ -1,0 +1,45 @@
+"""LEB128-style unsigned varint codec.
+
+TSL-generated blob layouts use varints for container lengths so that small
+lists (the common case on power-law graphs: most nodes have few edges) cost
+one byte of framing instead of four.
+"""
+
+from __future__ import annotations
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(buf, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``buf`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises ``ValueError`` on truncated
+    input or a varint longer than 10 bytes (more than 64 bits).
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        if shift > 63:
+            raise ValueError("varint exceeds 64 bits")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7

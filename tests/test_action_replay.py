@@ -1,0 +1,58 @@
+"""Tests for action-script delivery replay (Section 5.4)."""
+
+import pytest
+
+from repro.compute import BipartiteScheduler
+from repro.compute.action_replay import (
+    replay_all,
+    replay_naive_buffer_all,
+    replay_naive_on_demand,
+    replay_scripted,
+)
+
+
+@pytest.fixture(scope="module")
+def plan_and_topology(rmat_topology):
+    scheduler = BipartiteScheduler(rmat_topology, hub_fraction=0.02,
+                                   num_partitions=6)
+    return scheduler.plan_for_machine(0), rmat_topology
+
+
+class TestReplay:
+    def test_buffer_all_peak_equals_total(self, plan_and_topology):
+        plan, topology = plan_and_topology
+        report = replay_naive_buffer_all(plan, topology)
+        assert report.peak_buffer_slots == report.total_deliveries
+        assert report.duplicate_deliveries == 0
+
+    def test_on_demand_duplicates_hub_messages(self, plan_and_topology):
+        plan, topology = plan_and_topology
+        report = replay_naive_on_demand(plan, topology)
+        # Hubs are consumed by several partitions, hence re-delivered.
+        assert report.duplicate_deliveries > 0
+
+    def test_scripted_peak_below_buffer_all(self, plan_and_topology):
+        plan, topology = plan_and_topology
+        scripted = replay_scripted(plan, topology)
+        buffer_all = replay_naive_buffer_all(plan, topology)
+        assert scripted.peak_buffer_slots < buffer_all.peak_buffer_slots
+
+    def test_scripted_duplicates_bounded_by_k_sets(self, plan_and_topology):
+        plan, topology = plan_and_topology
+        scripted = replay_scripted(plan, topology)
+        k_total = sum(len(k) for k in plan.k_sets)
+        assert scripted.duplicate_deliveries <= k_total
+
+    def test_scripted_fewer_deliveries_than_on_demand(self,
+                                                      plan_and_topology):
+        plan, topology = plan_and_topology
+        scripted = replay_scripted(plan, topology)
+        on_demand = replay_naive_on_demand(plan, topology)
+        assert scripted.total_deliveries <= on_demand.total_deliveries
+
+    def test_replay_all_covers_three_disciplines(self, plan_and_topology):
+        plan, topology = plan_and_topology
+        reports = replay_all(plan, topology)
+        assert set(reports) == {
+            "naive-buffer-all", "naive-on-demand", "scripted",
+        }

@@ -1,0 +1,259 @@
+"""Tests for offline analytics: PageRank, BFS, SSSP, WCC.
+
+Cross-validates three ways: vectorised runner vs networkx reference vs
+the vertex-centric BSP engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BfsProgram, PageRankProgram, SsspProgram, WccProgram,
+    bfs, pagerank, sssp, wcc,
+)
+from repro.algorithms._traffic import TrafficModel
+from repro.compute import BspEngine
+from repro.errors import ComputeError
+from repro.net import SimNetwork
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, rmat_topology):
+        run = pagerank(rmat_topology, iterations=15)
+        assert run.ranks.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (run.ranks > 0).all()
+
+    def test_matches_networkx(self, rmat_topology, rmat_networkx):
+        networkx = pytest.importorskip("networkx")
+        run = pagerank(rmat_topology, iterations=80)
+        reference = networkx.pagerank(rmat_networkx, alpha=0.85,
+                                      max_iter=200, tol=1e-12,
+                                      weight="multiplicity")
+        ours = run.ranks
+        theirs = np.array([reference[i] for i in range(rmat_topology.n)])
+        assert np.abs(ours - theirs).max() < 1e-6
+
+    def test_vertex_engine_agrees_with_vectorised(self, rmat_topology):
+        vectorised = pagerank(rmat_topology, iterations=10)
+        engine = BspEngine(rmat_topology)
+        program = PageRankProgram(iterations=10)
+        result = engine.run(program, max_supersteps=12)
+        engine_ranks = np.array(result.values)
+        assert np.abs(engine_ranks - vectorised.ranks).max() < 1e-9
+
+    def test_iteration_times_recorded(self, rmat_topology):
+        run = pagerank(rmat_topology, iterations=7)
+        assert len(run.iteration_times) == 7
+        assert run.time_per_iteration > 0
+        assert run.elapsed == pytest.approx(sum(run.iteration_times))
+
+    def test_constant_traffic_per_iteration(self, rmat_topology):
+        run = pagerank(rmat_topology, iterations=5)
+        # Full-broadcast pattern: every iteration costs the same.
+        assert max(run.iteration_times) == pytest.approx(
+            min(run.iteration_times)
+        )
+
+    def test_dangling_mass_redistributed(self, cloud):
+        from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        builder.add_edge(0, 1)  # 1 is dangling
+        graph = builder.finalize()
+        topo = CsrTopology(graph)
+        run = pagerank(topo, iterations=50)
+        assert run.ranks.sum() == pytest.approx(1.0)
+        assert run.ranks[1] > run.ranks[0]  # 1 receives 0's rank
+
+    def test_bad_iterations(self, rmat_topology):
+        with pytest.raises(ComputeError):
+            pagerank(rmat_topology, iterations=0)
+
+    def test_hub_buffering_cheaper(self, rmat_topology):
+        fast = pagerank(rmat_topology, iterations=3, hub_buffering=True)
+        slow = pagerank(rmat_topology, iterations=3, hub_buffering=False)
+        assert fast.elapsed <= slow.elapsed
+        assert np.abs(fast.ranks - slow.ranks).max() < 1e-12
+
+
+class TestBfs:
+    def test_matches_networkx(self, rmat_topology, rmat_networkx):
+        networkx = pytest.importorskip("networkx")
+        run = bfs(rmat_topology, 0)
+        reference = networkx.single_source_shortest_path_length(
+            rmat_networkx, 0
+        )
+        for vertex in range(rmat_topology.n):
+            assert run.levels[vertex] == reference.get(vertex, -1)
+
+    def test_vertex_engine_agrees(self, rmat_topology):
+        vectorised = bfs(rmat_topology, 0)
+        engine = BspEngine(rmat_topology)
+        result = engine.run(BfsProgram(0), max_supersteps=60)
+        assert np.array_equal(np.array(result.values), vectorised.levels)
+
+    def test_root_level_zero(self, rmat_topology):
+        run = bfs(rmat_topology, 5)
+        assert run.levels[5] == 0
+
+    def test_depth_and_reach(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        assert run.depth == run.levels.max()
+        assert run.reached == (run.levels >= 0).sum()
+
+    def test_level_times_match_levels(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        assert len(run.level_times) >= run.depth
+
+    def test_invalid_root(self, rmat_topology):
+        with pytest.raises(ComputeError):
+            bfs(rmat_topology, rmat_topology.n)
+
+    def test_isolated_root(self, cloud):
+        from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        builder.add_node(0)
+        builder.add_edge(1, 2)
+        graph = builder.finalize()
+        topo = CsrTopology(graph)
+        run = bfs(topo, topo.index_of[0])
+        assert run.reached == 1
+
+
+class TestSssp:
+    def test_unit_weights_equal_bfs(self, rmat_topology):
+        bfs_run = bfs(rmat_topology, 0)
+        sssp_run = sssp(rmat_topology, 0)
+        distances = np.where(np.isfinite(sssp_run.distances),
+                             sssp_run.distances, -1)
+        assert np.array_equal(distances.astype(np.int64), bfs_run.levels)
+
+    def test_weighted_matches_networkx(self, rmat_topology, rmat_networkx):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0.5, 2.0, size=rmat_topology.num_edges)
+        run = sssp(rmat_topology, 0, edge_weights=weights)
+        weighted = rmat_networkx.copy()
+        edge_index = 0
+        for src in range(rmat_topology.n):
+            for dst in rmat_topology.out_neighbors(src):
+                # networkx collapses parallel edges: keep the minimum.
+                dst = int(dst)
+                w = weights[edge_index]
+                edge_index += 1
+                if weighted.has_edge(src, dst):
+                    w = min(w, weighted[src][dst].get("weight", np.inf))
+                weighted.add_edge(src, dst, weight=w)
+        reference = networkx.single_source_dijkstra_path_length(
+            weighted, 0
+        )
+        for vertex, expected in reference.items():
+            assert run.distances[vertex] == pytest.approx(expected)
+
+    def test_vertex_engine_agrees(self, rmat_topology):
+        engine = BspEngine(rmat_topology)
+        result = engine.run(SsspProgram(0), max_supersteps=80)
+        vectorised = sssp(rmat_topology, 0)
+        assert np.allclose(
+            np.array(result.values), vectorised.distances, equal_nan=False,
+        )
+
+    def test_negative_weights_rejected(self, rmat_topology):
+        weights = np.full(rmat_topology.num_edges, -1.0)
+        with pytest.raises(ComputeError):
+            sssp(rmat_topology, 0, edge_weights=weights)
+
+    def test_misaligned_weights_rejected(self, rmat_topology):
+        with pytest.raises(ComputeError):
+            sssp(rmat_topology, 0, edge_weights=np.ones(3))
+
+
+class TestWcc:
+    def test_matches_networkx(self, rmat_topology, rmat_networkx):
+        networkx = pytest.importorskip("networkx")
+        run = wcc(rmat_topology)
+        assert run.component_count == (
+            networkx.number_weakly_connected_components(rmat_networkx)
+        )
+        # Same partition, not just same count.
+        for component in networkx.weakly_connected_components(rmat_networkx):
+            labels = {run.labels[v] for v in component}
+            assert len(labels) == 1
+
+    def test_vertex_engine_agrees_on_undirected(self, undirected_topology):
+        run = wcc(undirected_topology)
+        engine = BspEngine(undirected_topology)
+        result = engine.run(WccProgram(), max_supersteps=80)
+        # On an undirected (symmetrised) topology the vertex program's
+        # out-neighbor propagation equals weak connectivity.
+        engine_labels = np.array(result.values)
+        # Identical partitions up to label choice:
+        mapping = {}
+        for ours, theirs in zip(run.labels, engine_labels):
+            assert mapping.setdefault(int(ours), int(theirs)) == int(theirs)
+
+    def test_label_is_component_minimum(self, undirected_topology):
+        run = wcc(undirected_topology)
+        for label in np.unique(run.labels):
+            members = np.nonzero(run.labels == label)[0]
+            assert label == members.min()
+
+    def test_singleton_components(self, cloud):
+        from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        for node in range(5):
+            builder.add_node(node)
+        graph = builder.finalize()
+        run = wcc(CsrTopology(graph))
+        assert run.component_count == 5
+
+
+class TestTrafficModel:
+    def test_full_broadcast_counts_every_edge_at_most_once(self,
+                                                           rmat_topology):
+        model = TrafficModel(rmat_topology, hub_buffering=False)
+        counts = model.full_broadcast_traffic()
+        assert counts.sum() == rmat_topology.num_edges
+
+    def test_hub_buffering_reduces_counts(self, rmat_topology):
+        plain = TrafficModel(rmat_topology, hub_buffering=False)
+        buffered = TrafficModel(rmat_topology, hub_buffering=True,
+                                hub_fraction=0.02)
+        assert (buffered.full_broadcast_traffic().sum()
+                < plain.full_broadcast_traffic().sum())
+
+    def test_frontier_traffic_subset_of_full(self, rmat_topology):
+        model = TrafficModel(rmat_topology, hub_buffering=False)
+        frontier = np.zeros(rmat_topology.n, dtype=bool)
+        frontier[:50] = True
+        partial = model.frontier_traffic(frontier)
+        full = model.full_broadcast_traffic()
+        assert (partial <= full).all()
+
+    def test_agrees_with_bsp_engine_accounting(self, rmat_topology):
+        """The analytic traffic model and the message-routing engine must
+        count the same number of wire messages for a full broadcast."""
+        from repro.compute import VertexProgram
+
+        class Broadcast(VertexProgram):
+            restrictive = True
+            uniform_messages = True
+
+            def compute(self, ctx, vertex, messages):
+                if ctx.superstep == 0:
+                    ctx.send_to_neighbors(1.0)
+                ctx.vote_to_halt()
+
+        engine = BspEngine(rmat_topology, hub_buffering=True,
+                           hub_fraction=0.02)
+        result = engine.run(Broadcast(), max_supersteps=3)
+        model = TrafficModel(rmat_topology, hub_buffering=True,
+                             hub_fraction=0.02)
+        counts = model.full_broadcast_traffic().reshape(
+            rmat_topology.machine_count, rmat_topology.machine_count
+        )
+        remote = int(counts.sum() - np.trace(counts))
+        assert result.supersteps[0].remote_transfers == remote
+
+    def test_remote_fraction_in_unit_range(self, rmat_topology):
+        model = TrafficModel(rmat_topology)
+        assert 0.0 < model.remote_fraction() < 1.0

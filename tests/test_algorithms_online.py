@@ -1,0 +1,255 @@
+"""Tests for online queries: people search and subgraph matching."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.algorithms import (
+    generate_query_dfs,
+    generate_query_random,
+    match_subgraph,
+    people_search,
+)
+from repro.algorithms.subgraph import (
+    LabelIndex, Query, assign_labels, decompose_stwigs,
+)
+from repro.errors import QueryError
+from repro.generators.social import build_social_graph
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+from repro.memcloud import MemoryCloud
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=6))
+    return build_social_graph(cloud, 1200, avg_degree=10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    from repro.generators import powerlaw_edges
+    edges = powerlaw_edges(800, avg_degree=8, seed=9)
+    cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=6))
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=False))
+    builder.add_edges(edges.tolist())
+    graph = builder.finalize()
+    topo = CsrTopology(graph)
+    labels = assign_labels(topo.n, num_labels=12, seed=4)
+    return topo, labels
+
+
+class TestPeopleSearch:
+    def reference_matches(self, graph, start, name, hops):
+        """Brute-force BFS reference."""
+        seen = {start}
+        frontier = [start]
+        matches = set()
+        for _ in range(hops):
+            fresh = []
+            for node in frontier:
+                for friend in graph.outlinks(node):
+                    if friend not in seen:
+                        seen.add(friend)
+                        fresh.append(friend)
+                        if graph.attribute(friend, "Name") == name:
+                            matches.add(friend)
+            frontier = fresh
+        return sorted(matches)
+
+    def test_matches_reference(self, social_graph):
+        result = people_search(social_graph, 0, "David", hops=3)
+        assert result.matches == self.reference_matches(
+            social_graph, 0, "David", 3
+        )
+
+    def test_start_excluded_even_if_named(self, social_graph):
+        name = social_graph.attribute(0, "Name")
+        result = people_search(social_graph, 0, name, hops=2)
+        assert 0 not in result.matches
+
+    def test_more_hops_superset(self, social_graph):
+        two_hop = people_search(social_graph, 0, "David", hops=2)
+        three_hop = people_search(social_graph, 0, "David", hops=3)
+        assert set(two_hop.matches) <= set(three_hop.matches)
+        assert two_hop.visited <= three_hop.visited
+
+    def test_three_hops_slower_than_two(self, social_graph):
+        two_hop = people_search(social_graph, 0, "David", hops=2)
+        three_hop = people_search(social_graph, 0, "David", hops=3)
+        assert three_hop.elapsed > two_hop.elapsed
+
+    def test_headline_latency_shape(self, social_graph):
+        """Section 5.1: 3-hop exploration on 8 machines < 100 ms."""
+        result = people_search(social_graph, 0, "David", hops=3)
+        assert result.elapsed < 0.1
+
+    def test_hop_accounting(self, social_graph):
+        result = people_search(social_graph, 0, "David", hops=3)
+        assert len(result.hop_times) <= 3
+        assert result.messages > 0
+        assert result.visited > 0
+
+    def test_requires_name_attribute(self, cloud):
+        builder = GraphBuilder(cloud, plain_graph_schema())
+        builder.add_edge(0, 1)
+        graph = builder.finalize()
+        with pytest.raises(QueryError, match="Name"):
+            people_search(graph, 0, "David")
+
+    def test_bad_hops(self, social_graph):
+        with pytest.raises(QueryError):
+            people_search(social_graph, 0, "David", hops=0)
+
+
+class TestQueryGeneration:
+    def test_dfs_query_connected_and_sized(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = generate_query_dfs(topo, labels, size=8, seed=1)
+        assert query.size == 8
+        assert len(query.edges) >= 7  # at least a spanning tree
+        query.validate()
+
+    def test_random_query_connected_and_sized(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = generate_query_random(topo, labels, size=8, seed=1)
+        assert query.size == 8
+        query.validate()
+
+    def test_generated_queries_always_match(self, labeled_graph):
+        topo, labels = labeled_graph
+        for seed in range(5):
+            for generator in (generate_query_dfs, generate_query_random):
+                query = generator(topo, labels, size=5, seed=seed)
+                result = match_subgraph(topo, labels, query)
+                assert result.match_count >= 1, (generator.__name__, seed)
+
+    def test_query_validation(self):
+        with pytest.raises(QueryError):
+            Query(labels=(), edges=()).validate()
+        with pytest.raises(QueryError):
+            Query(labels=(1, 2), edges=((0, 0),)).validate()
+        with pytest.raises(QueryError):
+            Query(labels=(1, 2), edges=((0, 5),)).validate()
+
+
+class TestStwigDecomposition:
+    def test_covers_all_edges(self):
+        query = Query(labels=(0, 1, 2, 3),
+                      edges=((0, 1), (1, 2), (2, 3), (0, 3)))
+        stwigs = decompose_stwigs(query)
+        covered = set()
+        for stwig in stwigs:
+            for leaf in stwig.leaves:
+                covered.add(frozenset((stwig.root, leaf)))
+        assert covered == {frozenset(e) for e in query.edges}
+
+    def test_covers_all_nodes(self):
+        query = Query(labels=(0, 1, 2), edges=((0, 1),))
+        stwigs = decompose_stwigs(query)
+        nodes = set()
+        for stwig in stwigs:
+            nodes.add(stwig.root)
+            nodes.update(stwig.leaves)
+        assert nodes == {0, 1, 2}
+
+    def test_rare_labels_preferred_as_roots(self):
+        query = Query(labels=(5, 5, 9), edges=((0, 1), (1, 2)))
+        frequency = {5: 1000, 9: 1}
+        stwigs = decompose_stwigs(query, frequency)
+        assert stwigs[0].root == 2  # the rare-label node
+
+
+class TestSubgraphMatching:
+    def test_embeddings_are_valid(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = generate_query_dfs(topo, labels, size=6, seed=2)
+        result = match_subgraph(topo, labels, query)
+        neighbor_sets = {}
+        for embedding in result.embeddings:
+            # Injective
+            assert len(set(embedding)) == query.size
+            # Label-preserving
+            assert tuple(int(labels[v]) for v in embedding) == query.labels
+            # Edge-preserving
+            for u, v in query.edges:
+                du, dv = embedding[u], embedding[v]
+                if du not in neighbor_sets:
+                    neighbor_sets[du] = set(
+                        int(x) for x in topo.out_neighbors(du)
+                    )
+                assert dv in neighbor_sets[du]
+
+    def test_matches_bruteforce_on_tiny_graph(self):
+        """Exhaustive check against networkx VF2 on a 30-node graph."""
+        networkx = pytest.importorskip("networkx")
+        from repro.generators import powerlaw_edges
+        edges = powerlaw_edges(30, avg_degree=4, seed=1)
+        cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=3))
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=False))
+        builder.add_edges(edges.tolist())
+        topo = CsrTopology(builder.finalize())
+        labels = assign_labels(topo.n, num_labels=3, seed=2)
+        query = generate_query_dfs(topo, labels, size=4, seed=3)
+
+        result = match_subgraph(topo, labels, query,
+                                max_embeddings=10**6)
+        data = networkx.Graph()
+        data.add_nodes_from(range(topo.n))
+        for i in range(topo.n):
+            for j in topo.out_neighbors(i):
+                data.add_edge(i, int(j))
+        pattern = networkx.Graph()
+        pattern.add_nodes_from(range(query.size))
+        pattern.add_edges_from(query.edges)
+        matcher = networkx.algorithms.isomorphism.GraphMatcher(
+            data, pattern,
+            node_match=lambda d, p: True,
+        )
+        expected = set()
+        for mapping in matcher.subgraph_monomorphisms_iter():
+            inverse = {v: k for k, v in mapping.items()}
+            if all(int(labels[inverse[q]]) == query.labels[q]
+                   for q in range(query.size)):
+                expected.add(tuple(inverse[q] for q in range(query.size)))
+        assert set(result.embeddings) == expected
+
+    def test_truncation_flag(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = generate_query_dfs(topo, labels, size=3, seed=5)
+        result = match_subgraph(topo, labels, query, max_embeddings=1)
+        if result.match_count == 1:
+            assert result.truncated or result.match_count == 1
+
+    def test_accounting_populated(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = generate_query_dfs(topo, labels, size=5, seed=6)
+        result = match_subgraph(topo, labels, query)
+        assert result.elapsed > 0
+        assert result.candidates_examined > 0
+
+    def test_no_match_for_impossible_label(self, labeled_graph):
+        topo, labels = labeled_graph
+        query = Query(labels=(99, 99), edges=((0, 1),))
+        result = match_subgraph(topo, labels, query)
+        assert result.match_count == 0
+
+
+class TestLabelIndex:
+    def test_partitions_nodes_by_label(self, labeled_graph):
+        topo, labels = labeled_graph
+        index = LabelIndex(topo, labels)
+        total = sum(len(index.candidates(label))
+                    for label in np.unique(labels))
+        assert total == topo.n
+        for label in np.unique(labels):
+            for node in index.candidates(int(label)):
+                assert labels[node] == label
+
+    def test_unknown_label_empty(self, labeled_graph):
+        topo, labels = labeled_graph
+        assert len(LabelIndex(topo, labels).candidates(10**6)) == 0
+
+    def test_misaligned_labels_rejected(self, labeled_graph):
+        topo, _ = labeled_graph
+        with pytest.raises(QueryError):
+            LabelIndex(topo, np.zeros(3, dtype=np.int64))

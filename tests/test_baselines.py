@@ -1,0 +1,170 @@
+"""Tests for the PBGL/Giraph comparator simulators and Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.baselines import (
+    GiraphSimulation,
+    PAPER_TABLE_1,
+    PbglSimulation,
+    capability_table,
+)
+from repro.baselines.capabilities import (
+    format_table,
+    trinity_capabilities,
+)
+from repro.baselines.costmodel import (
+    GiraphCostModel, PbglCostModel, TrinityCostModel,
+)
+from repro.baselines.giraph import (
+    expected_speedup_vs_giraph,
+    giraph_from_topology,
+    giraph_paper_calibration,
+)
+from repro.errors import ComputeError
+
+
+class TestPbgl:
+    @pytest.fixture(scope="class")
+    def simulation(self, rmat_topology):
+        return PbglSimulation(rmat_topology)
+
+    def test_bfs_levels_match_trinity(self, simulation, rmat_topology):
+        """The simulator changes costs, never answers."""
+        ours = bfs(rmat_topology, 0)
+        theirs = simulation.run_bfs(0)
+        assert np.array_equal(ours.levels, theirs.levels)
+
+    def test_ghost_cells_measured(self, simulation, rmat_topology):
+        assert simulation.ghost_cells > 0
+        # Ghosts are bounded by (machines x distinct vertices).
+        assert simulation.ghost_cells <= (
+            rmat_topology.machine_count * rmat_topology.n
+        )
+
+    def test_memory_exceeds_trinity(self, simulation, rmat_topology):
+        trinity = TrinityCostModel().memory_bytes(
+            rmat_topology.n, rmat_topology.num_edges
+        )
+        pbgl = sum(simulation.memory_per_machine())
+        assert pbgl > 2 * trinity
+
+    def test_memory_ratio_grows_with_degree(self):
+        """Figure 13: higher average degree ghosts more hubs."""
+        from repro.config import ClusterConfig
+        from repro.generators import rmat_edges
+        from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+        from repro.memcloud import MemoryCloud
+
+        ratios = []
+        for degree in (4, 16):
+            edges = rmat_edges(scale=9, avg_degree=degree, seed=1)
+            cloud = MemoryCloud(ClusterConfig(machines=8, trunk_bits=6))
+            builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+            builder.add_edges(edges.tolist())
+            topo = CsrTopology(builder.finalize())
+            sim = PbglSimulation(topo)
+            trinity = TrinityCostModel().memory_bytes(topo.n, topo.num_edges)
+            ratios.append(sum(sim.memory_per_machine()) / trinity)
+        assert ratios[1] >= ratios[0] * 0.8  # does not collapse
+
+    def test_slower_than_trinity(self, simulation, rmat_topology):
+        ours = bfs(rmat_topology, 0)
+        theirs = simulation.run_bfs(0)
+        assert theirs.elapsed > ours.elapsed
+
+    def test_oom_flag(self, rmat_topology):
+        tiny_ram = PbglCostModel(ram_per_machine=1024)
+        simulation = PbglSimulation(rmat_topology, tiny_ram)
+        assert not simulation.check_memory()
+        result = simulation.run_bfs(0)
+        assert result.out_of_memory
+        with pytest.raises(MemoryError):
+            simulation.run_bfs(0, allow_oom=False)
+
+    def test_bad_root(self, simulation, rmat_topology):
+        with pytest.raises(ComputeError):
+            simulation.run_bfs(rmat_topology.n)
+
+
+class TestGiraph:
+    def test_paper_calibration_point(self):
+        """Model must reproduce the paper's measured Giraph numbers."""
+        calibration = giraph_paper_calibration()
+        assert calibration["predicted_seconds"] == pytest.approx(
+            calibration["paper_seconds"], rel=0.05
+        )
+        assert calibration["oom_at_degree_16"]
+
+    def test_two_orders_of_magnitude_gap(self):
+        assert 60 <= expected_speedup_vs_giraph() <= 2000
+
+    def test_more_machines_faster(self):
+        few = GiraphSimulation(10**6, 10**7, 4).run_pagerank()
+        many = GiraphSimulation(10**6, 10**7, 16).run_pagerank()
+        assert many.elapsed < few.elapsed
+
+    def test_more_edges_slower(self):
+        small = GiraphSimulation(10**6, 10**7, 8).run_pagerank()
+        large = GiraphSimulation(10**6, 10**8, 8).run_pagerank()
+        assert large.elapsed > small.elapsed
+
+    def test_superstep_overhead_floor(self):
+        empty = GiraphSimulation(10, 0, 4)
+        run = empty.run_pagerank(supersteps=2)
+        model = GiraphCostModel()
+        assert run.elapsed >= 2 * model.superstep_overhead
+
+    def test_memory_model_and_oom(self):
+        fits = GiraphSimulation(10**6, 10**7, 8)
+        assert fits.check_memory()
+        blown = GiraphSimulation(256_000_000, 256_000_000 * 16, 4)
+        assert not blown.check_memory()
+        result = blown.run_pagerank()
+        assert result.out_of_memory
+        with pytest.raises(MemoryError):
+            blown.run_pagerank(allow_oom=False)
+
+    def test_from_topology(self, rmat_topology):
+        simulation = giraph_from_topology(rmat_topology)
+        assert simulation.vertices == rmat_topology.n
+        assert simulation.edges == rmat_topology.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ComputeError):
+            GiraphSimulation(0, 0, 1)
+        with pytest.raises(ComputeError):
+            GiraphSimulation(1, 1, 2).run_pagerank(supersteps=0)
+
+
+class TestTable1:
+    def test_paper_rows_verbatim(self):
+        by_name = {row.system: row for row in PAPER_TABLE_1}
+        assert by_name["Neo4j"].row() == (
+            "Neo4j", "Yes", "Yes", "Yes", "No",
+        )
+        assert by_name["Pregel"].row() == (
+            "Pregel", "No", "No", "Yes", "Yes",
+        )
+        assert by_name["HyperGraphDB"].analytics is False
+        assert by_name["GraphChi"].scale_out is False
+
+    def test_trinity_row_derived_all_yes(self):
+        """Trinity's thesis: the only system with all four capabilities —
+        and our row is *derived* from implemented modules."""
+        trinity = trinity_capabilities()
+        assert trinity.row() == ("Trinity", "Yes", "Yes", "Yes", "Yes")
+
+    def test_trinity_unique_in_full_table(self):
+        rows = capability_table()
+        all_yes = [row.system for row in rows
+                   if row.graph_database and row.online_queries
+                   and row.analytics and row.scale_out]
+        assert all_yes == ["Trinity"]
+
+    def test_format_table_renders_all_rows(self):
+        rendered = format_table()
+        for row in capability_table():
+            assert row.system in rendered
+        assert "Graph Database" in rendered

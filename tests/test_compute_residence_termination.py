@@ -1,0 +1,143 @@
+"""Tests for the memory-residence model and Safra termination detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compute import MemoryResidenceModel, SafraDetector
+from repro.compute.residence import plan_residence
+from repro.errors import ComputeError
+
+
+class TestResidenceFormulas:
+    def test_online_formula(self):
+        model = MemoryResidenceModel(k=8, l=8, m=8)
+        # S = V(16+k+l+m) + 8E
+        assert model.online_bytes(100, 1000) == 100 * 40 + 8 * 1000
+
+    def test_offline_formula(self):
+        model = MemoryResidenceModel(k=8, l=8, m=8)
+        vertices, edges, p = 1000, 13000, 0.1
+        full = model.online_bytes(vertices, edges)
+        expected = p * full + (1 - p) * vertices * 24
+        assert model.offline_bytes(vertices, edges, p) == pytest.approx(expected)
+
+    def test_savings_formula(self):
+        model = MemoryResidenceModel(k=8, l=8, m=8)
+        vertices, edges, p = 1000, 13000, 0.1
+        expected = (1 - p) * 16 * vertices + (1 - p) * 8 * edges
+        assert model.saved_bytes(vertices, edges, p) == pytest.approx(expected)
+
+    def test_paper_headline_78gb(self):
+        """The paper: k = l = m = 8, p = 0.1, Facebook graph -> 78 GB saved.
+
+        Facebook scale per Section 5.1: 8e8 nodes, 1.04e10 edges (degree
+        13 counted once per directed adjacency entry)."""
+        model = MemoryResidenceModel(k=8, l=8, m=8)
+        vertices = 800_000_000
+        edges = vertices * 13
+        saved = model.saved_bytes(vertices, edges, 0.1)
+        assert saved == pytest.approx(78e9, rel=0.18)
+
+    @given(st.integers(1, 10**6), st.integers(0, 10**7),
+           st.floats(0, 1))
+    def test_identity_saved_equals_difference(self, vertices, edges, p):
+        model = MemoryResidenceModel()
+        direct = (model.online_bytes(vertices, edges)
+                  - model.offline_bytes(vertices, edges, p))
+        assert model.saved_bytes(vertices, edges, p) == pytest.approx(
+            direct, rel=1e-9, abs=1e-3
+        )
+
+    def test_fraction_validated(self):
+        model = MemoryResidenceModel()
+        with pytest.raises(ComputeError):
+            model.offline_bytes(10, 10, 1.5)
+
+
+class TestResidencePlan:
+    def test_split_covers_machine(self, rmat_topology):
+        local = rmat_topology.nodes_of_machine(0)
+        scheduled = local[: len(local) // 4]
+        plan = plan_residence(rmat_topology, 0, scheduled)
+        assert len(plan.type_a) + len(plan.type_b) == len(local)
+        assert set(plan.type_a.tolist()) == set(int(v) for v in scheduled)
+
+    def test_type_b_cheaper_per_vertex(self, rmat_topology):
+        local = rmat_topology.nodes_of_machine(0)
+        plan = plan_residence(rmat_topology, 0, local[:5])
+        if len(plan.type_a) and len(plan.type_b):
+            per_a = plan.type_a_bytes / len(plan.type_a)
+            per_b = plan.type_b_bytes / len(plan.type_b)
+            assert per_b < per_a
+
+    def test_fraction(self, rmat_topology):
+        local = rmat_topology.nodes_of_machine(0)
+        plan = plan_residence(rmat_topology, 0, local[: len(local) // 10])
+        assert 0.0 < plan.type_a_fraction < 0.2
+
+
+class TestSafra:
+    def test_immediate_termination_when_quiet(self):
+        detector = SafraDetector(4)
+        assert detector.probe()
+
+    def test_active_machine_blocks_probe(self):
+        detector = SafraDetector(4)
+        detector.set_active(2, True)
+        assert not detector.probe()
+        detector.set_active(2, False)
+        assert detector.probe()
+
+    def test_in_flight_message_blocks_probe(self):
+        detector = SafraDetector(4)
+        detector.record_send(0)
+        # Receiver is activated by the message; even after it goes
+        # passive, the un-received message keeps counters non-zero.
+        assert detector.in_flight == 1
+        assert not detector.probe()
+        detector.record_receive(3)
+        detector.set_active(3, False)
+        # First probe whitens the blackened machine but must NOT declare
+        # termination (the black colour vetoes it).
+        first = detector.probe()
+        assert not first
+        # Quiet system, second probe succeeds.
+        assert detector.probe()
+
+    def test_counters_balance(self):
+        detector = SafraDetector(3)
+        for _ in range(5):
+            detector.record_send(0)
+            detector.record_receive(1)
+        for machine in range(3):
+            detector.set_active(machine, False)
+        assert detector.in_flight == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    max_size=40))
+    def test_never_terminates_with_messages_in_flight(self, sends):
+        """Safety invariant: an undelivered message always vetoes
+        termination, no matter the interleaving of probes."""
+        detector = SafraDetector(4)
+        delivered = []
+        for src, dst in sends:
+            detector.record_send(src)
+            # Deliver only half the messages.
+            if len(delivered) % 2 == 0:
+                detector.record_receive(dst)
+                detector.set_active(dst, False)
+            delivered.append((src, dst))
+            if detector.in_flight > 0:
+                assert not detector.probe()
+
+    def test_needs_machines(self):
+        with pytest.raises(ComputeError):
+            SafraDetector(0)
+
+    def test_probe_counter(self):
+        detector = SafraDetector(2)
+        detector.probe()
+        detector.probe()
+        assert detector.probes == 2

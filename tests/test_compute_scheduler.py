@@ -1,0 +1,140 @@
+"""Tests for the bipartite scheduler and action scripts (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.compute import BipartiteScheduler
+from repro.compute.scheduler import merge_action_scripts
+from repro.errors import ComputeError
+
+
+@pytest.fixture
+def scheduler(rmat_topology):
+    return BipartiteScheduler(rmat_topology, hub_fraction=0.02,
+                              num_partitions=4)
+
+
+class TestPlan:
+    def test_partitions_cover_local_vertices(self, scheduler, rmat_topology):
+        plan = scheduler.plan_for_machine(0)
+        covered = np.concatenate(plan.partitions)
+        local = rmat_topology.nodes_of_machine(0)
+        assert sorted(covered.tolist()) == sorted(local.tolist())
+
+    def test_partition_count(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        assert plan.partition_count == 4
+
+    def test_hub_sources_are_remote_and_high_degree(self, scheduler,
+                                                    rmat_topology):
+        plan = scheduler.plan_for_machine(0)
+        for hub in plan.hub_sources:
+            assert rmat_topology.machine[hub] != 0
+            assert scheduler.is_hub(hub)
+
+    def test_assigned_sources_disjoint(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        seen = set()
+        for sources in plan.assigned_sources:
+            assert not (sources & seen)
+            seen |= sources
+
+    def test_k_sets_are_owned_elsewhere(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        for i, k_set in enumerate(plan.k_sets):
+            assert not (k_set & plan.assigned_sources[i])
+            for src in k_set:
+                assert any(src in owned for j, owned
+                           in enumerate(plan.assigned_sources) if j != i)
+
+    def test_hubs_not_partitioned(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        for sources in plan.assigned_sources:
+            assert not (sources & plan.hub_sources)
+
+    def test_stats_hub_coverage(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        stats = plan.stats
+        assert 0.0 <= stats["hub_coverage"] <= 1.0
+        # On a scale-free graph buffering 2% of vertices must cover a
+        # disproportionate share of message needs (the paper's 72.8%
+        # claim at 1%; we only assert it is strongly super-linear).
+        assert stats["hub_coverage"] > 0.10
+
+    def test_peak_buffer_below_naive(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        assert (plan.stats["peak_buffer_slots"]
+                < plan.stats["naive_buffer_slots"])
+
+    def test_more_partitions_smaller_peak(self, rmat_topology):
+        small = BipartiteScheduler(rmat_topology, num_partitions=2)
+        large = BipartiteScheduler(rmat_topology, num_partitions=8)
+        peak_small = small.plan_for_machine(0).stats["peak_buffer_slots"]
+        peak_large = large.plan_for_machine(0).stats["peak_buffer_slots"]
+        assert peak_large <= peak_small
+
+
+class TestActionScripts:
+    def test_scripts_cover_all_needed_sources(self, scheduler):
+        plan = scheduler.plan_for_machine(0)
+        scripted = set()
+        for script in plan.action_scripts.values():
+            scripted.update(script.hub_sources)
+            for slot in script.schedule:
+                scripted.update(slot)
+        needed = set(plan.hub_sources)
+        for assigned, k_set in zip(plan.assigned_sources, plan.k_sets):
+            needed |= assigned | k_set
+        assert scripted == needed
+
+    def test_script_sources_live_on_their_machine(self, scheduler,
+                                                  rmat_topology):
+        plan = scheduler.plan_for_machine(0)
+        for remote, script in plan.action_scripts.items():
+            assert remote != 0
+            for src in script.hub_sources:
+                assert rmat_topology.machine[src] == remote
+            for slot in script.schedule:
+                for src in slot:
+                    assert rmat_topology.machine[src] == remote
+
+    def test_merge_action_scripts_once_per_requester(self, scheduler):
+        plans = [scheduler.plan_for_machine(m) for m in range(2)]
+        # Scripts received by machine 3 from machines 0 and 1.
+        received = [
+            plan.action_scripts[3] for plan in plans
+            if 3 in plan.action_scripts
+        ]
+        if not received:
+            pytest.skip("machine 3 serves no sources in this fixture")
+        order = merge_action_scripts(received)
+        expected = {
+            (script.local_machine, src)
+            for script in received
+            for src in (list(script.hub_sources)
+                        + [s for slot in script.schedule for s in slot])
+        }
+        # Every (requester, source) pair is emitted exactly once.
+        assert len(order) == len(expected)
+
+    def test_total_sources_metric(self, scheduler):
+        plan = scheduler.plan_for_machine(1)
+        for script in plan.action_scripts.values():
+            assert script.total_sources == (
+                len(script.hub_sources)
+                + sum(len(s) for s in script.schedule)
+            )
+
+
+class TestValidation:
+    def test_needs_inlinks(self, undirected_topology):
+        # undirected_topology was built without include_inlinks and is
+        # undirected, so in_indptr is None.
+        with pytest.raises(ComputeError, match="include_inlinks"):
+            BipartiteScheduler(undirected_topology)
+
+    def test_bad_parameters(self, rmat_topology):
+        with pytest.raises(ComputeError):
+            BipartiteScheduler(rmat_topology, num_partitions=0)
+        with pytest.raises(ComputeError):
+            BipartiteScheduler(rmat_topology, hub_fraction=1.5)

@@ -1,0 +1,81 @@
+"""Tests for online graph mutation (live add_node/add_edge)."""
+
+import threading
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.errors import QueryError
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema, social_graph_schema
+from repro.memcloud import MemoryCloud
+
+
+@pytest.fixture
+def live_graph(cloud):
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+    builder.add_edges([(0, 1), (1, 2)])
+    return builder.finalize()
+
+
+class TestOnlineMutation:
+    def test_add_node(self, live_graph):
+        live_graph.add_node(9)
+        assert 9 in live_graph
+        assert live_graph.outlinks(9) == []
+        assert 9 in live_graph.node_ids
+
+    def test_add_duplicate_node_rejected(self, live_graph):
+        with pytest.raises(QueryError, match="already exists"):
+            live_graph.add_node(0)
+
+    def test_add_edge_directed(self, live_graph):
+        live_graph.add_edge(2, 0)
+        assert 0 in live_graph.outlinks(2)
+        assert 2 in live_graph.inlinks(0)
+
+    def test_add_edge_autocreates_endpoints(self, live_graph):
+        live_graph.add_edge(50, 51)
+        assert live_graph.outlinks(50) == [51]
+        assert live_graph.inlinks(51) == [50]
+
+    def test_add_edge_undirected_mirrors(self, cloud):
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=False))
+        builder.add_edge(0, 1)
+        graph = builder.finalize()
+        graph.add_edge(1, 2)
+        assert 2 in graph.outlinks(1)
+        assert 1 in graph.outlinks(2)
+
+    def test_attributes_on_live_insert(self, cloud):
+        builder = GraphBuilder(cloud, social_graph_schema())
+        builder.add_node(0, Name="Ada")
+        graph = builder.finalize()
+        graph.add_node(1, Name="Bob")
+        graph.add_edge(0, 1)
+        assert graph.attribute(1, "Name") == "Bob"
+        with pytest.raises(QueryError, match="unknown attributes"):
+            graph.add_node(2, Age=4)
+
+    def test_many_inserts_exercise_reservation_path(self):
+        """Growing one hub's adjacency edge by edge goes through the
+        short-lived reservation machinery without corruption."""
+        cloud = MemoryCloud(ClusterConfig(
+            machines=2, trunk_bits=4,
+            memory=MemoryParams(trunk_size=512 * 1024),
+        ))
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        builder.add_node(0)
+        graph = builder.finalize()
+        for neighbor in range(1, 301):
+            graph.add_edge(0, neighbor)
+        assert graph.outlinks(0) == list(range(1, 301))
+        relocations = sum(
+            t.stats().relocations for t in cloud.trunks.values()
+        )
+        assert relocations > 0  # the cell genuinely outgrew slots
+
+    def test_snapshot_after_mutation(self, live_graph):
+        live_graph.add_edge(2, 0)
+        topo = CsrTopology(live_graph)
+        two = topo.index_of[2]
+        assert topo.node_ids[topo.out_neighbors(two)].tolist() == [0]

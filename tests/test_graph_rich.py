@@ -1,0 +1,118 @@
+"""Tests for StructEdge and HyperEdge graphs (Section 4.1)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.rich import (
+    HyperGraphBuilder,
+    RichGraphBuilder,
+)
+
+
+class TestRichGraph:
+    @pytest.fixture
+    def graph(self, cloud):
+        builder = RichGraphBuilder(cloud)
+        builder.add_node(1, "Alice")
+        builder.add_node(2, "Bob")
+        builder.add_node(3, "Carol")
+        builder.add_edge(1, 2, kind="knows", weight=0.9)
+        builder.add_edge(1, 3, kind="works-with", weight=0.5)
+        builder.add_edge(2, 3, kind="knows", weight=0.2)
+        return builder.finalize()
+
+    def test_names(self, graph):
+        assert graph.name(1) == "Alice"
+        assert graph.name(3) == "Carol"
+
+    def test_relations_carry_rich_data(self, graph):
+        relations = graph.relations(1)
+        assert len(relations) == 2
+        kinds = {r.kind for r in relations}
+        assert kinds == {"knows", "works-with"}
+        for relation in relations:
+            assert 1 in (relation.source, relation.target)
+
+    def test_edge_cells_are_real_cells(self, graph):
+        relation = graph.relations(1)[0]
+        assert graph.cloud.contains(relation.cell_id)
+
+    def test_neighbors_by_kind(self, graph):
+        assert graph.neighbors(1) == [2, 3]
+        assert graph.neighbors(1, kind="knows") == [2]
+        assert graph.neighbors(3, kind="knows") == [2]
+
+    def test_edge_weight(self, graph):
+        assert graph.edge_weight(1, 2) == pytest.approx(0.9)
+        assert graph.edge_weight(3, 2) == pytest.approx(0.2)
+        with pytest.raises(QueryError):
+            graph.edge_weight(1, 99)
+
+    def test_reweight_in_place(self, graph):
+        relation = next(r for r in graph.relations(1) if r.kind == "knows")
+        graph.reweight(relation.cell_id, 0.42)
+        assert graph.edge_weight(1, 2) == pytest.approx(0.42)
+
+    def test_node_id_range_guard(self, cloud):
+        builder = RichGraphBuilder(cloud)
+        with pytest.raises(QueryError, match="reserved"):
+            builder.add_node(1 << 62)
+
+    def test_finalize_once(self, cloud):
+        builder = RichGraphBuilder(cloud)
+        builder.add_edge(1, 2)
+        builder.finalize()
+        with pytest.raises(QueryError):
+            builder.finalize()
+
+
+class TestHyperGraph:
+    @pytest.fixture
+    def hypergraph(self, cloud):
+        builder = HyperGraphBuilder(cloud)
+        builder.add_member(1, "Ada")
+        builder.add_member(2, "Bob")
+        builder.add_member(3, "Cid")
+        builder.add_member(4, "Dot")
+        builder.add_group("paper-A", [1, 2, 3])
+        builder.add_group("paper-B", [3, 4])
+        return builder.finalize()
+
+    def test_membership_both_directions(self, hypergraph):
+        group_a = hypergraph.group_ids[0]
+        assert hypergraph.members_of(group_a) == [1, 2, 3]
+        assert hypergraph.label_of(group_a) == "paper-A"
+        assert hypergraph.groups_of(3) == hypergraph.group_ids
+
+    def test_co_members(self, hypergraph):
+        assert hypergraph.co_members(1) == [2, 3]
+        assert hypergraph.co_members(3) == [1, 2, 4]
+        assert hypergraph.co_members(4) == [3]
+
+    def test_two_section_expansion(self, hypergraph):
+        edges = hypergraph.two_section_edges()
+        assert edges == [(1, 2), (1, 3), (2, 3), (3, 4)]
+
+    def test_two_section_feeds_analytics(self, hypergraph, cloud):
+        """The clique expansion plugs into the ordinary analytics stack."""
+        from repro.config import ClusterConfig
+        from repro.memcloud import MemoryCloud
+        from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+        from repro.algorithms import wcc
+
+        plain_cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=3))
+        builder = GraphBuilder(plain_cloud, plain_graph_schema(directed=False))
+        builder.add_edges(hypergraph.two_section_edges())
+        run = wcc(CsrTopology(builder.finalize()))
+        assert run.component_count == 1  # papers A and B share author 3
+
+    def test_empty_group_rejected(self, cloud):
+        builder = HyperGraphBuilder(cloud)
+        with pytest.raises(QueryError):
+            builder.add_group("empty", [])
+
+    def test_member_cells_in_cloud(self, hypergraph):
+        for member in hypergraph.member_ids:
+            assert hypergraph.cloud.contains(member)
+        for group in hypergraph.group_ids:
+            assert hypergraph.cloud.contains(group)

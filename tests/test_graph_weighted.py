@@ -1,0 +1,91 @@
+"""Tests for weighted graphs (edge data beside the cell id, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import sssp
+from repro.errors import QueryError
+from repro.graph.weighted import WeightedGraphBuilder, weighted_graph_schema
+
+
+@pytest.fixture
+def weighted(cloud):
+    builder = WeightedGraphBuilder(cloud)
+    builder.add_edges([
+        (0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (2, 3, 1.0), (1, 3, 7.0),
+    ])
+    return builder.finalize()
+
+
+class TestWeightedGraph:
+    def test_weights_parallel_to_outlinks(self, weighted):
+        assert weighted.outlinks(0) == [1, 2]
+        assert weighted.weights(0) == [1.0, 4.0]
+        assert weighted.weighted_outlinks(1) == [(2, 2.0), (3, 7.0)]
+
+    def test_edge_weight_lookup(self, weighted):
+        assert weighted.edge_weight(0, 2) == 4.0
+        with pytest.raises(QueryError):
+            weighted.edge_weight(3, 0)
+
+    def test_negative_weight_rejected(self, cloud):
+        builder = WeightedGraphBuilder(cloud)
+        with pytest.raises(QueryError):
+            builder.add_edge(0, 1, -2.0)
+
+    def test_inlinks_maintained(self, weighted):
+        assert sorted(weighted.inlinks(2)) == [0, 1]
+
+    def test_weighted_topology_alignment(self, weighted):
+        topology, weights = weighted.weighted_topology()
+        assert len(weights) == topology.num_edges
+        zero = topology.index_of[0]
+        start = topology.out_indptr[zero]
+        # Node 0's two edges carry its two weights, in order.
+        assert weights[start:start + 2].tolist() == [1.0, 4.0]
+
+    def test_weighted_sssp_end_to_end(self, weighted):
+        """Dijkstra distances through the cloud-resident weights."""
+        topology, weights = weighted.weighted_topology()
+        run = sssp(topology, topology.index_of[0], edge_weights=weights)
+        by_node = {
+            int(topology.node_ids[i]): run.distances[i]
+            for i in range(topology.n)
+        }
+        assert by_node[0] == 0.0
+        assert by_node[1] == 1.0
+        assert by_node[2] == 3.0   # 0->1->2 beats 0->2
+        assert by_node[3] == 4.0   # 0->1->2->3
+
+    def test_weighted_sssp_matches_networkx(self, cloud):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(3)
+        builder = WeightedGraphBuilder(cloud)
+        reference = networkx.DiGraph()
+        reference.add_nodes_from(range(60))
+        for _ in range(300):
+            u, v = rng.integers(0, 60, size=2)
+            if u == v:
+                continue
+            w = float(rng.uniform(0.1, 5.0))
+            builder.add_edge(int(u), int(v), w)
+            if (reference.has_edge(int(u), int(v))
+                    and reference[int(u)][int(v)]["weight"] <= w):
+                continue
+            reference.add_edge(int(u), int(v), weight=w)
+        graph = builder.finalize()
+        topology, weights = graph.weighted_topology()
+        root = topology.index_of[0]
+        run = sssp(topology, root, edge_weights=weights)
+        expected = networkx.single_source_dijkstra_path_length(reference, 0)
+        for i in range(topology.n):
+            node = int(topology.node_ids[i])
+            if node in expected:
+                assert run.distances[i] == pytest.approx(expected[node])
+            else:
+                assert not np.isfinite(run.distances[i])
+
+    def test_schema_is_well_formed(self):
+        schema = weighted_graph_schema()
+        assert schema.directed
+        assert "Weights" in schema.attribute_fields

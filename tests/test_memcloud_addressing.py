@@ -1,0 +1,127 @@
+"""Tests for the addressing table (slots, relocation, replication)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressingError
+from repro.memcloud.addressing import AddressingTable
+from repro.utils.hashing import trunk_of
+
+
+class TestConstruction:
+    def test_slot_count_is_2_to_p(self):
+        table = AddressingTable(5, range(3))
+        assert table.slot_count == 32
+
+    def test_round_robin_balance(self):
+        table = AddressingTable(6, range(4))
+        loads = table.load_per_machine()
+        assert set(loads) == {0, 1, 2, 3}
+        assert max(loads.values()) - min(loads.values()) == 0
+
+    def test_needs_machines(self):
+        with pytest.raises(AddressingError):
+            AddressingTable(4, [])
+
+
+class TestLookup:
+    def test_cell_resolution_consistent_with_trunk_hash(self):
+        table = AddressingTable(5, range(3))
+        for cell_id in range(1000):
+            trunk = trunk_of(cell_id, 5)
+            assert (table.machine_for_cell(cell_id)
+                    == table.machine_for_trunk(trunk))
+
+    def test_trunk_out_of_range(self):
+        table = AddressingTable(3, range(2))
+        with pytest.raises(AddressingError):
+            table.machine_for_trunk(8)
+
+    def test_trunks_of(self):
+        table = AddressingTable(4, range(2))
+        assert sorted(table.trunks_of(0) + table.trunks_of(1)) == list(range(16))
+
+
+class TestMembership:
+    def test_remove_machine_moves_all_its_trunks(self):
+        table = AddressingTable(5, range(4))
+        moves = table.remove_machine(2, [0, 1, 3])
+        assert set(moves) and all(m != 2 for m in moves.values())
+        assert table.trunks_of(2) == []
+        loads = table.load_per_machine()
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_remove_machine_needs_survivors(self):
+        table = AddressingTable(3, [0])
+        with pytest.raises(AddressingError):
+            table.remove_machine(0, [0])
+
+    def test_remove_bumps_version(self):
+        table = AddressingTable(4, range(3))
+        version = table.version
+        table.remove_machine(1, [0, 2])
+        assert table.version > version
+
+    def test_add_machine_takes_fair_share(self):
+        table = AddressingTable(6, range(4))
+        moves = table.add_machine(9)
+        assert len(moves) == 64 // 5
+        assert len(table.trunks_of(9)) == len(moves)
+
+    def test_add_existing_machine_rejected(self):
+        table = AddressingTable(4, range(2))
+        with pytest.raises(AddressingError):
+            table.add_machine(1)
+
+    def test_reassign_single_slot(self):
+        table = AddressingTable(4, range(2))
+        table.reassign(3, 7)
+        assert table.machine_for_trunk(3) == 7
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(3, 7))
+    def test_every_cell_stays_mapped_through_churn(self, machines, bits):
+        table = AddressingTable(bits, range(machines))
+        cells = list(range(0, 5000, 37))
+        table.add_machine(machines)
+        if machines > 1:
+            table.remove_machine(0, list(range(1, machines + 1)))
+        for cell in cells:
+            owner = table.machine_for_cell(cell)
+            assert owner in table.machines()
+
+
+class TestReplication:
+    def test_copy_is_independent(self):
+        primary = AddressingTable(4, range(2))
+        replica = primary.copy()
+        primary.reassign(0, 5)
+        assert replica.machine_for_trunk(0) != 5
+        assert replica == replica.copy()
+
+    def test_sync_pulls_newer_state(self):
+        primary = AddressingTable(4, range(2))
+        replica = primary.copy()
+        primary.reassign(0, 5)
+        assert replica.sync_from(primary)
+        assert replica.machine_for_trunk(0) == 5
+        assert replica.version == primary.version
+
+    def test_sync_skips_older_state(self):
+        primary = AddressingTable(4, range(2))
+        replica = primary.copy()
+        replica.version += 5
+        assert not replica.sync_from(primary)
+
+    def test_serialization_roundtrip(self):
+        table = AddressingTable(5, range(3))
+        table.remove_machine(1, [0, 2])
+        restored = AddressingTable.from_bytes(table.to_bytes())
+        assert restored == table
+        assert restored.version == table.version
+
+    def test_corrupt_image_rejected(self):
+        table = AddressingTable(3, range(2))
+        payload = table.to_bytes().replace(b'"trunk_bits": 3', b'"trunk_bits": 5')
+        with pytest.raises(AddressingError):
+            AddressingTable.from_bytes(payload)

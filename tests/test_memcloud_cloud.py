@@ -1,0 +1,150 @@
+"""Tests for the MemoryCloud facade and trunk persistence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.errors import CellNotFoundError, MemoryCloudError
+from repro.memcloud import MemoryCloud
+from repro.memcloud import persistence
+from repro.tfs import TrinityFileSystem
+
+
+class TestKeyValue:
+    def test_put_get_remove(self, cloud):
+        cloud.put(10, b"ten")
+        assert cloud.get(10) == b"ten"
+        assert 10 in cloud
+        cloud.remove(10)
+        assert 10 not in cloud
+
+    def test_get_missing(self, cloud):
+        with pytest.raises(CellNotFoundError):
+            cloud.get(123456)
+
+    def test_len_counts_all_trunks(self, cloud):
+        for uid in range(100):
+            cloud.put(uid, b"x")
+        assert len(cloud) == 100
+
+    def test_size_of(self, cloud):
+        cloud.put(1, b"12345")
+        assert cloud.size_of(1) == 5
+
+    def test_pin_yields_payload_view(self, cloud):
+        cloud.put(1, b"pinme")
+        with cloud.pin(1) as view:
+            assert bytes(view) == b"pinme"
+
+    def test_pin_releases_lock_on_exit(self, cloud):
+        cloud.put(1, b"v")
+        with cloud.pin(1):
+            pass
+        cloud.put(1, b"v2")  # would deadlock if the pin leaked its lock
+        assert cloud.get(1) == b"v2"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.integers(0, 2**63), st.binary(max_size=128),
+                           max_size=60))
+    def test_matches_dict_semantics(self, reference):
+        cloud = MemoryCloud(ClusterConfig(
+            machines=3, trunk_bits=4,
+            memory=MemoryParams(trunk_size=128 * 1024),
+        ))
+        for uid, value in reference.items():
+            cloud.put(uid, value)
+        assert len(cloud) == len(reference)
+        for uid, value in reference.items():
+            assert cloud.get(uid) == value
+
+
+class TestPlacement:
+    def test_every_cell_on_some_machine(self, cloud):
+        for uid in range(200):
+            cloud.put(uid, b"v")
+            assert 0 <= cloud.machine_of(uid) < cloud.config.machines
+
+    def test_cells_on_partition_the_keyspace(self, cloud):
+        uids = set(range(300))
+        for uid in uids:
+            cloud.put(uid, b"v")
+        seen = set()
+        for machine in range(cloud.config.machines):
+            for uid in cloud.cells_on(machine):
+                assert uid not in seen
+                seen.add(uid)
+        assert seen == uids
+
+    def test_machine_stats_aggregates(self, cloud):
+        for uid in range(100):
+            cloud.put(uid, b"y" * 32)
+        total = sum(
+            cloud.machine_stats(m).cell_count
+            for m in range(cloud.config.machines)
+        )
+        assert total == 100
+
+    def test_total_byte_accounting(self, cloud):
+        for uid in range(50):
+            cloud.put(uid, b"z" * 64)
+        live = cloud.total_live_bytes()
+        assert live >= 50 * (64 + 16)
+        assert cloud.total_committed_bytes() >= live
+
+    def test_defragment_all(self, cloud):
+        for uid in range(50):
+            cloud.put(uid, b"a" * 64)
+        for uid in range(0, 50, 2):
+            cloud.remove(uid)
+        assert cloud.defragment_all() >= 1
+        for uid in range(1, 50, 2):
+            assert cloud.get(uid) == b"a" * 64
+
+
+class TestPersistence:
+    def test_trunk_image_roundtrip(self, cloud, rng):
+        reference = {}
+        for _ in range(200):
+            uid = rng.getrandbits(60)
+            value = bytes(rng.getrandbits(8)
+                          for _ in range(rng.randrange(100)))
+            cloud.put(uid, value)
+            reference[uid] = value
+        tfs = TrinityFileSystem(datanodes=3, replication=2)
+        persistence.backup_all(cloud, tfs)
+        # Wipe a trunk, restore it, verify every cell.
+        trunk_id = next(iter(cloud.trunks))
+        lost = dict(cloud.trunks[trunk_id].dump_cells())
+        from repro.memcloud.trunk import MemoryTrunk
+        cloud.trunks[trunk_id] = MemoryTrunk(trunk_id, cloud.config.memory)
+        restored = persistence.restore_trunk(cloud, trunk_id, tfs)
+        assert restored == len(lost)
+        for uid, value in reference.items():
+            assert cloud.get(uid) == value
+
+    def test_image_format_guard(self, cloud):
+        from repro.memcloud.trunk import MemoryTrunk
+        trunk = MemoryTrunk(0, cloud.config.memory)
+        with pytest.raises(MemoryCloudError, match="magic"):
+            persistence.trunk_from_bytes(b"XXXXjunk", trunk)
+
+    def test_image_truncation_detected(self, cloud):
+        cloud.put(1, b"payload-bytes")
+        trunk_id = None
+        for tid, trunk in cloud.trunks.items():
+            if 1 in trunk:
+                trunk_id = tid
+        image = persistence.trunk_to_bytes(cloud.trunks[trunk_id])
+        from repro.memcloud.trunk import MemoryTrunk
+        fresh = MemoryTrunk(0, cloud.config.memory)
+        with pytest.raises(MemoryCloudError, match="truncated"):
+            persistence.trunk_from_bytes(image[:-4], fresh)
+
+    def test_backup_returns_bytes_written(self, cloud):
+        cloud.put(1, b"x" * 100)
+        tfs = TrinityFileSystem(datanodes=3, replication=1)
+        written = persistence.backup_all(cloud, tfs)
+        assert written > 100
+        assert len(tfs.list_files("/trinity/trunks/")) == len(cloud.trunks)

@@ -1,0 +1,240 @@
+"""Tests for memory trunks: circular allocation, defrag, reservation."""
+
+import pytest
+
+from repro.config import MemoryParams
+from repro.errors import CellLockedError, CellNotFoundError, TrunkFullError
+from repro.memcloud.trunk import CELL_HEADER_BYTES, MemoryTrunk
+
+
+def make_trunk(trunk_size=64 * 1024, **kwargs) -> MemoryTrunk:
+    params = MemoryParams(trunk_size=trunk_size, page_size=1024, **kwargs)
+    return MemoryTrunk(0, params)
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        trunk = make_trunk()
+        trunk.put(1, b"alpha")
+        assert trunk.get(1) == b"alpha"
+
+    def test_get_missing_raises(self):
+        trunk = make_trunk()
+        with pytest.raises(CellNotFoundError):
+            trunk.get(404)
+
+    def test_overwrite_same_size_in_place(self):
+        trunk = make_trunk()
+        trunk.put(1, b"aaaa")
+        stats_before = trunk.stats()
+        trunk.put(1, b"bbbb")
+        assert trunk.get(1) == b"bbbb"
+        assert trunk.stats().garbage_bytes == stats_before.garbage_bytes
+
+    def test_shrink_in_place(self):
+        trunk = make_trunk()
+        trunk.put(1, b"a" * 100)
+        trunk.put(1, b"b" * 10)
+        assert trunk.get(1) == b"b" * 10
+
+    def test_grow_relocates_and_reserves(self):
+        trunk = make_trunk()
+        trunk.put(1, b"a" * 10)
+        trunk.put(1, b"b" * 100)  # outgrows slot -> relocation
+        assert trunk.get(1) == b"b" * 100
+        stats = trunk.stats()
+        assert stats.relocations == 1
+        # reservation_factor 2.0: new slot reserves ~200 bytes
+        assert stats.reserved_bytes >= CELL_HEADER_BYTES + 200
+
+    def test_remove(self):
+        trunk = make_trunk()
+        trunk.put(1, b"x")
+        trunk.remove(1)
+        assert 1 not in trunk
+        with pytest.raises(CellNotFoundError):
+            trunk.get(1)
+
+    def test_remove_missing_raises(self):
+        trunk = make_trunk()
+        with pytest.raises(CellNotFoundError):
+            trunk.remove(9)
+
+    def test_len_and_uids(self):
+        trunk = make_trunk()
+        for uid in (5, 6, 7):
+            trunk.put(uid, b"v")
+        assert len(trunk) == 3
+        assert sorted(trunk.uids()) == [5, 6, 7]
+
+    def test_empty_payload(self):
+        trunk = make_trunk()
+        trunk.put(1, b"")
+        assert trunk.get(1) == b""
+        assert trunk.size_of(1) == 0
+
+    def test_resize_grow_and_shrink(self):
+        trunk = make_trunk()
+        trunk.put(1, b"abc")
+        trunk.resize(1, 6, fill=0)
+        assert trunk.get(1) == b"abc\x00\x00\x00"
+        trunk.resize(1, 2)
+        assert trunk.get(1) == b"ab"
+
+    def test_resize_negative_raises(self):
+        trunk = make_trunk()
+        trunk.put(1, b"abc")
+        with pytest.raises(ValueError):
+            trunk.resize(1, -1)
+
+
+class TestZeroCopyViews:
+    def test_view_matches_payload(self):
+        trunk = make_trunk()
+        trunk.put(1, b"zero-copy")
+        view = trunk.get_view(1)
+        assert bytes(view) == b"zero-copy"
+        view.release()
+
+    def test_view_is_writable_in_place(self):
+        trunk = make_trunk()
+        trunk.put(1, b"abcd")
+        view = trunk.get_view(1)
+        view[0] = ord("Z")
+        view.release()
+        assert trunk.get(1) == b"Zbcd"
+
+
+class TestCircularAllocation:
+    def test_fills_then_wraps_after_removal(self):
+        trunk = make_trunk(trunk_size=4096)
+        # Fill most of the trunk.
+        payload = b"x" * 200
+        uids = []
+        uid = 0
+        while True:
+            try:
+                trunk.put(uid, payload)
+            except TrunkFullError:
+                break
+            uids.append(uid)
+            uid += 1
+        assert len(uids) > 10
+        # Free the first half and keep allocating: the head must wrap
+        # (possibly via a defrag pass) without corrupting survivors.
+        for victim in uids[: len(uids) // 2]:
+            trunk.remove(victim)
+        survivors = uids[len(uids) // 2:]
+        for fresh in range(1000, 1000 + len(uids) // 3):
+            trunk.put(fresh, payload)
+        for survivor in survivors:
+            assert trunk.get(survivor) == payload
+
+    def test_oversized_cell_rejected(self):
+        trunk = make_trunk(trunk_size=4096)
+        with pytest.raises(TrunkFullError, match="exceeds trunk size"):
+            trunk.put(1, b"x" * 8192)
+
+    def test_full_trunk_raises_after_defrag_attempt(self):
+        trunk = make_trunk(trunk_size=2048)
+        with pytest.raises(TrunkFullError):
+            for uid in range(100):
+                trunk.put(uid, b"y" * 128)
+        # Data inserted before the failure is intact.
+        assert trunk.get(0) == b"y" * 128
+
+
+class TestDefragmentation:
+    def test_defrag_reclaims_garbage(self):
+        trunk = make_trunk(defrag_trigger_ratio=1.0)  # manual-only
+        for uid in range(20):
+            trunk.put(uid, b"d" * 64)
+        for uid in range(0, 20, 2):
+            trunk.remove(uid)
+        assert trunk.stats().garbage_bytes > 0
+        assert trunk.defragment()
+        stats = trunk.stats()
+        assert stats.garbage_bytes == 0
+        for uid in range(1, 20, 2):
+            assert trunk.get(uid) == b"d" * 64
+
+    def test_defrag_releases_reservations(self):
+        trunk = make_trunk(defrag_trigger_ratio=1.0)
+        trunk.put(1, b"a" * 10)
+        trunk.put(1, b"b" * 100)  # reserved ~200
+        trunk.defragment()
+        stats = trunk.stats()
+        assert stats.reserved_bytes == stats.live_bytes
+
+    def test_defrag_decommits_pages(self):
+        trunk = make_trunk(defrag_trigger_ratio=1.0)
+        for uid in range(30):
+            trunk.put(uid, b"p" * 256)
+        committed_before = trunk.stats().committed_bytes
+        for uid in range(29):
+            trunk.remove(uid)
+        trunk.defragment()
+        assert trunk.stats().committed_bytes < committed_before
+
+    def test_defrag_aborts_on_pinned_cell(self):
+        trunk = make_trunk(defrag_trigger_ratio=1.0)
+        trunk.put(1, b"pinned")
+        trunk.put(2, b"other")
+        trunk.remove(2)
+        lock = trunk.lock_of(1)
+        lock.acquire()
+        try:
+            assert trunk.defragment() is False
+        finally:
+            lock.release()
+        assert trunk.defragment() is True
+
+    def test_auto_defrag_triggers_on_ratio(self):
+        trunk = make_trunk(trunk_size=8192, defrag_trigger_ratio=0.2)
+        for uid in range(8):
+            trunk.put(uid, b"z" * 512)
+        for uid in range(6):
+            trunk.remove(uid)
+        assert trunk.stats().defrag_passes >= 1
+
+    def test_utilization_metric(self):
+        trunk = make_trunk()
+        trunk.put(1, b"u" * 100)
+        assert 0.0 < trunk.stats().utilization <= 1.0
+
+
+class TestLocking:
+    def test_update_blocked_by_held_lock(self):
+        trunk = make_trunk()
+        trunk.put(1, b"v1")
+        lock = trunk.lock_of(1)
+        lock.acquire()
+        try:
+            with pytest.raises(CellLockedError):
+                trunk.put(1, b"v2-blocked")
+        finally:
+            lock.release()
+        trunk.put(1, b"v2")
+        assert trunk.get(1) == b"v2"
+
+    def test_remove_blocked_by_held_lock(self):
+        trunk = make_trunk()
+        trunk.put(1, b"v")
+        lock = trunk.lock_of(1)
+        lock.acquire()
+        try:
+            with pytest.raises(CellLockedError):
+                trunk.remove(1)
+        finally:
+            lock.release()
+
+
+class TestPersistenceHooks:
+    def test_dump_and_load_cells(self):
+        source = make_trunk()
+        for uid in range(10):
+            source.put(uid, bytes([uid]) * uid)
+        target = make_trunk()
+        target.load_cells(source.dump_cells())
+        for uid in range(10):
+            assert target.get(uid) == bytes([uid]) * uid

@@ -1,0 +1,126 @@
+"""Tests for multi-cell atomic primitives (Section 4.4)."""
+
+import pytest
+
+from repro.errors import CellNotFoundError, MemoryCloudError
+from repro.memcloud.minitransaction import (
+    MiniTransaction,
+    TransactionAborted,
+    multi_op,
+)
+
+
+@pytest.fixture
+def seeded(cloud):
+    cloud.put(1, b"one")
+    cloud.put(2, b"two")
+    cloud.put(3, b"three")
+    return cloud
+
+
+class TestMiniTransaction:
+    def test_compare_write_commit(self, seeded):
+        tx = MiniTransaction(seeded)
+        tx.compare(1, b"one").write(1, b"ONE").write(2, b"TWO")
+        tx.commit()
+        assert seeded.get(1) == b"ONE"
+        assert seeded.get(2) == b"TWO"
+
+    def test_failed_compare_aborts_everything(self, seeded):
+        tx = MiniTransaction(seeded)
+        tx.compare(1, b"wrong").write(1, b"X").write(2, b"Y")
+        with pytest.raises(TransactionAborted):
+            tx.commit()
+        assert seeded.get(1) == b"one"
+        assert seeded.get(2) == b"two"
+
+    def test_read_set_returned(self, seeded):
+        tx = MiniTransaction(seeded)
+        reads = tx.read(2).read(3).commit()
+        assert reads == {2: b"two", 3: b"three"}
+
+    def test_atomic_read_with_compare(self, seeded):
+        tx = MiniTransaction(seeded)
+        reads = tx.compare(1, b"one").read(2).write(3, b"z").commit()
+        assert reads == {2: b"two"}
+        assert seeded.get(3) == b"z"
+
+    def test_write_can_create_cells(self, seeded):
+        MiniTransaction(seeded).write(99, b"fresh").commit()
+        assert seeded.get(99) == b"fresh"
+
+    def test_compare_on_missing_cell_aborts(self, seeded):
+        tx = MiniTransaction(seeded).compare(12345, b"x").write(1, b"n")
+        with pytest.raises(TransactionAborted, match="missing"):
+            tx.commit()
+        assert seeded.get(1) == b"one"
+
+    def test_commit_is_single_shot(self, seeded):
+        tx = MiniTransaction(seeded).write(1, b"a")
+        tx.commit()
+        with pytest.raises(MemoryCloudError, match="already"):
+            tx.commit()
+        with pytest.raises(MemoryCloudError, match="already"):
+            tx.write(1, b"b")
+
+    def test_participants_sorted(self, seeded):
+        tx = (MiniTransaction(seeded)
+              .write(3, b"c").compare(1, b"one").read(2))
+        assert tx.participants() == [1, 2, 3]
+
+    def test_read_missing_cell_raises(self, seeded):
+        tx = MiniTransaction(seeded).read(5555)
+        with pytest.raises(CellNotFoundError):
+            tx.commit()
+
+    def test_locks_released_after_abort(self, seeded):
+        tx = MiniTransaction(seeded).compare(1, b"bad").write(1, b"x")
+        with pytest.raises(TransactionAborted):
+            tx.commit()
+        # A subsequent transaction on the same cells proceeds.
+        MiniTransaction(seeded).compare(1, b"one").write(1, b"ok").commit()
+        assert seeded.get(1) == b"ok"
+
+    def test_compare_and_swap_loop(self, seeded):
+        """Classic CAS usage: increment a counter cell atomically."""
+        seeded.put(10, (0).to_bytes(8, "little"))
+        for _ in range(5):
+            current = seeded.get(10)
+            value = int.from_bytes(current, "little")
+            (MiniTransaction(seeded)
+             .compare(10, current)
+             .write(10, (value + 1).to_bytes(8, "little"))
+             .commit())
+        assert int.from_bytes(seeded.get(10), "little") == 5
+
+
+class TestMultiOp:
+    def test_then_branch(self, seeded):
+        taken = multi_op(
+            seeded,
+            guards=[(1, b"one"), (2, b"two")],
+            then_ops=[(3, b"then")],
+            else_ops=[(3, b"else")],
+        )
+        assert taken
+        assert seeded.get(3) == b"then"
+
+    def test_else_branch(self, seeded):
+        taken = multi_op(
+            seeded,
+            guards=[(1, b"nope")],
+            then_ops=[(3, b"then")],
+            else_ops=[(3, b"else")],
+        )
+        assert not taken
+        assert seeded.get(3) == b"else"
+
+    def test_empty_else_is_noop(self, seeded):
+        taken = multi_op(seeded, guards=[(1, b"nope")],
+                         then_ops=[(3, b"then")])
+        assert not taken
+        assert seeded.get(3) == b"three"
+
+    def test_no_guards_always_then(self, seeded):
+        assert multi_op(seeded, guards=[], then_ops=[(4, b"new")])
+        assert seeded.get(4) == b"new"

@@ -1,0 +1,162 @@
+"""Edge-case coverage across subsystems (paths no other suite hits)."""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.cluster import TrinityCluster
+from repro.errors import (
+    AddressingError,
+    CellNotFoundError,
+    MachineDownError,
+    QueryError,
+)
+from repro.memcloud import MemoryCloud
+from repro.memcloud.addressing import AddressingTable
+from repro.tsl.accessor import use_cell
+from repro.tsl import compile_tsl
+
+
+class TestAccessorEdgeCases:
+    @pytest.fixture
+    def cell(self, cloud):
+        schema = compile_tsl(
+            "cell struct C { long Id; List<long> Xs; List<string> Ss; }"
+        )
+        cell_type = schema.cell("C")
+        cloud.put(1, cell_type.encode({"Id": 1, "Xs": [1, 2], "Ss": ["a"]}))
+        return cloud, cell_type
+
+    def test_list_accessor_repr_and_eq(self, cell):
+        cloud, cell_type = cell
+        with use_cell(cloud, 1, cell_type) as accessor:
+            xs = accessor.Xs
+            assert "ListAccessor" in repr(xs)
+            assert xs == [1, 2]
+            assert xs != [2, 1]
+            assert (xs == 42) is False
+            other = accessor.get("Xs")
+            assert xs == other
+
+    def test_accessor_on_missing_cell(self, cell):
+        cloud, cell_type = cell
+        with pytest.raises(CellNotFoundError):
+            with use_cell(cloud, 999, cell_type):
+                pass
+
+    def test_cell_id_property(self, cell):
+        cloud, cell_type = cell
+        with use_cell(cloud, 1, cell_type) as accessor:
+            assert accessor.cell_id == 1
+
+    def test_dunder_attribute_raises(self, cell):
+        """Dunder lookups never fall through to blob field access."""
+        cloud, cell_type = cell
+        with use_cell(cloud, 1, cell_type) as accessor:
+            with pytest.raises(AttributeError):
+                accessor.__fictional_dunder__
+
+
+class TestAddressingEdgeCases:
+    def test_machines_listing(self):
+        table = AddressingTable(4, [3, 9])
+        assert table.machines() == [3, 9]
+
+    def test_repr(self):
+        table = AddressingTable(4, range(2))
+        text = repr(table)
+        assert "16 slots" in text and "2 machines" in text
+
+    def test_eq_against_other_types(self):
+        table = AddressingTable(4, range(2))
+        assert table != "not a table"
+
+    def test_cloud_stats_for_machine_without_trunks(self):
+        cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=3))
+        cloud.addressing.remove_machine(1, [0])
+        with pytest.raises(AddressingError):
+            cloud.machine_stats(1)
+
+
+class TestClusterEdgeCases:
+    def test_proxy_down_raises(self):
+        cluster = TrinityCluster(ClusterConfig(machines=2, proxies=1))
+        proxy = cluster.proxies[0]
+        proxy.register_protocol("p", lambda m, d: b"")
+        proxy.alive = False
+        with pytest.raises(MachineDownError):
+            proxy.scatter_gather("p", b"")
+
+    def test_scatter_gather_skips_dead_slaves(self):
+        cluster = TrinityCluster(ClusterConfig(machines=3, proxies=1))
+        for slave in cluster.slaves.values():
+            slave.register_protocol("n", lambda m, d: b"ok")
+        cluster.slaves[1].fail()
+        replies = cluster.proxies[0].scatter_gather("n", b"")
+        assert len(replies) == 2
+
+    def test_client_put_retries_after_recovery(self, cluster, rng):
+        client = cluster.new_client()
+        client.put_cell(5, b"before")
+        cluster.backup_to_tfs()
+        owner = cluster.cloud.machine_of(5)
+        cluster.fail_machine(owner)
+        # put triggers detection + recovery + retry transparently
+        client.put_cell(5, b"after")
+        assert client.get_cell(5) == b"after"
+        assert client.retries >= 1
+
+    def test_heartbeat_threshold_validated(self, cluster):
+        from repro.cluster.heartbeat import HeartbeatMonitor
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(cluster, miss_threshold=0)
+
+    def test_buffered_log_holders_skip_origin(self):
+        from repro.cluster.recovery import BufferedLog
+        log = BufferedLog(machines=4, replication=2)
+        for origin in range(4):
+            holders = log.holders_for(origin)
+            assert origin not in holders
+            assert len(holders) == 2
+
+    def test_buffered_log_single_machine_cluster(self):
+        from repro.cluster.recovery import BufferedLog
+        log = BufferedLog(machines=1, replication=2)
+        assert log.holders_for(0) == []
+
+
+class TestGraphApiEdgeCases:
+    def test_read_field_unknown(self, cloud):
+        from repro.graph import GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema())
+        builder.add_edge(0, 1)
+        graph = builder.finalize()
+        with pytest.raises(QueryError, match="no field"):
+            graph.read_field(0, "Ghost")
+
+    def test_undirected_inlinks_equal_outlinks(self, cloud):
+        from repro.graph import GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=False))
+        builder.add_edge(0, 1)
+        graph = builder.finalize()
+        assert graph.inlinks(0) == graph.outlinks(0)
+
+    def test_nodes_on_machine(self, cloud):
+        from repro.graph import GraphBuilder, plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema())
+        builder.add_edges([(i, i + 1) for i in range(20)])
+        graph = builder.finalize()
+        total = sum(
+            len(graph.nodes_on(m)) for m in range(cloud.config.machines)
+        )
+        assert total == graph.num_nodes
+
+
+class TestMemcloudPinEdgeCases:
+    def test_pin_missing_cell(self, cloud):
+        with pytest.raises(CellNotFoundError):
+            with cloud.pin(424242):
+                pass
+
+    def test_len_empty_cloud(self, cloud):
+        assert len(cloud) == 0
+        assert 1 not in cloud

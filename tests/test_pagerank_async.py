@@ -1,0 +1,59 @@
+"""Tests for asynchronous delta-PageRank (the GraphChi-style model)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.algorithms import pagerank, pagerank_async
+from repro.generators import rmat_edges
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+from repro.memcloud import MemoryCloud
+
+
+@pytest.fixture(scope="module")
+def dangling_free_topology():
+    """R-MAT plus a ring so no vertex is dangling (the async push method
+    drops dangling residual; sync redistributes it — equal only when
+    there is none)."""
+    edges = rmat_edges(scale=9, avg_degree=8, seed=1)
+    n = 512
+    ring = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    edges = np.vstack([edges, ring])
+    cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=6))
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+    builder.add_edges(edges.tolist())
+    return CsrTopology(builder.finalize())
+
+
+class TestAsyncPageRank:
+    def test_converges_to_synchronous_fixed_point(self,
+                                                  dangling_free_topology):
+        topo = dangling_free_topology
+        sync = pagerank(topo, iterations=200)
+        ranks, result = pagerank_async(topo, tolerance=1e-13)
+        assert result.terminated
+        assert np.abs(ranks - sync.ranks).max() < 1e-9
+
+    def test_ranks_are_distribution(self, dangling_free_topology):
+        ranks, _ = pagerank_async(dangling_free_topology, tolerance=1e-12)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert (ranks > 0).all()
+
+    def test_looser_tolerance_fewer_updates(self, dangling_free_topology):
+        _, tight = pagerank_async(dangling_free_topology, tolerance=1e-12)
+        _, loose = pagerank_async(dangling_free_topology, tolerance=1e-6)
+        assert loose.updates < tight.updates
+
+    def test_no_barriers_in_async_run(self, dangling_free_topology):
+        """The async engine's elapsed time carries no per-superstep
+        barrier cost (there are no supersteps)."""
+        _, result = pagerank_async(dangling_free_topology, tolerance=1e-8)
+        assert result.elapsed > 0
+        assert result.messages > 0
+
+    def test_ranking_stable_under_tolerance(self, dangling_free_topology):
+        exact, _ = pagerank_async(dangling_free_topology, tolerance=1e-13)
+        rough, _ = pagerank_async(dangling_free_topology, tolerance=1e-7)
+        top_exact = set(np.argsort(-exact)[:10].tolist())
+        top_rough = set(np.argsort(-rough)[:10].tolist())
+        assert len(top_exact & top_rough) >= 8

@@ -1,0 +1,81 @@
+"""Tests: protocol-driven people search equals the fast path."""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.cluster import TrinityCluster
+from repro.algorithms import people_search
+from repro.algorithms.people_search_distributed import (
+    distributed_people_search,
+    install_search_handlers,
+)
+from repro.errors import QueryError
+from repro.generators.social import build_social_graph
+from repro.graph import GraphBuilder, plain_graph_schema
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    cluster = TrinityCluster(ClusterConfig(
+        machines=4, trunk_bits=6,
+        memory=MemoryParams(trunk_size=8 * 1024 * 1024),
+    ))
+    graph = build_social_graph(cluster.cloud, 1200, avg_degree=9, seed=8)
+    install_search_handlers(cluster, graph)
+    return cluster, graph
+
+
+class TestDistributedPeopleSearch:
+    @pytest.mark.parametrize("start", [0, 17, 200, 555])
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_agrees_with_fast_path(self, deployment, start, hops):
+        cluster, graph = deployment
+        fast = people_search(graph, start, "David", hops=hops)
+        distributed = distributed_people_search(
+            cluster, graph, start, "David", hops=hops,
+        )
+        assert distributed.matches == fast.matches
+        assert distributed.visited == fast.visited
+
+    def test_one_call_per_machine_per_hop(self, deployment):
+        cluster, graph = deployment
+        result = distributed_people_search(cluster, graph, 0, "David",
+                                           hops=3)
+        assert result.protocol_calls <= 3 * cluster.config.machines
+        assert result.elapsed > 0
+
+    def test_rare_name(self, deployment):
+        cluster, graph = deployment
+        result = distributed_people_search(
+            cluster, graph, 0, "NoSuchName", hops=3,
+        )
+        assert result.matches == []
+        assert result.visited > 0
+
+    def test_bad_hops(self, deployment):
+        cluster, graph = deployment
+        with pytest.raises(QueryError):
+            distributed_people_search(cluster, graph, 0, "David", hops=0)
+
+    def test_requires_name_attribute(self):
+        cluster = TrinityCluster(ClusterConfig(machines=2, trunk_bits=4))
+        builder = GraphBuilder(cluster.cloud, plain_graph_schema())
+        builder.add_edge(0, 1)
+        graph = builder.finalize()
+        with pytest.raises(QueryError, match="Name"):
+            install_search_handlers(cluster, graph)
+
+    def test_survives_failure_recovery(self, deployment):
+        """The protocol keeps answering after a crash + recovery."""
+        cluster, graph = deployment
+        before = distributed_people_search(cluster, graph, 3, "David",
+                                           hops=2)
+        cluster.backup_to_tfs()
+        cluster.fail_machine(1)
+        cluster.report_failure(1)
+        cluster.restart_machine(1)
+        # Reinstall handlers on the restarted slave (fresh process).
+        install_search_handlers(cluster, graph)
+        after = distributed_people_search(cluster, graph, 3, "David",
+                                          hops=2)
+        assert after.matches == before.matches

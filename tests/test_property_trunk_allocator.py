@@ -1,0 +1,111 @@
+"""Stateful property test of the circular trunk allocator.
+
+Random interleavings of put/overwrite/remove/resize/defragment against a
+reference dict, with the allocator's accounting invariants checked after
+every step:
+
+* logical contents always equal the reference dict;
+* live bytes equal the sum of cell sizes plus headers;
+* reserved >= live; garbage >= 0; everything fits the trunk;
+* defragmentation preserves contents and zeroes the garbage counter.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.config import MemoryParams
+from repro.errors import TrunkFullError
+from repro.memcloud.trunk import CELL_HEADER_BYTES, MemoryTrunk
+
+UIDS = st.integers(0, 60)
+PAYLOADS = st.binary(max_size=300)
+
+
+class TrunkMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.trunk = MemoryTrunk(0, MemoryParams(
+            trunk_size=64 * 1024, page_size=1024,
+            defrag_trigger_ratio=0.3,
+        ))
+        self.reference: dict[int, bytes] = {}
+
+    @rule(uid=UIDS, payload=PAYLOADS)
+    def put(self, uid, payload):
+        try:
+            self.trunk.put(uid, payload)
+        except TrunkFullError:
+            return  # legitimately full; state unchanged for this uid
+        self.reference[uid] = payload
+
+    @rule(uid=UIDS)
+    def remove(self, uid):
+        if uid in self.reference:
+            self.trunk.remove(uid)
+            del self.reference[uid]
+
+    @rule(uid=UIDS, new_size=st.integers(0, 400))
+    def resize(self, uid, new_size):
+        if uid not in self.reference:
+            return
+        try:
+            self.trunk.resize(uid, new_size, fill=0xAB)
+        except TrunkFullError:
+            return
+        current = self.reference[uid]
+        if new_size <= len(current):
+            self.reference[uid] = current[:new_size]
+        else:
+            self.reference[uid] = (
+                current + b"\xab" * (new_size - len(current))
+            )
+
+    @rule()
+    def defragment(self):
+        before = dict(self.reference)
+        if self.trunk.defragment():
+            stats = self.trunk.stats()
+            assert stats.garbage_bytes == 0
+            assert stats.reserved_bytes == stats.live_bytes
+        for uid, value in before.items():
+            assert self.trunk.get(uid) == value
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def contents_match_reference(self):
+        if not hasattr(self, "trunk"):
+            return
+        assert len(self.trunk) == len(self.reference)
+        for uid, value in self.reference.items():
+            assert self.trunk.get(uid) == value
+            assert self.trunk.size_of(uid) == len(value)
+
+    @invariant()
+    def accounting_is_consistent(self):
+        if not hasattr(self, "trunk"):
+            return
+        stats = self.trunk.stats()
+        expected_live = sum(
+            CELL_HEADER_BYTES + len(v) for v in self.reference.values()
+        )
+        assert stats.live_bytes == expected_live
+        assert stats.reserved_bytes >= stats.live_bytes
+        assert stats.garbage_bytes >= 0
+        assert stats.committed_bytes <= stats.trunk_size
+        assert (stats.reserved_bytes + stats.garbage_bytes
+                <= stats.trunk_size)
+        assert 0.0 <= stats.utilization <= 1.0 or not stats.committed_bytes
+
+
+TrunkMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None,
+)
+TestTrunkAllocator = TrunkMachine.TestCase

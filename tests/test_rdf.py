@@ -1,0 +1,218 @@
+"""Tests for the RDF store, SPARQL subset and LUBM generator."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import QueryError
+from repro.memcloud import MemoryCloud
+from repro.rdf import (
+    LUBM_QUERIES,
+    RdfStore,
+    execute_sparql,
+    generate_lubm,
+    parse_sparql,
+)
+
+
+@pytest.fixture
+def tiny_store(cloud):
+    store = RdfStore(cloud)
+    store.add_triple("alice", "knows", "bob")
+    store.add_triple("alice", "knows", "carol")
+    store.add_triple("bob", "knows", "carol")
+    store.add_triple("alice", "rdf:type", "Person")
+    store.add_triple("bob", "rdf:type", "Person")
+    store.add_triple("carol", "rdf:type", "Robot")
+    store.finalize()
+    return store
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=6))
+    store = RdfStore(cloud)
+    generate_lubm(store, universities=2, seed=0)
+    store.finalize()
+    return store
+
+
+class TestStore:
+    def test_triple_count(self, tiny_store):
+        assert tiny_store.triple_count == 6
+
+    def test_out_and_incoming(self, tiny_store):
+        alice = tiny_store.resource_id("alice")
+        carol = tiny_store.resource_id("carol")
+        bob = tiny_store.resource_id("bob")
+        assert sorted(tiny_store.out(alice, "knows")) == sorted([
+            bob, carol,
+        ])
+        assert sorted(tiny_store.incoming(carol, "knows")) == sorted([
+            tiny_store.resource_id("alice"), bob,
+        ])
+
+    def test_unknown_predicate_empty(self, tiny_store):
+        alice = tiny_store.resource_id("alice")
+        assert tiny_store.out(alice, "hates") == []
+
+    def test_subjects_of(self, tiny_store):
+        subjects = tiny_store.subjects_of("rdf:type", "Person")
+        names = sorted(tiny_store.iri_of(s) for s in subjects)
+        assert names == ["alice", "bob"]
+
+    def test_unknown_resource_raises(self, tiny_store):
+        with pytest.raises(QueryError):
+            tiny_store.resource_id("mallory")
+
+    def test_degree(self, tiny_store):
+        alice = tiny_store.resource_id("alice")
+        # out: knows x2 + type x1; in: none.
+        assert tiny_store.degree(alice) == 3
+
+    def test_add_after_finalize_rejected(self, tiny_store):
+        with pytest.raises(QueryError, match="finalized"):
+            tiny_store.add_triple("x", "y", "z")
+
+    def test_cells_really_in_cloud(self, tiny_store):
+        alice = tiny_store.resource_id("alice")
+        assert tiny_store.cloud.contains(alice)
+        # Blob decodes through the TSL schema.
+        blob = tiny_store.cloud.get(alice)
+        cell, _ = tiny_store.schema.cell("Resource").decode(blob, 0)
+        assert cell["Iri"] == "alice"
+
+
+class TestSparqlParser:
+    def test_basic_parse(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x knows bob . ?x rdf:type Person }"
+        )
+        assert query.select == ("?x",)
+        assert len(query.patterns) == 2
+        assert query.patterns[0].predicate == "knows"
+
+    def test_angle_brackets_stripped(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x knows <bob> }")
+        assert query.patterns[0].obj == "bob"
+
+    def test_multi_select(self):
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a knows ?b }")
+        assert query.select == ("?a", "?b")
+
+    @pytest.mark.parametrize("bad", [
+        "WHERE { ?x knows bob }",
+        "SELECT ?x { ?x knows bob }",
+        "SELECT x WHERE { ?x knows bob }",
+        "SELECT ?x WHERE ?x knows bob",
+        "SELECT ?x WHERE { ?x knows }",
+        "SELECT ?x WHERE { }",
+        "SELECT ?y WHERE { ?x knows bob }",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_sparql(bad)
+
+
+class TestSparqlExecution:
+    def test_single_pattern(self, tiny_store):
+        result = execute_sparql(
+            tiny_store, "SELECT ?x WHERE { ?x rdf:type Person }"
+        )
+        assert result.rows == [("alice",), ("bob",)]
+
+    def test_join_two_patterns(self, tiny_store):
+        result = execute_sparql(
+            tiny_store,
+            "SELECT ?x WHERE { ?x knows carol . ?x rdf:type Person }",
+        )
+        assert result.rows == [("alice",), ("bob",)]
+
+    def test_forward_chain(self, tiny_store):
+        result = execute_sparql(
+            tiny_store,
+            "SELECT ?z WHERE { alice knows ?y . ?y knows ?z }",
+        )
+        assert result.rows == [("carol",)]
+
+    def test_two_variable_projection(self, tiny_store):
+        result = execute_sparql(
+            tiny_store, "SELECT ?a ?b WHERE { ?a knows ?b }"
+        )
+        assert ("alice", "bob") in result.rows
+        assert len(result.rows) == 3
+
+    def test_constant_constant_check(self, tiny_store):
+        result = execute_sparql(
+            tiny_store, "SELECT ?x WHERE { ?x knows bob . alice knows bob }"
+        )
+        assert result.rows  # the constant pattern holds, so ?x survives
+
+    def test_no_match(self, tiny_store):
+        result = execute_sparql(
+            tiny_store, "SELECT ?x WHERE { ?x knows alice }"
+        )
+        assert result.rows == []
+
+    def test_fully_unbound_pattern_scans(self, tiny_store):
+        result = execute_sparql(tiny_store,
+                                "SELECT ?a ?b WHERE { ?a ghost ?b }")
+        assert result.rows == []
+
+    def test_row_cap(self, tiny_store):
+        with pytest.raises(QueryError, match="exceeded"):
+            execute_sparql(tiny_store, "SELECT ?a ?b WHERE { ?a knows ?b }",
+                           max_rows=1)
+
+    def test_accounting(self, tiny_store):
+        result = execute_sparql(
+            tiny_store, "SELECT ?x WHERE { ?x rdf:type Person }"
+        )
+        assert result.elapsed > 0
+        assert result.bindings_examined >= 1
+
+
+class TestLubm:
+    def test_scale_knobs(self, lubm_store):
+        assert lubm_store.triple_count > 2000
+        assert lubm_store.resource_count > 500
+
+    def test_all_four_queries_return_rows(self, lubm_store):
+        for name, text in LUBM_QUERIES.items():
+            result = execute_sparql(lubm_store, text)
+            assert result.rows, name
+
+    def test_q1_semantics(self, lubm_store):
+        result = execute_sparql(lubm_store, LUBM_QUERIES["Q1"])
+        course = lubm_store.resource_id("Course0_of_Dept0_of_Univ0")
+        grad = lubm_store.resource_id("GraduateStudent")
+        for (iri,) in result.rows:
+            student = lubm_store.resource_id(iri)
+            assert course in lubm_store.out(student, "takesCourse")
+            assert grad in lubm_store.out(student, "rdf:type")
+
+    def test_q5_membership_semantics(self, lubm_store):
+        result = execute_sparql(lubm_store, LUBM_QUERIES["Q5"])
+        undergrad = lubm_store.resource_id("UndergraduateStudent")
+        for student_iri, dept_iri in result.rows[:20]:
+            student = lubm_store.resource_id(student_iri)
+            dept = lubm_store.resource_id(dept_iri)
+            assert undergrad in lubm_store.out(student, "rdf:type")
+            assert dept in lubm_store.out(student, "memberOf")
+
+    def test_q7_triangle_semantics(self, lubm_store):
+        result = execute_sparql(lubm_store, LUBM_QUERIES["Q7"])
+        for student_iri, professor_iri in result.rows:
+            student = lubm_store.resource_id(student_iri)
+            professor = lubm_store.resource_id(professor_iri)
+            assert professor in lubm_store.out(student, "advisor")
+            taught = set(lubm_store.out(professor, "teacherOf"))
+            taken = set(lubm_store.out(student, "takesCourse"))
+            assert taught & taken
+
+    def test_query_complexity_ordering(self, lubm_store):
+        """Q7 (3-pattern chain) yields more rows and pays more rounds
+        than the selective lookup Q1."""
+        q1 = execute_sparql(lubm_store, LUBM_QUERIES["Q1"])
+        q7 = execute_sparql(lubm_store, LUBM_QUERIES["Q7"])
+        assert len(q7.rows) > len(q1.rows)
+        assert len(q7.round_times) > len(q1.round_times)

@@ -1,0 +1,99 @@
+"""Tests for landmark selection costs and the Section 5.2 index models."""
+
+import pytest
+
+from repro.algorithms.landmarks import (
+    SelectionCost,
+    select_landmarks,
+    select_landmarks_with_cost,
+)
+from repro.baselines.index_cost import (
+    exploration_query_cost,
+    neighborhood_index_cost,
+    trinity_label_index_cost,
+    two_hop_index_cost,
+)
+
+
+class TestSelectionCost:
+    def test_degree_selection_is_free(self, undirected_topology):
+        _, cost = select_landmarks_with_cost(
+            undirected_topology, 8, "degree",
+        )
+        assert cost.traversal_units == 0
+        assert cost.elapsed() == 0.0
+
+    def test_global_charges_one_machine(self, undirected_topology):
+        _, cost = select_landmarks_with_cost(
+            undirected_topology, 8, "global-betweenness", samples=16,
+        )
+        assert cost.traversal_units > 0
+        assert list(cost.per_machine_units) == [0]
+
+    def test_local_spreads_over_machines(self, undirected_topology):
+        _, cost = select_landmarks_with_cost(
+            undirected_topology, 8, "local-betweenness", samples=16,
+        )
+        assert len(cost.per_machine_units) > 1
+
+    def test_local_cheaper_than_global_elapsed(self, undirected_topology):
+        """The Section 5.5 cost claim, at test scale."""
+        _, local = select_landmarks_with_cost(
+            undirected_topology, 8, "local-betweenness", samples=32,
+        )
+        _, global_ = select_landmarks_with_cost(
+            undirected_topology, 8, "global-betweenness", samples=32,
+        )
+        assert local.elapsed() < global_.elapsed()
+
+    def test_wrapper_agrees_with_cost_variant(self, undirected_topology):
+        plain = select_landmarks(undirected_topology, 6, "degree")
+        with_cost, _ = select_landmarks_with_cost(
+            undirected_topology, 6, "degree",
+        )
+        assert plain == with_cost
+
+    def test_elapsed_uses_max_machine_for_local(self):
+        cost = SelectionCost("local-betweenness")
+        cost.charge(0, 1000)
+        cost.charge(1, 4000)
+        local_elapsed = cost.elapsed()
+        serial = SelectionCost("global-betweenness")
+        serial.charge(0, 5000)
+        assert local_elapsed < serial.elapsed()
+
+
+class TestIndexCostModels:
+    def test_two_hop_super_linear(self):
+        small = two_hop_index_cost(10**4, 10**5)
+        large = two_hop_index_cost(10**5, 10**6)
+        # 10x the vertices -> 10^4x the construction time.
+        assert large.build_seconds == pytest.approx(
+            small.build_seconds * 10**4
+        )
+
+    def test_two_hop_unrealistic_at_web_scale(self):
+        cost = two_hop_index_cost(10**9, 16 * 10**9, machines=1000)
+        assert cost.build_years > 10**6
+
+    def test_neighborhood_index_bounded_by_n(self):
+        # Neighborhood size cannot exceed the graph.
+        cost = neighborhood_index_cost(1000, avg_degree=100, hops=3)
+        assert cost.space_bytes <= 1000 * 1000 * 8
+
+    def test_label_index_linear(self):
+        a = trinity_label_index_cost(10**6)
+        b = trinity_label_index_cost(2 * 10**6)
+        assert b.build_seconds == pytest.approx(2 * a.build_seconds)
+        assert b.space_bytes == 2 * a.space_bytes
+
+    def test_exploration_scales_with_machines(self):
+        few = exploration_query_cost(10**8, 16, machines=2)
+        many = exploration_query_cost(10**8, 16, machines=16)
+        assert many == pytest.approx(few / 8)
+
+    def test_build_years_property(self):
+        cost = two_hop_index_cost(10**6, 10**7)
+        assert cost.build_years == pytest.approx(
+            cost.build_seconds / (365.25 * 24 * 3600)
+        )

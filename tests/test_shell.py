@@ -1,0 +1,62 @@
+"""Tests for the TQL shell's scriptable surface."""
+
+import io
+
+import pytest
+
+from repro.shell import build_demo, handle_meta, run_query
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return build_demo(people=300, machines=2, seed=1)
+
+
+class TestShell:
+    def test_query_prints_rows_and_summary(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        run_query(graph, "MATCH (a = 0) -[Friends]-> (b) RETURN b", out)
+        text = out.getvalue()
+        assert "rows" in text
+        assert "simulated" in text
+
+    def test_query_error_reported_not_raised(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        run_query(graph, "MATCH oops", out)
+        assert "error:" in out.getvalue()
+
+    def test_meta_help(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":help", cloud, graph, out)
+        assert "MATCH" in out.getvalue()
+
+    def test_meta_stats(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":stats", cloud, graph, out)
+        assert "cells: 300" in out.getvalue()
+
+    def test_meta_node(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":node 0", cloud, graph, out)
+        assert "Name" in out.getvalue()
+
+    def test_meta_node_missing(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":node 99999", cloud, graph, out)
+        assert "error:" in out.getvalue()
+
+    def test_meta_quit(self, demo):
+        cloud, graph = demo
+        assert not handle_meta(":quit", cloud, graph, io.StringIO())
+
+    def test_meta_unknown(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":frobnicate", cloud, graph, out)
+        assert "unknown command" in out.getvalue()

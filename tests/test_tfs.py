@@ -1,0 +1,122 @@
+"""Tests for the Trinity File System (repro.tfs)."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, TfsError
+from repro.tfs import TrinityFileSystem
+
+
+@pytest.fixture
+def tfs() -> TrinityFileSystem:
+    return TrinityFileSystem(datanodes=4, replication=2, block_size=64)
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, tfs):
+        tfs.write("/a", b"hello world")
+        assert tfs.read("/a") == b"hello world"
+
+    def test_empty_file(self, tfs):
+        tfs.write("/empty", b"")
+        assert tfs.read("/empty") == b""
+
+    def test_multi_block_file(self, tfs):
+        payload = bytes(range(256)) * 3  # crosses several 64-byte blocks
+        tfs.write("/big", payload)
+        assert tfs.read("/big") == payload
+        assert len(tfs.stat("/big").block_ids) == len(payload) // 64
+
+    def test_overwrite_replaces_atomically(self, tfs):
+        tfs.write("/f", b"v1")
+        tfs.write("/f", b"version two")
+        assert tfs.read("/f") == b"version two"
+        assert tfs.stat("/f").version == 2
+
+    def test_overwrite_frees_old_blocks(self, tfs):
+        tfs.write("/f", b"x" * 640)
+        before = tfs.total_bytes
+        tfs.write("/f", b"y" * 64)
+        assert tfs.total_bytes < before
+
+    def test_missing_file_raises(self, tfs):
+        with pytest.raises(BlockNotFoundError):
+            tfs.read("/nope")
+        with pytest.raises(BlockNotFoundError):
+            tfs.stat("/nope")
+
+    def test_delete(self, tfs):
+        tfs.write("/gone", b"data")
+        tfs.delete("/gone")
+        assert not tfs.exists("/gone")
+        with pytest.raises(BlockNotFoundError):
+            tfs.read("/gone")
+
+    def test_delete_missing_is_noop(self, tfs):
+        tfs.delete("/never-existed")
+
+    def test_list_files_by_prefix(self, tfs):
+        tfs.write("/trunks/001", b"a")
+        tfs.write("/trunks/002", b"b")
+        tfs.write("/other", b"c")
+        assert tfs.list_files("/trunks/") == ["/trunks/001", "/trunks/002"]
+
+
+class TestReplication:
+    def test_each_block_replicated(self, tfs):
+        tfs.write("/r", b"z" * 200)
+        # 4 blocks x 2 replicas
+        assert sum(n.block_count for n in tfs.nodes) == 8
+
+    def test_survives_single_datanode_failure(self, tfs):
+        tfs.write("/r", b"payload" * 30)
+        tfs.nodes[0].fail()
+        assert tfs.read("/r") == b"payload" * 30
+
+    def test_read_fails_when_all_replicas_lost(self, tfs):
+        tfs.write("/r", b"payload")
+        for node in tfs.nodes:
+            node.fail()
+        with pytest.raises(BlockNotFoundError):
+            tfs.read("/r")
+
+    def test_write_fails_without_quorum(self, tfs):
+        for node in tfs.nodes[:3]:
+            node.fail()
+        with pytest.raises(TfsError, match="alive"):
+            tfs.write("/w", b"x")
+
+    def test_re_replicate_restores_factor(self, tfs):
+        tfs.write("/r", b"block" * 40)
+        tfs.nodes[0].fail()
+        copies = tfs.re_replicate()
+        assert copies > 0
+        tfs.nodes[1].fail()  # any single further failure is survivable
+        assert tfs.read("/r") == b"block" * 40
+
+    def test_datanode_recover_keeps_blocks(self, tfs):
+        tfs.write("/r", b"data" * 20)
+        tfs.nodes[0].fail()
+        tfs.nodes[0].recover()
+        assert tfs.read("/r") == b"data" * 20
+
+
+class TestValidation:
+    def test_replication_bounds(self):
+        with pytest.raises(TfsError):
+            TrinityFileSystem(datanodes=2, replication=3)
+        with pytest.raises(TfsError):
+            TrinityFileSystem(datanodes=1, replication=0)
+
+    def test_needs_one_datanode(self):
+        with pytest.raises(TfsError):
+            TrinityFileSystem(datanodes=0, replication=1)
+
+    def test_block_size_positive(self):
+        with pytest.raises(TfsError):
+            TrinityFileSystem(datanodes=2, replication=1, block_size=0)
+
+    def test_placement_spreads_over_nodes(self, tfs):
+        for i in range(8):
+            tfs.write(f"/f{i}", b"x" * 64)
+        used = [n.block_count for n in tfs.nodes]
+        assert max(used) - min(used) <= 1  # round-robin stays balanced

@@ -1,0 +1,232 @@
+"""Tests for the TQL traversal query language."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import QueryError
+from repro.graph import GraphBuilder, social_graph_schema
+from repro.memcloud import MemoryCloud
+from repro.tql import TqlSyntaxError, execute_tql, parse_tql
+
+
+@pytest.fixture(scope="module")
+def friends_graph():
+    """A small named friendship graph:
+
+        0 Ada   — 1 Bob — 2 David
+        |                  |
+        3 Cara ———————————— (2)
+        4 David (isolated friend of Ada)
+    """
+    cloud = MemoryCloud(ClusterConfig(machines=4, trunk_bits=5))
+    builder = GraphBuilder(cloud, social_graph_schema())
+    names = ["Ada", "Bob", "David", "Cara", "David"]
+    for node_id, name in enumerate(names):
+        builder.add_node(node_id, Name=name)
+    builder.add_edges([(0, 1), (1, 2), (0, 3), (3, 2), (0, 4)])
+    return builder.finalize()
+
+
+class TestParser:
+    def test_basic_chain(self):
+        query = parse_tql(
+            "MATCH (a) -[Friends]-> (b) RETURN b"
+        )
+        assert query.variables() == ["a", "b"]
+        assert query.edges[0].field == "Friends"
+        assert not query.edges[0].reverse
+
+    def test_anchor_and_filter(self):
+        query = parse_tql(
+            "MATCH (a = 7 {Name: 'Ada'}) RETURN a"
+        )
+        assert query.nodes[0].anchor == 7
+        assert query.nodes[0].filters == (("Name", "Ada"),)
+
+    def test_reverse_edge(self):
+        query = parse_tql("MATCH (a) <-[Friends]- (b) RETURN a")
+        assert query.edges[0].reverse
+
+    def test_where_and_limit(self):
+        query = parse_tql(
+            "MATCH (a) -[Friends]-> (b) "
+            "WHERE b.Name = 'David' AND b != a "
+            "RETURN a, b.Name LIMIT 5"
+        )
+        assert len(query.conditions) == 2
+        assert query.limit == 5
+        assert query.returns[1].field == "Name"
+
+    def test_numeric_literals(self):
+        query = parse_tql("MATCH (a) WHERE a >= 3 RETURN a")
+        assert query.conditions[0].right.literal == 3
+        query = parse_tql("MATCH (a) WHERE a.Score > 1.5 RETURN a")
+        assert query.conditions[0].right.literal == 1.5
+
+    @pytest.mark.parametrize("bad", [
+        "(a) RETURN a",                          # no MATCH
+        "MATCH (a)",                             # no RETURN
+        "MATCH (a) RETURN b",                    # unbound return
+        "MATCH (a) WHERE z = 1 RETURN a",        # unbound condition
+        "MATCH (a) RETURN a LIMIT 0",            # bad limit
+        "MATCH (a) RETURN 5",                    # literal return
+        "MATCH (a -[X]-> (b) RETURN a",          # mangled pattern
+        "MATCH (a) RETURN a garbage",            # trailing tokens
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(TqlSyntaxError):
+            parse_tql(bad)
+
+
+class TestExecution:
+    def test_anchored_neighbors(self, friends_graph):
+        result = execute_tql(
+            friends_graph, "MATCH (a = 0) -[Friends]-> (b) RETURN b"
+        )
+        assert result.rows == [(1,), (3,), (4,)]
+
+    def test_filter_on_start(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a {Name: 'Ada'}) -[Friends]-> (b) RETURN b",
+        )
+        assert result.rows == [(1,), (3,), (4,)]
+
+    def test_two_hop_chain_with_name_filter(self, friends_graph):
+        """The David problem, in TQL."""
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) "
+            "WHERE c.Name = 'David' AND c != a RETURN c",
+        )
+        assert result.rows == [(2,)]
+
+    def test_projection_of_fields(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 1) -[Friends]-> (b) RETURN b, b.Name",
+        )
+        assert result.rows == [(0, "Ada"), (2, "David")]
+
+    def test_where_join_between_variables(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a) -[Friends]-> (b) WHERE a < b RETURN a, b",
+        )
+        assert (0, 1) in result.rows
+        assert all(a < b for a, b in result.rows)
+
+    def test_rebound_variable_closes_triangle(self, friends_graph):
+        # 0 - 3 - 2 - ... back to a node adjacent to 0?  Triangles via
+        # re-mentioning the first variable.
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 2) -[Friends]-> (b) -[Friends]-> (a) RETURN b",
+        )
+        assert result.rows == [(1,), (3,)]
+
+    def test_reverse_edge_on_undirected_schema(self, friends_graph):
+        forward = execute_tql(
+            friends_graph, "MATCH (a = 0) -[Friends]-> (b) RETURN b"
+        )
+        backward = execute_tql(
+            friends_graph, "MATCH (a = 0) <-[Friends]- (b) RETURN b"
+        )
+        assert forward.rows == backward.rows  # symmetric lists
+
+    def test_limit(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a) -[Friends]-> (b) RETURN a, b LIMIT 3",
+        )
+        assert len(result.rows) == 3
+        assert not result.truncated  # explicit LIMIT, not truncation
+
+    def test_unanchored_scan(self, friends_graph):
+        result = execute_tql(
+            friends_graph, "MATCH (a {Name: 'David'}) RETURN a"
+        )
+        assert result.rows == [(2,), (4,)]
+
+    def test_missing_anchor_yields_empty(self, friends_graph):
+        result = execute_tql(
+            friends_graph, "MATCH (a = 999) -[Friends]-> (b) RETURN b"
+        )
+        assert result.rows == []
+
+    def test_unknown_field_raises(self, friends_graph):
+        with pytest.raises(QueryError):
+            execute_tql(friends_graph,
+                        "MATCH (a = 0) -[Ghost]-> (b) RETURN b")
+
+    def test_type_mismatch_in_condition(self, friends_graph):
+        with pytest.raises(QueryError, match="compare"):
+            execute_tql(friends_graph,
+                        "MATCH (a = 0) WHERE a.Name < 3 RETURN a")
+
+    def test_accounting(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) RETURN c",
+        )
+        assert result.cells_touched > 0
+        assert result.elapsed > 0
+
+    def test_directed_reverse_edges(self, cloud):
+        from repro.graph import plain_graph_schema
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        builder.add_edges([(10, 20), (30, 20)])
+        graph = builder.finalize()
+        result = execute_tql(
+            graph, "MATCH (a = 20) <-[Outlinks]- (b) RETURN b"
+        )
+        assert result.rows == [(10,), (30,)]
+
+
+class TestVariableLengthPaths:
+    def test_parse_range(self):
+        query = parse_tql("MATCH (a) -[Friends*2..4]-> (b) RETURN b")
+        edge = query.edges[0]
+        assert edge.variable_length
+        assert (edge.min_hops, edge.max_hops) == (2, 4)
+
+    def test_parse_fixed_repeat(self):
+        query = parse_tql("MATCH (a) -[Friends*3]-> (b) RETURN b")
+        assert (query.edges[0].min_hops, query.edges[0].max_hops) == (3, 3)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(TqlSyntaxError):
+            parse_tql("MATCH (a) -[Friends*4..2]-> (b) RETURN b")
+        with pytest.raises(TqlSyntaxError):
+            parse_tql("MATCH (a) -[Friends*1..99]-> (b) RETURN b")
+
+    def test_two_hop_matches_chain(self, friends_graph):
+        chained = execute_tql(
+            friends_graph,
+            "MATCH (a = 0) -[Friends]-> (x) -[Friends]-> (b) "
+            "WHERE b != a RETURN b",
+        )
+        ranged = execute_tql(
+            friends_graph,
+            "MATCH (a = 0) -[Friends*2..2]-> (b) RETURN b",
+        )
+        # *2..2 uses BFS distance semantics: only nodes first reached at
+        # hop 2 qualify, a subset of the explicit chain's answers.
+        assert set(ranged.rows) <= set(chained.rows)
+        assert ranged.rows  # and it does find the hop-2 nodes
+
+    def test_david_problem_one_edge(self, friends_graph):
+        """Within 3 hops of node 0, anyone named David."""
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 0) -[Friends*1..3]-> (b {Name: 'David'}) RETURN b",
+        )
+        assert result.rows == [(2,), (4,)]
+
+    def test_zero_min_includes_start(self, friends_graph):
+        result = execute_tql(
+            friends_graph,
+            "MATCH (a = 1) -[Friends*0..1]-> (b) RETURN b",
+        )
+        assert (1,) in result.rows  # the start itself at distance 0
+        assert (0,) in result.rows and (2,) in result.rows

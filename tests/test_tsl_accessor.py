@@ -1,0 +1,199 @@
+"""Tests for cell accessors: zero-copy reads/writes over blob cells."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.errors import CellLockedError
+from repro.memcloud import MemoryCloud
+from repro.tsl import compile_tsl
+from repro.tsl.accessor import load_cell, save_cell, use_cell
+
+TSL = """
+[CellType: NodeCell]
+cell struct Node {
+    long Id;
+    double Score;
+    string Name;
+    List<long> Links;
+    List<string> Tags;
+}
+"""
+
+
+@pytest.fixture
+def schema():
+    return compile_tsl(TSL)
+
+
+@pytest.fixture
+def node_type(schema):
+    return schema.cell("Node")
+
+
+@pytest.fixture
+def loaded_cloud(cloud, node_type):
+    save_cell(cloud, 1, node_type, {
+        "Id": 7, "Score": 2.5, "Name": "alpha",
+        "Links": [10, 20, 30], "Tags": ["a", "bb"],
+    })
+    return cloud
+
+
+class TestReads:
+    def test_scalar_fields(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            assert cell.Id == 7
+            assert cell.Score == 2.5
+            assert cell.Name == "alpha"
+
+    def test_list_access(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            links = cell.Links
+            assert len(links) == 3
+            assert links[1] == 20
+            assert links[-1] == 30
+            assert list(links) == [10, 20, 30]
+            assert links == [10, 20, 30]
+
+    def test_list_index_errors(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            with pytest.raises(IndexError):
+                cell.Links[3]
+            with pytest.raises(IndexError):
+                cell.Links[-4]
+
+    def test_to_dict(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            assert cell.to_dict()["Tags"] == ["a", "bb"]
+
+    def test_read_materialises_lists(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            assert cell.read("Links") == [10, 20, 30]
+
+    def test_unknown_attribute(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            with pytest.raises(Exception):
+                cell.Ghost
+
+
+class TestInPlaceWrites:
+    def test_fixed_field_write_is_immediate(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Id = 99
+            cell.Score = -1.5
+        assert load_cell(loaded_cloud, 1, node_type)["Id"] == 99
+        assert load_cell(loaded_cloud, 1, node_type)["Score"] == -1.5
+
+    def test_fixed_list_element_write(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Links[1] = 2222
+        assert load_cell(loaded_cloud, 1, node_type)["Links"] == [10, 2222, 30]
+
+    def test_in_place_write_does_not_resize_blob(self, loaded_cloud,
+                                                 node_type):
+        size_before = loaded_cloud.size_of(1)
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Id = 123456789
+        assert loaded_cloud.size_of(1) == size_before
+
+
+class TestStructuralWrites:
+    def test_string_assignment(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Name = "a much longer name than before"
+            # Later fields still readable after the splice.
+            assert list(cell.Links) == [10, 20, 30]
+        assert (load_cell(loaded_cloud, 1, node_type)["Name"]
+                == "a much longer name than before")
+
+    def test_list_append(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Links.append(40)
+            assert len(cell.Links) == 4
+        assert load_cell(loaded_cloud, 1, node_type)["Links"] == [10, 20, 30, 40]
+
+    def test_list_extend(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Links.extend([41, 42])
+        assert load_cell(loaded_cloud, 1, node_type)["Links"][-2:] == [41, 42]
+
+    def test_whole_list_assignment(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Links = [1]
+        assert load_cell(loaded_cloud, 1, node_type)["Links"] == [1]
+
+    def test_variable_list_element_assignment(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Tags[0] = "replaced-tag"
+            assert cell.Tags[1] == "bb"
+        assert load_cell(loaded_cloud, 1, node_type)["Tags"] == [
+            "replaced-tag", "bb",
+        ]
+
+    def test_mixed_writes_in_one_session(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            cell.Name = "renamed"
+            cell.Id = 5       # fixed write after structural change
+            cell.Links.append(99)
+        decoded = load_cell(loaded_cloud, 1, node_type)
+        assert decoded["Name"] == "renamed"
+        assert decoded["Id"] == 5
+        assert decoded["Links"] == [10, 20, 30, 99]
+
+    def test_exception_discards_structural_changes(self, loaded_cloud,
+                                                   node_type):
+        with pytest.raises(RuntimeError):
+            with use_cell(loaded_cloud, 1, node_type) as cell:
+                cell.Name = "should not persist"
+                raise RuntimeError("abort")
+        assert load_cell(loaded_cloud, 1, node_type)["Name"] == "alpha"
+
+
+class TestLockingProtocol:
+    def test_accessor_holds_the_cell_lock(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type):
+            lock = loaded_cloud.trunk_for(1).lock_of(1)
+            assert lock.held
+
+    def test_nested_accessors_on_same_cell_blocked(self, loaded_cloud,
+                                                   node_type):
+        config = ClusterConfig(
+            machines=2, trunk_bits=3,
+            memory=MemoryParams(trunk_size=64 * 1024, spinlock_budget=32),
+        )
+        cloud = MemoryCloud(config)
+        save_cell(cloud, 1, node_type, {"Id": 1, "Score": 0.0, "Name": "",
+                                        "Links": [], "Tags": []})
+        with use_cell(cloud, 1, node_type):
+            with pytest.raises(CellLockedError):
+                with use_cell(cloud, 1, node_type):
+                    pass
+
+    def test_lock_released_after_exit(self, loaded_cloud, node_type):
+        with use_cell(loaded_cloud, 1, node_type):
+            pass
+        with use_cell(loaded_cloud, 1, node_type) as cell:
+            assert cell.Id == 7
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(-2**62, 2**62), st.text(max_size=30),
+        st.lists(st.integers(-2**62, 2**62), max_size=20),
+    )
+    def test_write_then_read_equals_written(self, new_id, new_name,
+                                            new_links):
+        node_type = compile_tsl(TSL).cell("Node")
+        cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=3))
+        save_cell(cloud, 1, node_type, {"Id": 0, "Score": 0.0, "Name": "x",
+                                        "Links": [0], "Tags": []})
+        with use_cell(cloud, 1, node_type) as cell:
+            cell.Id = new_id
+            cell.Name = new_name
+            cell.Links = new_links
+        decoded = load_cell(cloud, 1, node_type)
+        assert decoded["Id"] == new_id
+        assert decoded["Name"] == new_name
+        assert decoded["Links"] == new_links

@@ -1,0 +1,136 @@
+"""Tests for the TSL compiler: schema resolution and protocol specs."""
+
+import pytest
+
+from repro.errors import TslTypeError
+from repro.tsl import compile_tsl
+
+FULL_TSL = """
+[CellType: NodeCell]
+cell struct Movie {
+    string Name;
+    int Year;
+    [EdgeType: SimpleEdge, ReferencedCell: Actor]
+    List<long> Actors;
+}
+[CellType: NodeCell]
+cell struct Actor {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Movie]
+    List<long> Movies;
+}
+struct MyMessage { string Text; }
+protocol Echo { Type: Syn; Request: MyMessage; Response: MyMessage; }
+protocol Notify { Type: Asyn; Request: MyMessage; }
+"""
+
+
+class TestCompilation:
+    def test_cells_vs_structs(self):
+        schema = compile_tsl(FULL_TSL)
+        assert set(schema.cells) == {"Movie", "Actor"}
+        assert "MyMessage" in schema.structs
+        assert "MyMessage" not in schema.cells
+
+    def test_encode_decode_roundtrip(self):
+        schema = compile_tsl(FULL_TSL)
+        record = {"Name": "Heat", "Year": 1995, "Actors": [10, 11]}
+        blob = schema.encode("Movie", record)
+        assert schema.decode("Movie", blob) == record
+
+    def test_trailing_bytes_detected(self):
+        schema = compile_tsl(FULL_TSL)
+        blob = schema.encode("Movie", {"Name": "X", "Year": 1, "Actors": []})
+        with pytest.raises(TslTypeError, match="trailing"):
+            schema.decode("Movie", blob + b"\x00")
+
+    def test_edge_fields(self):
+        schema = compile_tsl(FULL_TSL)
+        edges = schema.edge_fields("Movie")
+        assert len(edges) == 1
+        assert edges[0].field_name == "Actors"
+        assert edges[0].edge_type == "SimpleEdge"
+        assert edges[0].referenced_cell == "Actor"
+
+    def test_cell_attributes(self):
+        schema = compile_tsl(FULL_TSL)
+        assert schema.cell_attributes("Movie") == {"CellType": "NodeCell"}
+
+    def test_unknown_struct_raises(self):
+        schema = compile_tsl(FULL_TSL)
+        with pytest.raises(TslTypeError):
+            schema.struct("Ghost")
+        with pytest.raises(TslTypeError):
+            schema.cell("MyMessage")
+
+    def test_nested_user_struct(self):
+        schema = compile_tsl("""
+        struct Inner { int A; }
+        cell struct Outer { Inner Nested; List<Inner> Many; }
+        """)
+        blob = schema.encode("Outer", {
+            "Nested": {"A": 1}, "Many": [{"A": 2}, {"A": 3}],
+        })
+        decoded = schema.decode("Outer", blob)
+        assert decoded["Many"][1] == {"A": 3}
+
+    def test_embedding_cycle_rejected(self):
+        with pytest.raises(TslTypeError, match="cycle"):
+            compile_tsl("""
+            struct A { B Other; }
+            struct B { A Other; }
+            """)
+
+    def test_self_embedding_rejected(self):
+        with pytest.raises(TslTypeError, match="cycle"):
+            compile_tsl("struct A { A Self; }")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TslTypeError, match="unknown type"):
+            compile_tsl("struct A { Widget W; }")
+
+    def test_unknown_generic_rejected(self):
+        with pytest.raises(TslTypeError, match="unknown generic"):
+            compile_tsl("struct A { Set<int> S; }")
+
+    def test_list_arity_checked(self):
+        with pytest.raises(TslTypeError, match="one type argument"):
+            compile_tsl("struct A { List<int, long> S; }")
+
+    def test_duplicate_structs_rejected(self):
+        with pytest.raises(TslTypeError, match="duplicate"):
+            compile_tsl("struct A { int X; } struct A { int Y; }")
+
+    def test_csharp_aliases(self):
+        schema = compile_tsl("struct A { int64 Big; uint8 Small; }")
+        blob = schema.encode("A", {"Big": 2**40, "Small": 255})
+        assert schema.decode("A", blob) == {"Big": 2**40, "Small": 255}
+
+    def test_bitarray_field(self):
+        schema = compile_tsl("struct A { BitArray Flags; }")
+        blob = schema.encode("A", {"Flags": [True, False, True]})
+        assert schema.decode("A", blob)["Flags"] == [True, False, True]
+
+
+class TestProtocols:
+    def test_sync_protocol_spec(self):
+        schema = compile_tsl(FULL_TSL)
+        echo = schema.protocol("Echo")
+        assert echo.is_synchronous
+        assert echo.request.name == "MyMessage"
+        assert echo.response.name == "MyMessage"
+
+    def test_async_protocol_spec(self):
+        schema = compile_tsl(FULL_TSL)
+        notify = schema.protocol("Notify")
+        assert not notify.is_synchronous
+        assert notify.response is None
+
+    def test_unknown_protocol(self):
+        schema = compile_tsl(FULL_TSL)
+        with pytest.raises(TslTypeError):
+            schema.protocol("Ghost")
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(TslTypeError, match="unknown message type"):
+            compile_tsl("protocol P { Type: Syn; Request: Ghost; }")

@@ -1,0 +1,139 @@
+"""Tests for the TSL lexer and parser."""
+
+import pytest
+
+from repro.errors import TslSyntaxError
+from repro.tsl import parse_tsl, tokenize
+from repro.tsl.ast import TypeExpr
+
+MOVIE_TSL = """
+[CellType: NodeCell]
+cell struct Movie {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Actor]
+    List<long> Actors;
+}
+"""
+
+
+class TestLexer:
+    def test_tokens_have_positions(self):
+        tokens = tokenize("cell struct X {\n int A;\n}")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[0].line == 1
+        int_token = next(t for t in tokens if t.text == "int")
+        assert int_token.line == 2
+
+    def test_line_comments_stripped(self):
+        tokens = tokenize("struct A { // a comment\n int B; }")
+        assert all("comment" not in t.text for t in tokens)
+
+    def test_block_comments_stripped(self):
+        tokens = tokenize("struct /* hidden\n lines */ A { }")
+        assert [t.text for t in tokens] == ["struct", "A", "{", "}"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TslSyntaxError, match="unterminated"):
+            tokenize("struct A { /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TslSyntaxError, match="unexpected character"):
+            tokenize("struct A { int @x; }")
+
+    def test_numbers(self):
+        tokens = tokenize("[Version: 42]")
+        assert any(t.kind == "NUMBER" and t.text == "42" for t in tokens)
+
+
+class TestParserStructs:
+    def test_cell_struct(self):
+        script = parse_tsl(MOVIE_TSL)
+        movie = script.struct("Movie")
+        assert movie.is_cell
+        assert [f.name for f in movie.fields] == ["Name", "Actors"]
+
+    def test_cell_attributes(self):
+        script = parse_tsl(MOVIE_TSL)
+        movie = script.struct("Movie")
+        assert movie.attribute_map == {"CellType": "NodeCell"}
+
+    def test_field_edge_attributes(self):
+        script = parse_tsl(MOVIE_TSL)
+        actors = script.struct("Movie").fields[1]
+        assert actors.edge_type == "SimpleEdge"
+        assert actors.referenced_cell == "Actor"
+        assert actors.type_expr == TypeExpr("List", (TypeExpr("long"),))
+
+    def test_plain_struct_not_cell(self):
+        script = parse_tsl("struct Message { string Text; }")
+        assert not script.struct("Message").is_cell
+
+    def test_nested_generic(self):
+        script = parse_tsl("struct S { List<List<int>> Matrix; }")
+        field = script.struct("S").fields[0]
+        assert str(field.type_expr) == "List<List<int>>"
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TslSyntaxError, match="duplicate field"):
+            parse_tsl("struct S { int A; long A; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(TslSyntaxError):
+            parse_tsl("struct S { int A }")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(TslSyntaxError, match="unexpected end"):
+            parse_tsl("struct S { int A;")
+
+    def test_error_carries_position(self):
+        try:
+            parse_tsl("struct S {\n  int A\n}")
+        except TslSyntaxError as exc:
+            assert exc.line >= 2
+        else:
+            pytest.fail("expected TslSyntaxError")
+
+
+class TestParserProtocols:
+    def test_echo_protocol(self):
+        script = parse_tsl("""
+        struct MyMessage { string Text; }
+        protocol Echo {
+            Type: Syn;
+            Request: MyMessage;
+            Response: MyMessage;
+        }
+        """)
+        echo = script.protocols[0]
+        assert echo.name == "Echo"
+        assert echo.kind == "Syn"
+        assert echo.request == "MyMessage"
+        assert echo.response == "MyMessage"
+
+    def test_async_protocol(self):
+        script = parse_tsl("""
+        struct M { int X; }
+        protocol Fire { Type: Asyn; Request: M; }
+        """)
+        assert script.protocols[0].kind == "Asyn"
+        assert script.protocols[0].response is None
+
+    def test_void_messages(self):
+        script = parse_tsl("protocol Ping { Type: Syn; Request: void; }")
+        assert script.protocols[0].request is None
+
+    def test_default_type_is_syn(self):
+        script = parse_tsl("struct M { int X; } protocol P { Request: M; }")
+        assert script.protocols[0].kind == "Syn"
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TslSyntaxError, match="Syn or Asyn"):
+            parse_tsl("protocol P { Type: Sometimes; }")
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(TslSyntaxError, match="unknown protocol setting"):
+            parse_tsl("protocol P { Colour: Blue; }")
+
+    def test_duplicate_setting_rejected(self):
+        with pytest.raises(TslSyntaxError, match="duplicate"):
+            parse_tsl("protocol P { Type: Syn; Type: Asyn; }")

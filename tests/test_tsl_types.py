@@ -1,0 +1,182 @@
+"""Tests for the TSL runtime type system and blob layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaMismatchError, TslTypeError
+from repro.tsl.types import (
+    BOOL, BYTE, DOUBLE, FLOAT, INT, LONG, SHORT, STRING,
+    BitArrayType, ListType, StructType,
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("tsl_type,value", [
+        (BYTE, 200), (BOOL, True), (SHORT, -1234), (INT, -2**31),
+        (LONG, 2**62), (FLOAT, 1.5), (DOUBLE, 3.141592653589793),
+    ])
+    def test_roundtrip(self, tsl_type, value):
+        blob = tsl_type.encode(value)
+        assert len(blob) == tsl_type.fixed_size
+        decoded, offset = tsl_type.decode(blob, 0)
+        assert decoded == pytest.approx(value)
+        assert offset == tsl_type.fixed_size
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            BYTE.encode(300)
+        with pytest.raises(SchemaMismatchError):
+            INT.encode(2**40)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            LONG.encode("not a number")
+
+    def test_write_fixed_in_place(self):
+        buf = bytearray(8)
+        LONG.write_fixed(buf, 0, 99)
+        assert LONG.decode(buf, 0)[0] == 99
+
+    def test_decode_short_buffer(self):
+        with pytest.raises(SchemaMismatchError):
+            DOUBLE.decode(b"\x00\x00", 0)
+
+    def test_defaults_are_zero(self):
+        assert INT.default() == 0
+        assert DOUBLE.default() == 0.0
+        assert BOOL.default() is False
+
+
+class TestString:
+    @given(st.text(max_size=200))
+    def test_roundtrip(self, text):
+        blob = STRING.encode(text)
+        decoded, end = STRING.decode(blob, 0)
+        assert decoded == text
+        assert end == len(blob)
+        assert STRING.skip(blob, 0) == end
+
+    def test_utf8(self):
+        blob = STRING.encode("héllo 世界")
+        assert STRING.decode(blob, 0)[0] == "héllo 世界"
+
+    def test_not_fixed(self):
+        assert STRING.fixed_size is None
+        with pytest.raises(TslTypeError):
+            STRING.write_fixed(bytearray(8), 0, "x")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            STRING.encode(42)
+
+    def test_truncated_blob(self):
+        blob = STRING.encode("abcdef")
+        with pytest.raises(SchemaMismatchError):
+            STRING.decode(blob[:3], 0)
+
+
+class TestList:
+    @given(st.lists(st.integers(-2**62, 2**62), max_size=50))
+    def test_roundtrip_longs(self, values):
+        list_type = ListType(LONG)
+        blob = list_type.encode(values)
+        decoded, end = list_type.decode(blob, 0)
+        assert decoded == values
+        assert end == len(blob)
+        assert list_type.skip(blob, 0) == end
+
+    @given(st.lists(st.text(max_size=20), max_size=20))
+    def test_roundtrip_strings(self, values):
+        list_type = ListType(STRING)
+        blob = list_type.encode(values)
+        assert list_type.decode(blob, 0)[0] == values
+        assert list_type.skip(blob, 0) == len(blob)
+
+    def test_nested_lists(self):
+        matrix_type = ListType(ListType(INT))
+        matrix = [[1, 2], [], [3]]
+        blob = matrix_type.encode(matrix)
+        assert matrix_type.decode(blob, 0)[0] == matrix
+
+    def test_non_list_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            ListType(INT).encode(5)
+
+    def test_name(self):
+        assert ListType(LONG).name == "List<long>"
+
+
+class TestBitArray:
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_roundtrip(self, bits):
+        bit_type = BitArrayType()
+        blob = bit_type.encode(bits)
+        assert bit_type.decode(blob, 0)[0] == bits
+        assert bit_type.skip(blob, 0) == len(blob)
+
+    def test_packing_density(self):
+        blob = BitArrayType().encode([True] * 64)
+        assert len(blob) == 1 + 8  # varint count + 8 packed bytes
+
+
+class TestStruct:
+    def make_person(self) -> StructType:
+        return StructType("Person", [
+            ("Id", LONG), ("Age", INT), ("Name", STRING),
+            ("Friends", ListType(LONG)),
+        ])
+
+    def test_roundtrip(self):
+        person = self.make_person()
+        record = {"Id": 7, "Age": 30, "Name": "Ada", "Friends": [1, 2]}
+        blob = person.encode(record)
+        assert person.decode(blob, 0)[0] == record
+
+    def test_partial_record_uses_defaults(self):
+        person = self.make_person()
+        blob = person.encode({"Id": 7})
+        decoded = person.decode(blob, 0)[0]
+        assert decoded == {"Id": 7, "Age": 0, "Name": "", "Friends": []}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaMismatchError, match="unknown fields"):
+            self.make_person().encode({"Nope": 1})
+
+    def test_fixed_size_struct(self):
+        point = StructType("Point", [("X", DOUBLE), ("Y", DOUBLE)])
+        assert point.fixed_size == 16
+        buf = bytearray(16)
+        point.write_fixed(buf, 0, {"X": 1.0, "Y": 2.0})
+        assert point.decode(buf, 0)[0] == {"X": 1.0, "Y": 2.0}
+
+    def test_variable_struct_not_fixed(self):
+        assert self.make_person().fixed_size is None
+
+    def test_field_offset_walks_variable_fields(self):
+        person = self.make_person()
+        record = {"Id": 1, "Age": 2, "Name": "long name here", "Friends": [5]}
+        blob = person.encode(record)
+        offset = person.field_offset(blob, "Friends")
+        friends_type = person.field_type("Friends")
+        assert friends_type.decode(blob, offset)[0] == [5]
+
+    def test_field_offset_unknown_field(self):
+        person = self.make_person()
+        blob = person.encode(person.default())
+        with pytest.raises(TslTypeError):
+            person.field_offset(blob, "Ghost")
+
+    def test_nested_struct_roundtrip(self):
+        inner = StructType("Inner", [("A", INT)])
+        outer = StructType("Outer", [("Pre", STRING), ("In", inner)])
+        blob = outer.encode({"Pre": "xy", "In": {"A": 9}})
+        assert outer.decode(blob, 0)[0] == {"Pre": "xy", "In": {"A": 9}}
+
+    @given(st.lists(st.tuples(st.integers(-2**31, 2**31 - 1),
+                              st.text(max_size=10)), max_size=15))
+    def test_list_of_structs(self, rows):
+        row_type = StructType("Row", [("K", INT), ("V", STRING)])
+        table_type = ListType(row_type)
+        records = [{"K": k, "V": v} for k, v in rows]
+        blob = table_type.encode(records)
+        assert table_type.decode(blob, 0)[0] == records

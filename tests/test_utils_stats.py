@@ -1,0 +1,74 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import OnlineStats, percentile
+
+FLOATS = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_value(self):
+        stats = OnlineStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.stddev == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    @given(st.lists(FLOATS, min_size=2, max_size=100))
+    def test_matches_batch_formulas(self, values):
+        stats = OnlineStats()
+        stats.update(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    def test_repr_mentions_count(self):
+        stats = OnlineStats()
+        stats.add(1.0)
+        assert "count=1" in repr(stats)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_element(self):
+        assert percentile([7], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(FLOATS, min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_within_data_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)

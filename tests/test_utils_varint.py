@@ -1,0 +1,70 @@
+"""Tests for repro.utils.varint."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.varint import decode_varint, encode_varint
+
+
+class TestEncode:
+    def test_zero_is_one_byte(self):
+        assert encode_varint(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        for value in range(128):
+            assert len(encode_varint(value)) == 1
+
+    def test_128_takes_two_bytes(self):
+        assert encode_varint(128) == b"\x80\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_64_bit_max(self):
+        value = 2**64 - 1
+        assert len(encode_varint(value)) == 10
+
+
+class TestDecode:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40),
+                    min_size=1, max_size=20))
+    def test_roundtrip_stream(self, values):
+        buf = b"".join(encode_varint(v) for v in values)
+        offset = 0
+        out = []
+        for _ in values:
+            value, offset = decode_varint(buf, offset)
+            out.append(value)
+        assert out == values
+        assert offset == len(buf)
+
+    def test_decode_with_offset(self):
+        buf = b"\xff" + encode_varint(300)
+        value, offset = decode_varint(buf, 1)
+        assert value == 300
+        assert offset == len(buf)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError, match="64 bits"):
+            decode_varint(b"\x80" * 10 + b"\x01")
+
+    def test_works_on_bytearray_and_memoryview(self):
+        encoded = bytearray(encode_varint(77))
+        assert decode_varint(encoded)[0] == 77
+        assert decode_varint(memoryview(encoded))[0] == 77

@@ -1,0 +1,88 @@
+"""Tests for the Graph500-style result validators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, pagerank, wcc
+from repro.algorithms.validation import (
+    validate_bfs_levels,
+    validate_components,
+    validate_pagerank,
+)
+from repro.errors import ComputeError
+
+
+class TestBfsValidation:
+    def test_accepts_real_bfs(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        validate_bfs_levels(rmat_topology, 0, run.levels)
+
+    def test_rejects_wrong_root_level(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        levels = run.levels.copy()
+        levels[0] = 1
+        with pytest.raises(ComputeError, match="root level"):
+            validate_bfs_levels(rmat_topology, 0, levels)
+
+    def test_rejects_level_jump(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        levels = run.levels.copy()
+        victim = int(np.nonzero(levels == 2)[0][0])
+        levels[victim] = 7  # creates an edge spanning several levels
+        with pytest.raises(ComputeError):
+            validate_bfs_levels(rmat_topology, 0, levels)
+
+    def test_rejects_orphan(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        levels = run.levels.copy()
+        depth = int(levels.max())
+        victim = int(np.nonzero(levels == depth)[0][0])
+        levels[victim] = depth + 3  # reached, but no parent at depth+2
+        with pytest.raises(ComputeError):
+            validate_bfs_levels(rmat_topology, 0, levels)
+
+    def test_rejects_unreached_leak(self, rmat_topology):
+        run = bfs(rmat_topology, 0)
+        levels = run.levels.copy()
+        reached = np.nonzero(levels > 0)[0]
+        levels[reached[0]] = -1  # pretend a reached vertex was missed
+        with pytest.raises(ComputeError):
+            validate_bfs_levels(rmat_topology, 0, levels)
+
+    def test_length_checked(self, rmat_topology):
+        with pytest.raises(ComputeError, match="length"):
+            validate_bfs_levels(rmat_topology, 0, np.zeros(3))
+
+
+class TestPageRankValidation:
+    def test_accepts_real_ranks(self, rmat_topology):
+        run = pagerank(rmat_topology, iterations=10)
+        validate_pagerank(run.ranks)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ComputeError, match="sum"):
+            validate_pagerank(np.array([0.5, 0.1]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ComputeError, match="non-positive"):
+            validate_pagerank(np.array([1.0, 0.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ComputeError, match="non-finite"):
+            validate_pagerank(np.array([np.nan, 1.0]))
+
+
+class TestComponentValidation:
+    def test_accepts_real_wcc(self, undirected_topology):
+        run = wcc(undirected_topology)
+        validate_components(undirected_topology, run.labels)
+
+    def test_rejects_split_edge(self, undirected_topology):
+        run = wcc(undirected_topology)
+        labels = run.labels.copy()
+        # Give one connected vertex a label of its own.
+        degrees = undirected_topology.out_degrees()
+        victim = int(np.nonzero(degrees > 0)[0][0])
+        labels[victim] = victim if victim != labels[victim] else victim + 1
+        with pytest.raises(ComputeError):
+            validate_components(undirected_topology, labels)
