@@ -13,6 +13,7 @@ import pathlib
 from repro.config import ClusterConfig, MemoryParams, NetworkParams
 from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
 from repro.memcloud import MemoryCloud
+from repro.obs import JsonFileSink, get_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -22,11 +23,19 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 IPOIB = NetworkParams(latency=30e-6, bandwidth=5e9)
 
 
-def report(name: str, lines: list[str]) -> str:
-    """Print a result table and persist it under benchmarks/results/."""
+def report(name: str, lines: list[str], registry=None) -> str:
+    """Print a result table and persist it under benchmarks/results/.
+
+    Alongside the text table, the metrics registry that accumulated
+    during the run is snapshotted to ``<name>.metrics.json`` — the trunk
+    allocator, network-round and superstep series behind the numbers.
+    """
     text = "\n".join(lines) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    registry = registry if registry is not None else get_registry()
+    sink = JsonFileSink(RESULTS_DIR / f"{name}.metrics.json")
+    sink.export(registry.snapshot())
     print(f"\n=== {name} ===")
     print(text)
     return text

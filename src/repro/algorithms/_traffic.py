@@ -115,7 +115,12 @@ class TrafficModel:
             round_.add_message(src, dst, count * self.message_bytes, count)
         elapsed = round_.finish(parallelism=params.threads_per_machine)
         network.clock.advance(params.barrier_cost)
-        return elapsed + params.barrier_cost
+        elapsed += params.barrier_cost
+        # Same superstep series the vertex engine records, so a snapshot
+        # looks identical whichever execution path produced the run.
+        network.obs.counter("bsp.superstep.total").inc()
+        network.obs.histogram("span.bsp.superstep.seconds").observe(elapsed)
+        return elapsed
 
     # -- helpers -------------------------------------------------------------
 

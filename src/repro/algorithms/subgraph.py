@@ -22,7 +22,6 @@ which is the paper's point.
 from __future__ import annotations
 
 import random
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np

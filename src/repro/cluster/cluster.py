@@ -12,6 +12,7 @@ from ..errors import CellNotFoundError, RecoveryError
 from ..memcloud import MemoryCloud, persistence
 from ..memcloud.trunk import MemoryTrunk
 from ..net import MessageRuntime, SimNetwork
+from ..obs import MetricsRegistry, MetricsReport, get_registry
 from ..tfs import TrinityFileSystem
 from .client import Client
 from .heartbeat import HeartbeatMonitor
@@ -36,10 +37,11 @@ class TrinityCluster:
 
     def __init__(self, config: ClusterConfig | None = None,
                  schema=None, enable_buffered_log: bool = True,
-                 disk_root=None):
+                 disk_root=None, registry: MetricsRegistry | None = None):
         self.config = config or ClusterConfig()
-        self.cloud = MemoryCloud(self.config)
-        self.network = SimNetwork(self.config.network)
+        self.obs = registry if registry is not None else get_registry()
+        self.cloud = MemoryCloud(self.config, registry=self.obs)
+        self.network = SimNetwork(self.config.network, registry=self.obs)
         self.runtime = MessageRuntime(self.network, schema=schema)
         # With a disk_root, TFS blocks live in real files and the whole
         # deployment can be restored after a process restart via
@@ -140,7 +142,7 @@ class TrinityCluster:
         for trunk_id in self.cloud.addressing.trunks_of(machine_id):
             # Losing the machine loses the DRAM: model it honestly.
             self.cloud.trunks[trunk_id] = MemoryTrunk(
-                trunk_id, self.config.memory
+                trunk_id, self.config.memory, registry=self.obs
             )
         if machine_id == self.leader_id:
             self.leader_id = self.election.elect(self.alive_machines())
@@ -177,7 +179,16 @@ class TrinityCluster:
         # Late registration of the built-in protocols for the newcomer.
         self._install_kv_protocols()
         self.heartbeat._last_beat[new_id] = self.heartbeat.time
+        if self.buffered_log is not None:
+            self.buffered_log.rebalance(self.alive_machines())
         return new_id
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_report(self) -> MetricsReport:
+        """Everything the deployment recorded: trunk allocator series,
+        network rounds, per-slave request latency, engine spans."""
+        return MetricsReport.from_registry(self.obs)
 
     def restart_machine(self, machine_id: int) -> None:
         """Bring a crashed slave back (empty; it rejoins the pool)."""
@@ -186,3 +197,9 @@ class TrinityCluster:
             raise RecoveryError(f"machine {machine_id} is already alive")
         slave.restart()
         self.runtime.recover_machine(machine_id)
+        if self.buffered_log is not None:
+            # Returning capacity can lift origins back to full log
+            # replication: while few machines were alive the ring may
+            # have offered a single holder, and waiting for the next
+            # crash to rebalance would be one crash too late.
+            self.buffered_log.rebalance(self.alive_machines())

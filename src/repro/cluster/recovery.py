@@ -48,22 +48,43 @@ class BufferedLog:
     )
     _sequence: int = 0
 
-    def holders_for(self, origin: int) -> list[int]:
-        """The machines holding origin's log (the next ``replication``
-        machines on the ring, skipping origin itself)."""
-        holders = []
-        machine = origin
-        while len(holders) < min(self.replication, self.machines - 1):
-            machine = (machine + 1) % self.machines
-            if machine != origin:
-                holders.append(machine)
-        return holders
+    def _ring_candidates(self, origin: int, alive=None) -> list[int]:
+        """Holder candidates in ring order after ``origin``, live first."""
+        candidates = []
+        for step in range(1, self.machines):
+            machine = (origin + step) % self.machines
+            if machine == origin:
+                continue
+            if alive is not None and machine not in alive:
+                continue
+            candidates.append(machine)
+        return candidates
 
-    def append(self, origin: int, cell_id: int, value: bytes) -> None:
-        """Log one write before it commits on ``origin``."""
+    def holders_for(self, origin: int, alive=None) -> list[int]:
+        """The machines holding origin's log: the next ``replication``
+        *live* machines on the ring, skipping origin itself.  A buffer on
+        a dead machine is gone the moment that machine's DRAM is, so
+        logging to one would silently void the guarantee."""
+        return self._ring_candidates(origin, alive)[:self.replication]
+
+    def append(self, origin: int, cell_id: int, value: bytes,
+               alive=None) -> None:
+        """Log one write before it commits on ``origin``.
+
+        Targets the ring holders plus any live machine already buffering
+        this origin (a holder recruited by :meth:`rebalance` after a
+        crash): skipping those would fork the copies, leaving each record
+        on fewer holders than the replication factor promises.  The
+        transiently wider holder set collapses at the next ``truncate``.
+        """
         self._sequence += 1
         record = _LogRecord(self._sequence, cell_id, value)
-        for holder in self.holders_for(origin):
+        targets = set(self.holders_for(origin, alive))
+        targets.update(
+            h for h, by in self._buffers.items()
+            if by.get(origin) and (alive is None or h in alive)
+        )
+        for holder in targets:
             self._buffers.setdefault(holder, {}).setdefault(
                 origin, []
             ).append(record)
@@ -87,6 +108,54 @@ class BufferedLog:
     def drop_holder(self, holder: int) -> None:
         """A holder machine crashed: its buffered copies are gone too."""
         self._buffers.pop(holder, None)
+
+    def rebalance(self, alive) -> int:
+        """Restore the replication factor after a holder crashed.
+
+        A crash that takes out a log *holder* leaves every origin it was
+        buffering for one replica short; enough such crashes in a row
+        erase an origin's log entirely while the origin itself never
+        failed — exactly the sequence that loses an acknowledged write if
+        the origin dies before its next TFS backup.
+
+        The guarantee must hold per *record*, not per holder: copies
+        diverge across crashes (a holder recruited here missed earlier
+        appends; ring holders recruited by ``append`` missed this
+        merge), so an origin can show ``replication`` live holders while
+        some record survives on only one of them.  Merge the surviving
+        records, overwrite any stale live copy with the merged list, and
+        recruit fresh holders until the factor is met; returns the number
+        of holder copies created or repaired.
+        """
+        alive = set(alive)
+        repaired = 0
+        dead_holders = [h for h in self._buffers if h not in alive]
+        origins = {o for by in self._buffers.values() for o in by}
+        for origin in origins:
+            merged = self.records_for(origin, exclude_holders=dead_holders)
+            if not merged:
+                continue
+            sequences = {r.sequence for r in merged}
+            candidates = self._ring_candidates(origin, alive)
+            want = min(self.replication, len(candidates))
+            current = {
+                h for h, by in self._buffers.items()
+                if h in alive and by.get(origin)
+            }
+            for holder in current:
+                held = self._buffers[holder][origin]
+                if {r.sequence for r in held} != sequences:
+                    self._buffers[holder][origin] = list(merged)
+                    repaired += 1
+            for holder in candidates:
+                if len(current) >= want:
+                    break
+                if holder in current:
+                    continue
+                self._buffers.setdefault(holder, {})[origin] = list(merged)
+                current.add(holder)
+                repaired += 1
+        return repaired
 
 
 class RecoveryCoordinator:
@@ -158,7 +227,8 @@ class RecoveryCoordinator:
             from ..memcloud.trunk import MemoryTrunk
             for trunk_id in missing_images:
                 cluster.cloud.trunks[trunk_id] = MemoryTrunk(
-                    trunk_id, cluster.config.memory
+                    trunk_id, cluster.config.memory,
+                    registry=cluster.cloud.obs,
                 )
 
         # 3) replay buffered-log records for the failed machine, then
@@ -184,6 +254,10 @@ class RecoveryCoordinator:
                     )
             cluster.buffered_log.truncate(failed_id)
             cluster.buffered_log.drop_holder(failed_id)
+            # The failed machine may have been buffering other origins'
+            # logs: restore their replication factor from the surviving
+            # copies before another failure can erase the last one.
+            cluster.buffered_log.rebalance(survivors)
 
         # 4) broadcast the new table.
         self.broadcast_addressing()

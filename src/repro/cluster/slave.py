@@ -63,7 +63,10 @@ class Slave:
         self.cluster.cloud.put(cell_id, value)
         log = self.cluster.buffered_log
         if log is not None:
-            log.append(self.machine_id, cell_id, value)
+            # Buffer on live machines only: a copy placed in a dead
+            # machine's memory would not survive to be replayed.
+            log.append(self.machine_id, cell_id, value,
+                       alive=set(self.cluster.alive_machines()))
 
     def sync_addressing(self) -> bool:
         """Pull the primary addressing table if ours is stale."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..config import ComputeParams
 from ..errors import ComputeError
 from ..net.simnet import ParallelRound, SimNetwork
+from ..obs import Tracer
 from .checkpoint import CheckpointManager
 from .termination import SafraDetector
 
@@ -52,6 +53,11 @@ class AsyncEngine:
         self.checkpoints = checkpoints
         self.interrupt_every = interrupt_every
         self.detector = SafraDetector(topology.machine_count)
+        self.tracer = Tracer(clock=lambda: self.network.clock.now,
+                             registry=self.network.obs)
+        self._h_queue = self.network.obs.histogram("async.slice.queue_depth")
+        self._m_updates = self.network.obs.counter("async.updates.total")
+        self._m_slices = self.network.obs.counter("async.slice.total")
 
     def run(self, update_fn, initial_values, frontier,
             max_updates: int = 1_000_000) -> AsyncResult:
@@ -88,8 +94,10 @@ class AsyncEngine:
             # queue concurrently; the slice is the unit of simulated
             # parallel time (machines genuinely overlap in the async
             # model, there is just no barrier semantics attached).
+            self._h_queue.observe(sum(len(q) for q in queues))
             slice_round = ParallelRound(self.network)
             progressed = False
+            slice_updates = 0
             for machine, queue in enumerate(queues):
                 budget = min(len(queue), 256,
                              max_updates - result.updates)
@@ -99,6 +107,7 @@ class AsyncEngine:
                     queued[vertex] = False
                     wake = update_fn(values, vertex, topo)
                     result.updates += 1
+                    slice_updates += 1
                     since_interrupt += 1
                     progressed = True
                     degree = int(topo.out_indptr[vertex + 1]
@@ -120,9 +129,13 @@ class AsyncEngine:
                 if compute_seconds:
                     slice_round.add_compute(machine, compute_seconds)
             if progressed:
-                result.elapsed += slice_round.finish(
-                    parallelism=cost.threads_per_machine
-                )
+                with self.tracer.span("async.slice",
+                                      updates=slice_updates):
+                    result.elapsed += slice_round.finish(
+                        parallelism=cost.threads_per_machine
+                    )
+                self._m_slices.inc()
+                self._m_updates.inc(slice_updates)
 
             # At a slice boundary every machine has finished its job in
             # hand — the state the paper's interruption signal drives the

@@ -29,6 +29,7 @@ import numpy as np
 from ..config import ComputeParams
 from ..errors import ComputeError
 from ..net.simnet import ParallelRound, SimNetwork
+from ..obs import Tracer
 from .vertex import ComputeContext, VertexProgram
 
 
@@ -91,6 +92,15 @@ class BspEngine:
         self._machine_vertices = [
             topology.nodes_of_machine(m) for m in range(topology.machine_count)
         ]
+        # Spans are stamped with the *simulated* clock, so a superstep
+        # span's duration is the simulated seconds the barrier round took.
+        self.tracer = Tracer(clock=lambda: self.network.clock.now,
+                             registry=self.network.obs)
+        self._h_messages = self.network.obs.histogram(
+            "bsp.superstep.messages"
+        )
+        self._g_queue = self.network.obs.gauge("bsp.queue.depth")
+        self._m_supersteps = self.network.obs.counter("bsp.superstep.total")
         # Mutable per-run state (set up in run()).
         self.values: list = []
         self.aggregators: dict[str, float] = {}
@@ -196,42 +206,52 @@ class BspEngine:
         result = BspResult(values=self.values)
         cost = self.compute_params
         for superstep in range(max_supersteps):
-            ctx.superstep = superstep
-            self._next_inbox = [[] for _ in range(n)]
-            self._messages = 0
-            self._traffic = defaultdict(lambda: [0, 0])
-            traffic = self._traffic
+            with self.tracer.span("bsp.superstep",
+                                  superstep=superstep) as span:
+                ctx.superstep = superstep
+                self._next_inbox = [[] for _ in range(n)]
+                self._messages = 0
+                self._traffic = defaultdict(lambda: [0, 0])
+                traffic = self._traffic
 
-            round_ = ParallelRound(self.network)
-            ran = 0
-            for machine, vertices in enumerate(self._machine_vertices):
-                compute_seconds = 0.0
-                for vertex in vertices:
-                    vertex = int(vertex)
-                    messages = inbox[vertex]
-                    if not self._active[vertex] and not messages:
-                        continue
-                    ctx._bind(vertex)
-                    program.compute(ctx, vertex, messages)
-                    ran += 1
-                    degree = int(topo.out_indptr[vertex + 1]
-                                 - topo.out_indptr[vertex])
-                    compute_seconds += (
-                        cost.vertex_compute_cost + cost.cell_access_cost
-                        + degree * cost.edge_scan_cost
-                    )
-                round_.add_compute(machine, compute_seconds)
+                round_ = ParallelRound(self.network)
+                ran = 0
+                for machine, vertices in enumerate(self._machine_vertices):
+                    compute_seconds = 0.0
+                    for vertex in vertices:
+                        vertex = int(vertex)
+                        messages = inbox[vertex]
+                        if not self._active[vertex] and not messages:
+                            continue
+                        ctx._bind(vertex)
+                        program.compute(ctx, vertex, messages)
+                        ran += 1
+                        degree = int(topo.out_indptr[vertex + 1]
+                                     - topo.out_indptr[vertex])
+                        compute_seconds += (
+                            cost.vertex_compute_cost + cost.cell_access_cost
+                            + degree * cost.edge_scan_cost
+                        )
+                    round_.add_compute(machine, compute_seconds)
 
-            remote_transfers = 0
-            wire_bytes = 0
-            for (src_machine, dst_machine), (count, size) in traffic.items():
-                round_.add_message(src_machine, dst_machine, size, count)
-                if src_machine != dst_machine:
-                    remote_transfers += count
-                    wire_bytes += size
-            elapsed = round_.finish(parallelism=cost.threads_per_machine)
-            elapsed += cost.barrier_cost
-            self.network.clock.advance(cost.barrier_cost)
+                remote_transfers = 0
+                wire_bytes = 0
+                for (src_machine, dst_machine), (count, size) \
+                        in traffic.items():
+                    round_.add_message(src_machine, dst_machine, size, count)
+                    if src_machine != dst_machine:
+                        remote_transfers += count
+                        wire_bytes += size
+                elapsed = round_.finish(parallelism=cost.threads_per_machine)
+                elapsed += cost.barrier_cost
+                self.network.clock.advance(cost.barrier_cost)
+                span.set(active=ran, messages=self._messages,
+                         remote_transfers=remote_transfers)
+            self._m_supersteps.inc()
+            self._h_messages.observe(self._messages)
+            # Depth of the inter-superstep message queue about to be
+            # consumed by the next barrier.
+            self._g_queue.set(self._messages)
 
             self.aggregators = self.aggregators_next
             self.aggregators_next = {}

@@ -16,6 +16,7 @@ import contextlib
 
 from ..config import ClusterConfig
 from ..errors import AddressingError
+from ..obs import MetricsRegistry, MetricsReport, get_registry
 from ..utils.hashing import trunk_of
 from .addressing import AddressingTable
 from .trunk import MemoryTrunk, TrunkStats
@@ -38,13 +39,16 @@ class MemoryCloud:
     b'hello'
     """
 
-    def __init__(self, config: ClusterConfig | None = None):
+    def __init__(self, config: ClusterConfig | None = None,
+                 registry: MetricsRegistry | None = None):
         self.config = config or ClusterConfig()
+        self.obs = registry if registry is not None else get_registry()
         self.addressing = AddressingTable(
             self.config.trunk_bits, range(self.config.machines)
         )
         self.trunks: dict[int, MemoryTrunk] = {
-            trunk_id: MemoryTrunk(trunk_id, self.config.memory)
+            trunk_id: MemoryTrunk(trunk_id, self.config.memory,
+                                  registry=self.obs)
             for trunk_id in range(self.config.trunk_count)
         }
 
@@ -128,6 +132,10 @@ class MemoryCloud:
             trunk_size=sum(s.trunk_size for s in stats),
             defrag_passes=sum(s.defrag_passes for s in stats),
             relocations=sum(s.relocations for s in stats),
+            wraps=sum(s.wraps for s in stats),
+            tail_advances=sum(s.tail_advances for s in stats),
+            defrag_aborts=sum(s.defrag_aborts for s in stats),
+            inplace_resizes=sum(s.inplace_resizes for s in stats),
         )
 
     def total_live_bytes(self) -> int:
@@ -140,3 +148,7 @@ class MemoryCloud:
     def defragment_all(self) -> int:
         """Run a defrag pass on every trunk; returns trunks compacted."""
         return sum(1 for t in self.trunks.values() if t.defragment())
+
+    def metrics_report(self) -> MetricsReport:
+        """Trunk-layer metrics (alloc/wrap/defrag/garbage) as a report."""
+        return MetricsReport.from_registry(self.obs).filter("trunk.")

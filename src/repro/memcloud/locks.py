@@ -17,6 +17,14 @@ from __future__ import annotations
 import threading
 
 from ..errors import CellLockedError
+from ..obs import get_registry
+
+# Cells number in the millions, so per-lock metric objects would swamp the
+# registry; contention is aggregated process-wide instead.  Individual
+# locks still carry their own counts for the trunk-count ablation.
+_ACQUIRES = get_registry().counter("spinlock.acquire.total")
+_CONTENTION = get_registry().counter("spinlock.contention.total")
+_EXHAUSTED = get_registry().counter("spinlock.exhausted.total")
 
 
 class SpinLock:
@@ -48,12 +56,15 @@ class SpinLock:
     def acquire(self, budget: int = 1 << 16) -> None:
         """Spin until acquired or the budget is exhausted."""
         self.acquire_count += 1
+        _ACQUIRES.inc()
         if self.try_acquire():
             return
         self.contention_count += 1
+        _CONTENTION.inc()
         for _ in range(budget):
             if self.try_acquire():
                 return
+        _EXHAUSTED.inc()
         raise CellLockedError(f"spin budget {budget} exhausted")
 
     def release(self) -> None:

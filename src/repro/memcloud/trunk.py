@@ -12,14 +12,30 @@ hash table locating them.  Allocation follows the paper's circular scheme:
   becomes garbage.  The *short-lived reservation* mechanism over-allocates
   growing cells by ``reservation_factor`` so repeated growth does not keep
   relocating them; unused reservations are reclaimed by the next defrag.
+* As cells at the ``committed_tail`` die, the tail advances over the dead
+  space, turning garbage back into allocatable room without any copying.
 * When the head reaches the end of the trunk it wraps to offset 0, skipping
-  a tail gap — the "endless circular movement" of Figure 11.
+  a tail gap — the "endless circular movement" of Figure 11.  Wrapping only
+  needs the tail to have moved off offset 0, so a steady churn workload
+  cycles around the trunk indefinitely without ever compacting.
 * A defragmentation pass compacts live cells, drops reservations, releases
-  pages outside the live region and moves ``committed_tail`` forward.
+  pages outside the live region and resets the tail — the heavyweight
+  fallback for when garbage is scattered *between* live cells rather than
+  behind the tail.
 
 Every cell carries a 16-byte in-arena header (UID, live size, reserved
 size), matching the 16 bytes/cell the paper's memory model in Section 5.4
 charges for "storing and accessing the UID".
+
+The layout invariant the allocator maintains: every byte circularly inside
+``[committed_tail, append_head)`` is either part of a live cell footprint
+or counted in ``garbage_bytes`` (the end gap included once wrapped); every
+byte outside that span is free.  ``_advance_tail`` is the only operation
+that converts garbage back to free space without a compaction pass.
+
+Allocator events (allocations, wraps, tail advances, defrag passes and
+aborts, relocations) are recorded in a :mod:`repro.obs` registry so the
+benchmarks and the shell can watch allocator behaviour under load.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from dataclasses import dataclass
 
 from ..config import MemoryParams
 from ..errors import CellNotFoundError, TrunkFullError
+from ..obs import MetricsRegistry, get_registry
 from .hashtable import TrunkHashTable
 from .locks import SpinLock
 
@@ -59,11 +76,15 @@ class TrunkStats:
     cell_count: int
     live_bytes: int        # headers + live payload
     reserved_bytes: int    # headers + reserved payload (footprints)
-    garbage_bytes: int     # dead regions awaiting defragmentation
+    garbage_bytes: int     # dead regions awaiting reclamation
     committed_bytes: int   # pages currently committed
     trunk_size: int        # reserved address space
     defrag_passes: int
     relocations: int       # cells moved because growth outran reservation
+    wraps: int = 0         # head wrapped into reclaimed tail space
+    tail_advances: int = 0  # tail moved over dead space without compaction
+    defrag_aborts: int = 0  # passes abandoned because a cell was pinned
+    inplace_resizes: int = 0  # resizes served without copying the payload
 
     @property
     def utilization(self) -> float:
@@ -84,7 +105,8 @@ class MemoryTrunk:
     fine-grained pinning within a trunk.
     """
 
-    def __init__(self, trunk_id: int, params: MemoryParams | None = None):
+    def __init__(self, trunk_id: int, params: MemoryParams | None = None,
+                 registry: MetricsRegistry | None = None):
         self.trunk_id = trunk_id
         self.params = params or MemoryParams()
         # Re-entrant: put() may trigger defragment() internally.
@@ -94,13 +116,29 @@ class MemoryTrunk:
         self._entries: list[_CellEntry | None] = []
         self._free_slots: list[int] = []
         self._append_head = 0
-        self._committed_tail = 0
+        self._committed_tail = 0       # oldest live byte (circular start)
         self._wrapped = False          # head has wrapped behind the tail
         self._end_gap = 0              # skipped bytes at arena end after wrap
         self._garbage_bytes = 0
         self._committed_pages: set[int] = set()
         self._defrag_passes = 0
+        self._defrag_aborts = 0
         self._relocations = 0
+        self._wraps = 0
+        self._tail_advances = 0
+        self._inplace_resizes = 0
+        obs = registry if registry is not None else get_registry()
+        self.obs = obs
+        label = {"trunk": trunk_id}
+        self._m_alloc = obs.counter("trunk.alloc.total", **label)
+        self._m_wrap = obs.counter("trunk.wrap.total", **label)
+        self._m_tail = obs.counter("trunk.tail_advance.bytes", **label)
+        self._m_defrag = obs.counter("trunk.defrag.passes", **label)
+        self._m_defrag_abort = obs.counter("trunk.defrag.aborted", **label)
+        self._m_reloc = obs.counter("trunk.relocations.total", **label)
+        self._m_inplace = obs.counter("trunk.resize.inplace.total", **label)
+        self._g_garbage = obs.gauge("trunk.garbage.bytes", **label)
+        self._g_util = obs.gauge("trunk.utilization", **label)
 
     # -- public API ----------------------------------------------------------
 
@@ -152,7 +190,7 @@ class MemoryTrunk:
             return self._require(uid).lock
 
     def remove(self, uid: int) -> None:
-        """Delete a cell; its region becomes garbage until defrag."""
+        """Delete a cell; its region becomes garbage until reclaimed."""
         with self._mutex:
             entry = self._require(uid)
             self._remove_locked(entry)
@@ -167,6 +205,7 @@ class MemoryTrunk:
             self._entries[slot] = None
             self._free_slots.append(slot)
             self._garbage_bytes += entry.footprint
+            self._g_garbage.set(self._garbage_bytes)
 
     def size_of(self, uid: int) -> int:
         """Live payload size of the cell in bytes."""
@@ -176,23 +215,37 @@ class MemoryTrunk:
     def resize(self, uid: int, new_size: int, fill: int = 0) -> None:
         """Grow or shrink a cell in place where possible.
 
-        Growth within the reserved slot only bumps the live size; growth
-        beyond it relocates the cell (counting a relocation and leaving
-        garbage behind), which is exactly the traffic the short-lived
-        reservation mechanism of Section 6.1 is designed to dampen.
+        Within the reserved slot the resize touches only the grown region
+        and the header — no payload copy at all.  Growth beyond the slot
+        relocates the cell (counting a relocation and leaving garbage
+        behind), which is exactly the traffic the short-lived reservation
+        mechanism of Section 6.1 is designed to dampen.
         """
         if new_size < 0:
             raise ValueError("cell size cannot be negative")
         with self._mutex:
             entry = self._require(uid)
-            current = self.get(uid)
-            if new_size <= len(current):
-                self._update(entry, current[:new_size])
-            else:
-                self._update(
-                    entry,
-                    current + bytes([fill]) * (new_size - len(current)),
-                )
+            if new_size <= entry.reserved:
+                with entry.lock:
+                    if new_size > entry.size:
+                        self._arena[
+                            entry.offset + entry.size:
+                            entry.offset + new_size
+                        ] = bytes([fill]) * (new_size - entry.size)
+                    entry.size = new_size
+                    self._write_header(
+                        entry.offset - CELL_HEADER_BYTES,
+                        entry.uid, entry.size, entry.reserved,
+                    )
+                self._inplace_resizes += 1
+                self._m_inplace.inc()
+                return
+            # Outgrew the reservation: one payload copy, then relocate.
+            grown = (
+                bytes(self._arena[entry.offset:entry.offset + entry.size])
+                + bytes([fill]) * (new_size - entry.size)
+            )
+            self._update(entry, grown)
 
     def stats(self) -> TrunkStats:
         with self._mutex:
@@ -203,7 +256,7 @@ class MemoryTrunk:
             CELL_HEADER_BYTES + e.size for e in self._entries if e is not None
         )
         reserved = sum(e.footprint for e in self._entries if e is not None)
-        return TrunkStats(
+        stats = TrunkStats(
             cell_count=len(self._index),
             live_bytes=live,
             reserved_bytes=reserved,
@@ -212,7 +265,13 @@ class MemoryTrunk:
             trunk_size=self.params.trunk_size,
             defrag_passes=self._defrag_passes,
             relocations=self._relocations,
+            wraps=self._wraps,
+            tail_advances=self._tail_advances,
+            defrag_aborts=self._defrag_aborts,
+            inplace_resizes=self._inplace_resizes,
         )
+        self._g_util.set(stats.utilization)
+        return stats
 
     @property
     def mean_probe_length(self) -> float:
@@ -286,7 +345,9 @@ class MemoryTrunk:
                 return
             # Outgrew the slot: relocate with a short-lived reservation.
             self._relocations += 1
+            self._m_reloc.inc()
             self._garbage_bytes += entry.footprint
+            self._g_garbage.set(self._garbage_bytes)
             slot = self._index.get(entry.uid)
             assert slot is not None
             self._index.delete(entry.uid)
@@ -296,14 +357,21 @@ class MemoryTrunk:
         self._maybe_defrag()
 
     def _allocate(self, footprint: int) -> int:
-        """Reserve ``footprint`` bytes at the append head, wrapping/
-        defragmenting as needed.  Returns the region's start offset."""
+        """Reserve ``footprint`` bytes at the append head.
+
+        Tries, in escalating order of cost: a pointer bump (possibly
+        wrapping into reclaimed tail space), advancing the tail over dead
+        cells and retrying, and finally a full defragmentation pass.
+        Returns the region's start offset.
+        """
         if footprint > self.params.trunk_size:
             raise TrunkFullError(
                 f"cell footprint {footprint} exceeds trunk size "
                 f"{self.params.trunk_size}"
             )
         offset = self._try_allocate(footprint)
+        if offset is None and self._advance_tail():
+            offset = self._try_allocate(footprint)
         if offset is None:
             self.defragment()
             offset = self._try_allocate(footprint)
@@ -313,6 +381,7 @@ class MemoryTrunk:
                 f"(live {self.stats().reserved_bytes}, "
                 f"size {self.params.trunk_size})"
             )
+        self._m_alloc.inc()
         self._commit_range(offset, offset + footprint)
         return offset
 
@@ -323,12 +392,15 @@ class MemoryTrunk:
                 offset = self._append_head
                 self._append_head += footprint
                 return offset
-            # Wrap: the slack at the end becomes a skip gap.
+            # Wrap: the slack at the end becomes a skip gap (Figure 11).
             if footprint <= self._committed_tail:
                 self._end_gap = size - self._append_head
                 self._garbage_bytes += self._end_gap
+                self._g_garbage.set(self._garbage_bytes)
                 self._wrapped = True
                 self._append_head = footprint
+                self._wraps += 1
+                self._m_wrap.inc()
                 return 0
             return None
         if self._append_head + footprint <= self._committed_tail:
@@ -336,6 +408,57 @@ class MemoryTrunk:
             self._append_head += footprint
             return offset
         return None
+
+    def _advance_tail(self) -> int:
+        """Move the tail forward over dead space; returns bytes reclaimed.
+
+        This is the cheap half of the paper's circular scheme: when the
+        cells just after the committed tail have been removed (or
+        relocated), the span between the old tail and the oldest surviving
+        cell is pure garbage, and skipping over it frees that room for the
+        head to wrap into — no copying, no defragmentation.
+        """
+        with self._mutex:
+            size = self.params.trunk_size
+            old_tail = self._committed_tail
+            live = [e for e in self._entries if e is not None]
+            if not live:
+                reclaimed = self._garbage_bytes
+                self._append_head = 0
+                self._committed_tail = 0
+                self._wrapped = False
+                self._end_gap = 0
+                self._garbage_bytes = 0
+                self._g_garbage.set(0)
+                if reclaimed:
+                    self._tail_advances += 1
+                    self._m_tail.inc(reclaimed)
+                return reclaimed
+
+            def circ(start: int) -> int:
+                """Circular distance of a cell start from the old tail."""
+                if start >= old_tail:
+                    return start - old_tail
+                return start + size - old_tail
+
+            advanced = min(circ(e.offset - CELL_HEADER_BYTES) for e in live)
+            if advanced == 0:
+                return 0
+            new_tail = (old_tail + advanced) % size
+            # Everything between the old and new tail was garbage (live
+            # cells never start there, and no footprint spans the tail).
+            self._garbage_bytes -= advanced
+            assert self._garbage_bytes >= 0
+            if self._wrapped and old_tail + advanced >= size:
+                # The tail crossed the arena end: the skip gap it passed
+                # over dissolves and the layout is linear again.
+                self._wrapped = False
+                self._end_gap = 0
+            self._committed_tail = new_tail
+            self._g_garbage.set(self._garbage_bytes)
+            self._tail_advances += 1
+            self._m_tail.inc(advanced)
+            return advanced
 
     def _write_cell(self, offset: int, uid: int, value: bytes,
                     reserved: int) -> None:
@@ -358,6 +481,11 @@ class MemoryTrunk:
         committed = len(self._committed_pages) * self.params.page_size
         if not committed:
             return
+        if self._garbage_bytes / committed < self.params.defrag_trigger_ratio:
+            return
+        # Circular reclamation first: advancing the tail is O(cells) with
+        # no copying, so only compact if scattered garbage remains.
+        self._advance_tail()
         if self._garbage_bytes / committed >= self.params.defrag_trigger_ratio:
             self.defragment()
 
@@ -377,6 +505,8 @@ class MemoryTrunk:
     def _defragment_locked(self) -> bool:
         live = [e for e in self._entries if e is not None]
         if any(e.lock.held for e in live):
+            self._defrag_aborts += 1
+            self._m_defrag_abort.inc()
             return False
         # Order by current circular position from the committed tail so
         # relative order (and therefore locality) is preserved.
@@ -401,6 +531,7 @@ class MemoryTrunk:
         self._wrapped = False
         self._end_gap = 0
         self._garbage_bytes = 0
+        self._g_garbage.set(0)
         # Decommit pages wholly beyond the new head.
         page = self.params.page_size
         last_live_page = (cursor - 1) // page if cursor else -1
@@ -408,4 +539,5 @@ class MemoryTrunk:
             p for p in self._committed_pages if p <= last_live_page
         }
         self._defrag_passes += 1
+        self._m_defrag.inc()
         return True

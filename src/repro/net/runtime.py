@@ -116,6 +116,7 @@ class MessageRuntime:
         the simulated clock.
         """
         self._check_alive(dst)
+        start = self.network.clock.now
         request_blob = self._encode(protocol, payload, request=True)
         message = Message(src, dst, protocol, request_blob)
         self.network.clock.advance(
@@ -127,6 +128,11 @@ class MessageRuntime:
         self.network.clock.advance(
             self.network.transfer(dst, src, response.size)
         )
+        # Per-slave request latency in simulated seconds (round trip +
+        # handler), the series the cluster layer reports per machine.
+        self.network.obs.histogram(
+            "cluster.request.seconds", machine=dst, protocol=protocol,
+        ).observe(self.network.clock.now - start)
         return self._decode(protocol, response_blob, request=False)
 
     def send_async(self, src: int, dst: int, protocol: str,

@@ -25,6 +25,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from ..config import NetworkParams
+from ..obs import Counter, MetricsRegistry, get_registry
+
+# Skew can't go below 1 (max/mean); resolve the interesting 1x-10x band.
+_SKEW_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0)
 
 
 class SimClock:
@@ -56,10 +60,29 @@ class NetworkCounters:
 class SimNetwork:
     """The fabric: per-transfer cost model plus global accounting."""
 
-    def __init__(self, params: NetworkParams | None = None):
+    def __init__(self, params: NetworkParams | None = None,
+                 registry: MetricsRegistry | None = None):
         self.params = params or NetworkParams()
         self.clock = SimClock()
         self.counters = NetworkCounters()
+        self.obs = registry if registry is not None else get_registry()
+        self._machine_sent: dict[int, Counter] = {}
+        self._m_rounds = self.obs.counter("net.round.total")
+        self._h_elapsed = self.obs.histogram("net.round.elapsed.seconds")
+        self._h_compute = self.obs.histogram("net.round.compute.seconds")
+        self._h_latency = self.obs.histogram("net.round.latency.seconds")
+        self._h_send = self.obs.histogram("net.round.send.seconds")
+        self._h_skew = self.obs.histogram("net.round.traffic_skew",
+                                          buckets=_SKEW_BUCKETS)
+
+    def machine_sent(self, machine: int) -> Counter:
+        """Cached per-machine sent-bytes counter (traffic skew series)."""
+        counter = self._machine_sent.get(machine)
+        if counter is None:
+            counter = self.obs.counter("net.machine.sent.bytes",
+                                       machine=machine)
+            self._machine_sent[machine] = counter
+        return counter
 
     def transfer(self, src: int, dst: int, size: int,
                  messages: int = 1) -> float:
@@ -71,6 +94,7 @@ class SimNetwork:
         """
         self.counters.messages += messages
         self.counters.payload_bytes += size
+        self.machine_sent(src).inc(size)
         if src == dst:
             self.counters.local_messages += messages
             return messages * self.params.per_message_overhead
@@ -141,6 +165,8 @@ class ParallelRound:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         elapsed = 0.0
+        slowest = (0.0, 0.0, 0.0)      # breakdown of the slowest machine
+        sent_bytes = []
         params = self.network.params
         for machine, load in self._loads.items():
             compute = load.serial + load.compute / parallelism
@@ -149,8 +175,15 @@ class ParallelRound:
             # serialise on the sender's NIC.
             max_latency = 0.0
             serial_send = 0.0
+            machine_bytes = 0
             for dst, (count, size) in load.outgoing.items():
+                if not count and not size:
+                    # add_message(..., count=0) creates the entry without
+                    # any traffic; charging it would fabricate a physical
+                    # transfer and inflate counters.transfers.
+                    continue
                 self.network.transfer(machine, dst, size, count)
+                machine_bytes += size
                 if dst == machine:
                     # Local delivery: per-message handling only.
                     serial_send += count * params.per_message_overhead
@@ -160,8 +193,22 @@ class ParallelRound:
                 )
                 max_latency = max(max_latency, latency_part)
                 serial_send += serial_part
-            elapsed = max(elapsed, compute + max_latency + serial_send)
-        self.network.clock.advance(elapsed)
+            total = compute + max_latency + serial_send
+            if total >= elapsed:
+                elapsed = total
+                slowest = (compute, max_latency, serial_send)
+            if machine_bytes:
+                sent_bytes.append(machine_bytes)
+        network = self.network
+        network._m_rounds.inc()
+        network._h_elapsed.observe(elapsed)
+        network._h_compute.observe(slowest[0])
+        network._h_latency.observe(slowest[1])
+        network._h_send.observe(slowest[2])
+        if len(sent_bytes) > 1:
+            mean = sum(sent_bytes) / len(sent_bytes)
+            network._h_skew.observe(max(sent_bytes) / mean)
+        network.clock.advance(elapsed)
         return elapsed
 
     @property

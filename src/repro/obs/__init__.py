@@ -1,0 +1,49 @@
+"""Observability: metrics, tracing and reporting for the simulation.
+
+The paper's deployment story (Section 7) leans on knowing where time and
+memory go — allocator churn, defrag pressure, per-round network skew,
+superstep latency.  ``repro.obs`` is the dependency-free layer the rest
+of the system records those facts into:
+
+* :mod:`~repro.obs.metrics` — counter/gauge/histogram registry; recording
+  is a plain attribute update on a pre-resolved metric object.
+* :mod:`~repro.obs.tracing` — span tracing over a pluggable clock, so
+  engines trace in *simulated* seconds.
+* :mod:`~repro.obs.report` — :class:`MetricsReport`, the text rendering
+  used by the shell's ``:metrics`` command and the benchmark harness.
+* :mod:`~repro.obs.sinks` — export targets (memory, JSON file, journal);
+  nothing is exported until a sink is attached and ``flush()`` is called.
+
+Every instrumented component takes an optional ``registry`` argument and
+defaults to the process-wide one from :func:`get_registry`, so tests can
+isolate themselves by injecting a fresh ``MetricsRegistry``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .report import MetricsReport
+from .sinks import JsonFileSink, LineSink, MemorySink, NullSink
+from .tracing import Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "MetricsReport",
+    "NullSink",
+    "MemorySink",
+    "JsonFileSink",
+    "LineSink",
+]

@@ -1,0 +1,62 @@
+"""Pluggable export targets for registry snapshots.
+
+A sink is anything with an ``export(snapshot: dict) -> None`` method;
+:meth:`~repro.obs.metrics.MetricsRegistry.flush` pushes one snapshot to
+every attached sink.  Recording into metrics never touches a sink, so a
+run with no sink attached pays nothing at export time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+class NullSink:
+    """Discards snapshots (useful as an explicit no-op in sweeps)."""
+
+    def export(self, snapshot: dict) -> None:
+        pass
+
+
+class MemorySink:
+    """Keeps every flushed snapshot in memory (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict] = []
+
+    def export(self, snapshot: dict) -> None:
+        self.snapshots.append(snapshot)
+
+    @property
+    def latest(self) -> dict | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class JsonFileSink:
+    """Writes each snapshot as pretty-printed JSON, overwriting the file.
+
+    Benchmarks point one at ``benchmarks/results/<name>.metrics.json`` so
+    every run leaves its registry state next to its result table.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.exports = 0
+
+    def export(self, snapshot: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        self.exports += 1
+
+
+class LineSink:
+    """Appends one compact JSON object per flush (a metrics journal)."""
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+
+    def export(self, snapshot: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(snapshot, sort_keys=True) + "\n")

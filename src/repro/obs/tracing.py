@@ -1,0 +1,90 @@
+"""Span-based tracing over a pluggable clock.
+
+A :class:`Tracer` opens :class:`Span`s whose timestamps come from an
+injected ``clock`` callable.  Engines that run on the simulated cluster
+pass ``lambda: network.clock.now`` so span durations are *simulated*
+seconds — the same unit every benchmark reports — while anything else
+falls back to ``time.perf_counter``.
+
+Finished spans land in a bounded ring buffer (the newest ``max_spans``
+are kept) and are simultaneously folded into a duration histogram
+``span.<name>.seconds`` in the tracer's registry, so aggregate latency
+survives even after individual spans rotate out.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry, get_registry
+
+
+@dataclass
+class Span:
+    """One traced operation: name, attributes, and clock interval."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    parent: "Span | None" = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} has not finished")
+        return self.end - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Opens spans, keeps the recent ones, aggregates their durations."""
+
+    def __init__(self, clock=None, registry: MetricsRegistry | None = None,
+                 max_spans: int = 4096):
+        self._clock = clock or time.perf_counter
+        self.registry = registry if registry is not None else get_registry()
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+
+    def now(self) -> float:
+        return self._clock()
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs):
+        span = Span(name=name, start=self.now(), attrs=attrs,
+                    parent=self._stack[-1] if self._stack else None)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self.now()
+            self._finished.append(span)
+            self.registry.histogram(f"span.{name}.seconds").observe(
+                span.duration
+            )
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans still in the buffer, oldest first."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """Process-wide wall-clock tracer (engines make their own sim-clock
+    tracers; this one serves ad-hoc instrumentation)."""
+    return _default_tracer

@@ -8,7 +8,8 @@ Usage::
 
 Builds a named social graph in a simulated cluster and evaluates TQL
 queries against it, printing rows and the simulated execution cost.
-Meta-commands: ``:help``, ``:stats``, ``:node <id>``, ``:quit``.
+Meta-commands: ``:help``, ``:stats``, ``:metrics``, ``:node <id>``,
+``:quit``.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from .config import ClusterConfig, MemoryParams
 from .errors import TrinityError
 from .generators.social import build_social_graph
 from .memcloud import MemoryCloud
+from .obs import MetricsReport
 from .tql import execute_tql
 
 _BANNER = """Trinity TQL shell — {nodes} people, {edges} friendships, \
@@ -29,6 +31,7 @@ type a TQL query (MATCH ... RETURN ...), :help for commands, :quit to exit"""
 _HELP = """commands:
   :help            this message
   :stats           memory-cloud statistics
+  :metrics [pfx]   dump recorded metrics (optionally filtered by prefix)
   :node <id>       dump one person's cell
   :quit            exit
 example queries:
@@ -61,6 +64,11 @@ def handle_meta(command: str, cloud, graph, out) -> bool:
             stats = cloud.machine_stats(machine)
             print(f"  machine {machine}: {stats.cell_count} cells, "
                   f"{stats.live_bytes} live bytes", file=out)
+    elif parts[0] == ":metrics":
+        report = MetricsReport.from_registry(cloud.obs).nonzero()
+        if len(parts) == 2:
+            report = report.filter(parts[1])
+        print(report.render(), file=out)
     elif parts[0] == ":node" and len(parts) == 2:
         try:
             node = int(parts[1])

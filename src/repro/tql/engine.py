@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ..config import ComputeParams
 from ..errors import QueryError
 from ..net.simnet import ParallelRound, SimNetwork
-from .parser import Condition, Operand, TqlQuery, parse_tql
+from .parser import Operand, TqlQuery, parse_tql
 
 _OPS = {
     "=": operator.eq,

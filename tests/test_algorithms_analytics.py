@@ -14,7 +14,6 @@ from repro.algorithms import (
 from repro.algorithms._traffic import TrafficModel
 from repro.compute import BspEngine
 from repro.errors import ComputeError
-from repro.net import SimNetwork
 
 
 class TestPageRank:

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.config import ClusterConfig, MemoryParams
+from repro.config import ClusterConfig
 from repro.cluster import TrinityCluster
 from repro.errors import (
     CellNotFoundError,
     LeaderElectionError,
-    MachineDownError,
     RecoveryError,
 )
 

@@ -1,6 +1,5 @@
 """Tests: whole-cluster durability with a disk-backed TFS."""
 
-import pytest
 
 from repro.config import ClusterConfig, MemoryParams
 from repro.cluster import TrinityCluster

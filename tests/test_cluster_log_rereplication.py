@@ -1,0 +1,129 @@
+"""Buffered-log holder crashes must not void the replication guarantee.
+
+These are deterministic regressions distilled from hypothesis-found
+traces: the buffered log promises that every acknowledged write survives
+``replication`` simultaneous losses, and that has to hold per *record* —
+holder sets drift across crash/recover/restart cycles, so counting live
+holders per origin is not enough.
+"""
+
+import pytest
+
+from repro.cluster import TrinityCluster
+from repro.cluster.recovery import BufferedLog
+from repro.config import ClusterConfig, MemoryParams
+
+
+def small_cluster(machines=4):
+    return TrinityCluster(ClusterConfig(
+        machines=machines, trunk_bits=5,
+        memory=MemoryParams(trunk_size=256 * 1024),
+    ))
+
+
+def crash(cluster, machine):
+    cluster.fail_machine(machine)
+    cluster.report_failure(machine)
+
+
+class TestHolderCrashRecovery:
+    def test_sequential_holder_crashes_then_origin_crash(self):
+        # Writes land on machine 0; its ring holders are 1 and 2.  Crash
+        # both holders, then the origin: without re-replication onto
+        # fresh holders the log is empty and the write is lost.
+        cluster = small_cluster()
+        client = cluster.new_client()
+        client.put_cell(77, b"survive")
+        crash(cluster, 1)
+        crash(cluster, 2)
+        crash(cluster, 0)
+        assert client.get_cell(77) == b"survive"
+
+    def test_restarted_holder_rejoins_without_forking_copies(self):
+        # The hypothesis trace that found the per-record flaw: holder 1
+        # crashes and restarts twice around a second write, leaving the
+        # copies divergent, then holders 2 and 0 die.  Every acknowledged
+        # write must still be readable.
+        cluster = small_cluster()
+        client = cluster.new_client()
+        client.put_cell(77, b"first")
+        crash(cluster, 1)
+        cluster.restart_machine(1)
+        client.put_cell(0, b"second")
+        crash(cluster, 1)
+        cluster.restart_machine(1)
+        crash(cluster, 2)
+        crash(cluster, 0)
+        assert client.get_cell(0) == b"second"
+        assert client.get_cell(77) == b"first"
+
+    def test_restart_restores_replication_before_next_crash(self):
+        # With only two machines alive a write can recruit a single log
+        # holder.  Restarting capacity must re-replicate immediately:
+        # waiting for the next crash is one crash too late when that
+        # crash takes the sole holder.
+        cluster = small_cluster()
+        client = cluster.new_client()
+        crash(cluster, 3)
+        crash(cluster, 0)
+        client.put_cell(0, b"narrow")   # written while only {1,2} live
+        cluster.restart_machine(0)
+        cluster.restart_machine(3)
+        crash(cluster, 1)               # sole original holder dies
+        crash(cluster, 2)               # then the origin dies
+        assert client.get_cell(0) == b"narrow"
+
+    def test_recovery_restores_holder_count(self):
+        cluster = small_cluster()
+        client = cluster.new_client()
+        client.put_cell(77, b"x")
+        log = cluster.buffered_log
+        holders = {h for h, by in log._buffers.items() if by.get(0)}
+        assert len(holders) == cluster.config.replication
+        victim = next(iter(holders))
+        crash(cluster, victim)
+        holders = {h for h, by in log._buffers.items() if by.get(0)}
+        assert len(holders) == cluster.config.replication
+        assert victim not in holders
+
+
+class TestBufferedLogUnit:
+    def test_append_targets_live_ring_holders(self):
+        log = BufferedLog(machines=4, replication=2)
+        log.append(0, 7, b"v", alive={0, 2, 3})
+        holders = {h for h, by in log._buffers.items() if by.get(0)}
+        assert holders == {2, 3}  # holder 1 is down, skipped
+
+    def test_append_keeps_recruited_holders_current(self):
+        # A holder recruited by rebalance must see later appends too,
+        # otherwise its copy silently goes stale.
+        log = BufferedLog(machines=4, replication=2)
+        log.append(0, 1, b"a", alive={0, 1, 2, 3})
+        log.drop_holder(1)
+        log.rebalance(alive={0, 2, 3})
+        log.append(0, 2, b"b", alive={0, 1, 2, 3})  # 1 is back
+        for holder in (2, 3):
+            held = {r.cell_id for r in log._buffers[holder][0]}
+            assert held == {1, 2}
+
+    def test_rebalance_repairs_partial_copies(self):
+        # Two live holders but divergent contents: holder-counting says
+        # "replicated", record-counting says record 2 has one copy.
+        log = BufferedLog(machines=4, replication=2)
+        log.append(0, 1, b"a", alive={0, 1, 2, 3})   # holders 1, 2
+        log._buffers[1][0].pop()                      # holder 1 lost it
+        log.append(0, 2, b"b", alive={0, 1, 2, 3})
+        repaired = log.rebalance(alive={0, 1, 2, 3})
+        assert repaired >= 1
+        for holder in (1, 2):
+            held = {r.sequence for r in log._buffers[holder][0]}
+            assert held == {1, 2}
+
+    def test_rebalance_noop_when_fully_replicated(self):
+        log = BufferedLog(machines=4, replication=2)
+        log.append(0, 1, b"a", alive={0, 1, 2, 3})
+        assert log.rebalance(alive={0, 1, 2, 3}) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,6 +1,5 @@
 """Tests for the async engine and checkpoint manager."""
 
-import numpy as np
 import pytest
 
 from repro.compute import AsyncEngine, CheckpointManager

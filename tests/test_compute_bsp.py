@@ -1,6 +1,5 @@
 """Tests for the BSP vertex engine."""
 
-import numpy as np
 import pytest
 
 from repro.compute import BspEngine, VertexProgram

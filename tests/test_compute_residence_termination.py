@@ -1,6 +1,5 @@
 """Tests for the memory-residence model and Safra termination detection."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

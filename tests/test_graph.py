@@ -1,9 +1,7 @@
 """Tests for the graph data model: schemas, builder, API, CSR cache."""
 
-import numpy as np
 import pytest
 
-from repro.config import ClusterConfig
 from repro.errors import QueryError, TslTypeError
 from repro.graph import (
     CsrTopology,
@@ -14,7 +12,6 @@ from repro.graph import (
     social_graph_schema,
     struct_edge_schema,
 )
-from repro.memcloud import MemoryCloud
 from repro.tsl import compile_tsl
 
 

@@ -1,6 +1,5 @@
 """Tests for online graph mutation (live add_node/add_edge)."""
 
-import threading
 
 import pytest
 

@@ -5,12 +5,11 @@ import pytest
 
 from repro.config import ClusterConfig
 from repro.cluster import TrinityCluster
-from repro.algorithms import bfs, pagerank, people_search
+from repro.algorithms import pagerank, people_search
 from repro.compute import BspEngine, CheckpointManager
 from repro.algorithms import PageRankProgram
 from repro.generators.social import build_social_graph
 from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
-from repro.memcloud import persistence
 from repro.tsl import compile_tsl
 
 
@@ -119,8 +118,8 @@ class TestAnalyticsOverCluster:
 
         manager = CheckpointManager(cluster.tfs, job="pr", every=3)
         engine = BspEngine(topo)
-        full = engine.run(PageRankProgram(iterations=9), max_supersteps=11,
-                          on_superstep=manager.maybe_checkpoint)
+        engine.run(PageRankProgram(iterations=9), max_supersteps=11,
+                   on_superstep=manager.maybe_checkpoint)
         # "Crash" after superstep 5: restore the checkpoint written then.
         tag, values, _ = manager.load_latest()
         assert tag >= 5

@@ -1,6 +1,5 @@
 """Tests for the MemoryCloud facade and trunk persistence."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ClusterConfig, MemoryParams
+from repro.config import ClusterConfig
 from repro.cluster import TrinityCluster
 from repro.errors import (
     AddressingError,

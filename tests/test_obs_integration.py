@@ -1,0 +1,305 @@
+"""Cross-layer observability tests: the instrumented subsystems.
+
+Each test injects a private :class:`MetricsRegistry` and checks that the
+hot-path counters agree with the subsystem's own accounting — including
+the headline regression of this change: a steady churn workload must
+wrap the allocator head around the trunk *without* a single
+defragmentation pass (the paper's Figure 11 "endless circular
+movement"), which was impossible while the committed tail never moved.
+"""
+
+import pytest
+
+from repro.cluster import TrinityCluster
+from repro.compute import BspEngine, VertexProgram
+from repro.config import ClusterConfig, MemoryParams
+from repro.graph import CsrTopology, GraphBuilder, plain_graph_schema
+from repro.memcloud import MemoryCloud
+from repro.memcloud.trunk import MemoryTrunk
+from repro.net.simnet import ParallelRound, SimNetwork
+from repro.obs import MetricsRegistry
+
+
+def make_trunk(registry, trunk_size=4096):
+    params = MemoryParams(trunk_size=trunk_size, page_size=1024)
+    return MemoryTrunk(0, params, registry=registry)
+
+
+class TestCircularChurn:
+    """The headline fix: wrapping must not require defragmentation."""
+
+    def test_churn_wraps_without_defrag(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg)
+        payload = b"c" * 200
+        window = 8
+        for uid in range(window):
+            trunk.put(uid, payload)
+        # FIFO churn: the garbage is always right behind the committed
+        # tail, so circular reclamation absorbs it and the head cycles
+        # the arena endlessly.
+        for uid in range(window, 400):
+            trunk.remove(uid - window)
+            trunk.put(uid, payload)
+        stats = trunk.stats()
+        assert stats.wraps >= 1
+        assert stats.defrag_passes == 0
+        assert stats.defrag_passes < stats.wraps
+        assert stats.tail_advances >= 1
+        # The obs counters tell the same story as TrunkStats.
+        assert reg.counter("trunk.wrap.total", trunk=0).value == stats.wraps
+        assert reg.counter("trunk.defrag.passes", trunk=0).value == 0
+        assert reg.counter("trunk.alloc.total", trunk=0).value == 400
+        # Every surviving cell is intact after all that cycling.
+        for uid in range(400 - window, 400):
+            assert trunk.get(uid) == payload
+
+    def test_wrap_counter_matches_multiple_cycles(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg)
+        payload = b"c" * 200
+        for uid in range(8):
+            trunk.put(uid, payload)
+        for uid in range(8, 2000):
+            trunk.remove(uid - 8)
+            trunk.put(uid, payload)
+        stats = trunk.stats()
+        # ~2000 * 216B of allocations through a 4 KiB arena: many laps.
+        assert stats.wraps >= 10
+        assert stats.defrag_passes == 0
+
+
+class TestTrunkMetrics:
+    def test_defrag_abort_recorded(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg, trunk_size=64 * 1024)
+        trunk.put(1, b"pinned")
+        trunk.put(2, b"doomed")
+        trunk.remove(2)
+        lock = trunk.lock_of(1)
+        lock.acquire()
+        try:
+            assert trunk.defragment() is False
+            assert trunk.defragment() is False
+        finally:
+            lock.release()
+        assert trunk.defragment() is True
+        stats = trunk.stats()
+        assert stats.defrag_aborts == 2
+        assert stats.defrag_passes == 1
+        assert reg.counter("trunk.defrag.aborted", trunk=0).value == 2
+        assert reg.counter("trunk.defrag.passes", trunk=0).value == 1
+
+    def test_resize_within_reservation_copies_nothing(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg, trunk_size=64 * 1024)
+        trunk.put(1, b"x" * 64)
+        trunk.resize(1, 16)          # shrink: live size only
+        trunk.resize(1, 64, fill=7)  # regrow into the same slot
+        stats = trunk.stats()
+        assert stats.inplace_resizes == 2
+        assert stats.relocations == 0
+        assert reg.counter("trunk.resize.inplace.total", trunk=0).value == 2
+        assert reg.counter("trunk.relocations.total", trunk=0).value == 0
+        assert trunk.get(1) == b"x" * 16 + bytes([7]) * 48
+
+    def test_resize_beyond_reservation_relocates(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg, trunk_size=64 * 1024)
+        trunk.put(1, b"x" * 16)
+        trunk.resize(1, 512, fill=0)
+        stats = trunk.stats()
+        assert stats.relocations == 1
+        assert reg.counter("trunk.relocations.total", trunk=0).value == 1
+        assert trunk.get(1) == b"x" * 16 + b"\x00" * 496
+
+    def test_garbage_gauge_tracks_stats(self):
+        reg = MetricsRegistry()
+        trunk = make_trunk(reg, trunk_size=64 * 1024)
+        for uid in range(4):
+            trunk.put(uid, b"g" * 32)
+        trunk.remove(2)
+        gauge = reg.gauge("trunk.garbage.bytes", trunk=0)
+        assert gauge.value == trunk.stats().garbage_bytes > 0
+
+
+class TestNetworkMetrics:
+    def test_empty_traffic_entry_is_not_a_transfer(self):
+        # add_message(..., count=0) materialises a (0, 0) entry in the
+        # round's outgoing map; finishing the round must not charge it as
+        # a physical transfer.
+        net = SimNetwork(registry=MetricsRegistry())
+        round_ = ParallelRound(net)
+        round_.add_message(0, 1, 0, count=0)
+        round_.finish()
+        assert net.counters.transfers == 0
+        assert net.counters.messages == 0
+
+    def test_real_traffic_still_counted(self):
+        net = SimNetwork(registry=MetricsRegistry())
+        round_ = ParallelRound(net)
+        round_.add_message(0, 1, 100, count=2)
+        round_.add_message(0, 1, 0, count=0)  # harmless no-op entry
+        round_.finish()
+        assert net.counters.transfers == 1
+        assert net.counters.messages == 2
+        assert net.counters.payload_bytes == 100
+
+    def test_round_breakdown_histograms(self):
+        reg = MetricsRegistry()
+        net = SimNetwork(registry=reg)
+        round_ = ParallelRound(net)
+        round_.add_compute(0, 1e-3)
+        round_.add_message(0, 1, 4096)
+        round_.finish()
+        assert reg.counter("net.round.total").value == 1
+        elapsed = reg.histogram("net.round.elapsed.seconds")
+        assert elapsed.count == 1
+        assert elapsed.total == pytest.approx(net.clock.now)
+        compute = reg.histogram("net.round.compute.seconds")
+        assert compute.total == pytest.approx(1e-3)
+
+    def test_traffic_skew_observed(self):
+        reg = MetricsRegistry()
+        net = SimNetwork(registry=reg)
+        round_ = ParallelRound(net)
+        round_.add_message(0, 2, 9000)
+        round_.add_message(1, 2, 1000)
+        round_.finish()
+        skew = reg.histogram("net.round.traffic_skew")
+        assert skew.count == 1
+        assert skew.max == pytest.approx(9000 / 5000)
+
+    def test_per_machine_sent_bytes(self):
+        reg = MetricsRegistry()
+        net = SimNetwork(registry=reg)
+        net.transfer(3, 1, 500)
+        net.transfer(3, 2, 250)
+        assert reg.counter("net.machine.sent.bytes", machine=3).value == 750
+
+
+class _PingProgram(VertexProgram):
+    restrictive = True
+    uniform_messages = True
+
+    def compute(self, ctx, vertex, messages):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(1)
+        else:
+            ctx.vote_to_halt()
+
+
+def tiny_topology():
+    cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=4))
+    builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+    builder.add_edges([(i, (i + 1) % 8) for i in range(8)])
+    graph = builder.finalize()
+    return CsrTopology(graph, include_inlinks=False)
+
+
+class TestEngineMetrics:
+    def test_bsp_superstep_spans_and_series(self):
+        reg = MetricsRegistry()
+        network = SimNetwork(registry=reg)
+        engine = BspEngine(tiny_topology(), network=network)
+        result = engine.run(_PingProgram(), initial_values=[0] * 8)
+        steps = result.superstep_count
+        assert steps >= 2
+        spans = engine.tracer.spans("bsp.superstep")
+        assert len(spans) == steps
+        # Span durations are simulated seconds and cover the whole run.
+        assert sum(s.duration for s in spans) == pytest.approx(
+            network.clock.now
+        )
+        assert spans[0].attrs["superstep"] == 0
+        assert spans[0].attrs["messages"] == 8
+        assert reg.counter("bsp.superstep.total").value == steps
+        assert reg.histogram("span.bsp.superstep.seconds").count == steps
+        assert reg.histogram("bsp.superstep.messages").count == steps
+
+    def test_async_engine_series(self):
+        from repro.compute.async_engine import AsyncEngine
+
+        reg = MetricsRegistry()
+        network = SimNetwork(registry=reg)
+        engine = AsyncEngine(tiny_topology(), network=network)
+
+        def no_op(values, vertex, topo):
+            values[vertex] += 1
+            return ()
+
+        result = engine.run(no_op, [0] * 8, frontier=range(8))
+        assert result.terminated
+        assert reg.counter("async.updates.total").value == result.updates
+        assert reg.counter("async.slice.total").value >= 1
+        assert reg.histogram("async.slice.queue_depth").max >= 8
+
+
+class TestClusterMetrics:
+    def test_request_latency_histogram(self):
+        reg = MetricsRegistry()
+        cluster = TrinityCluster(
+            ClusterConfig(machines=4, trunk_bits=5,
+                          memory=MemoryParams(trunk_size=256 * 1024)),
+            registry=reg,
+        )
+        client = cluster.new_client()
+        for cell in range(16):
+            client.put_cell(cell, b"payload")
+            assert client.get_cell(cell) == b"payload"
+        snap = reg.snapshot()["cluster.request.seconds"]
+        assert snap["kind"] == "histogram"
+        protocols = {s["labels"]["protocol"] for s in snap["series"]}
+        assert {"__get_cell__", "__put_cell__"} <= protocols
+        assert sum(s["count"] for s in snap["series"]) >= 32
+
+    def test_cluster_report_covers_every_layer(self):
+        reg = MetricsRegistry()
+        cluster = TrinityCluster(
+            ClusterConfig(machines=4, trunk_bits=5,
+                          memory=MemoryParams(trunk_size=256 * 1024)),
+            registry=reg,
+        )
+        client = cluster.new_client()
+        for cell in range(8):
+            client.put_cell(cell, b"x" * 64)
+        report = cluster.metrics_report().nonzero()
+        text = report.render()
+        assert "trunk.alloc.total" in text
+        assert "cluster.request.seconds" in text
+        assert report.filter("trunk.").series_count >= 1
+
+    def test_cloud_report_is_trunk_scoped(self):
+        reg = MetricsRegistry()
+        cloud = MemoryCloud(
+            ClusterConfig(machines=2, trunk_bits=4,
+                          memory=MemoryParams(trunk_size=256 * 1024)),
+            registry=reg,
+        )
+        cloud.put(1, b"hello")
+        report = cloud.metrics_report()
+        assert all(name.startswith("trunk.")
+                   for name in report.snapshot)
+        assert report.filter("trunk.alloc").series_count >= 1
+
+    def test_machine_stats_aggregate_new_fields(self):
+        reg = MetricsRegistry()
+        cloud = MemoryCloud(
+            ClusterConfig(machines=2, trunk_bits=4,
+                          memory=MemoryParams(trunk_size=4096,
+                                              page_size=1024)),
+            registry=reg,
+        )
+        for cell in range(64):
+            cloud.put(cell, b"m" * 120)
+        for cell in range(48):
+            cloud.remove(cell)
+        for cell in range(100, 200):
+            cloud.put(cell, b"m" * 120)
+        total = sum(
+            cloud.machine_stats(m).tail_advances
+            for m in range(cloud.config.machines)
+        )
+        assert total == sum(
+            t.stats().tail_advances for t in cloud.trunks.values()
+        )

@@ -7,13 +7,11 @@ guarantee of Section 6.2's fault-tolerance machinery (TFS trunk images +
 buffered logging + addressing-table recovery).
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
-    precondition,
     rule,
 )
 from hypothesis import strategies as st

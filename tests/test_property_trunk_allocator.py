@@ -10,7 +10,6 @@ every step:
 * defragmentation preserves contents and zeroes the garbage counter.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import string
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import ClusterConfig, MemoryParams

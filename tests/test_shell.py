@@ -39,6 +39,19 @@ class TestShell:
         assert handle_meta(":stats", cloud, graph, out)
         assert "cells: 300" in out.getvalue()
 
+    def test_meta_metrics(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":metrics", cloud, graph, out)
+        assert "trunk.alloc.total" in out.getvalue()
+
+    def test_meta_metrics_prefix_filter(self, demo):
+        cloud, graph = demo
+        out = io.StringIO()
+        assert handle_meta(":metrics trunk.garbage", cloud, graph, out)
+        text = out.getvalue()
+        assert "trunk.alloc.total" not in text
+
     def test_meta_node(self, demo):
         cloud, graph = demo
         out = io.StringIO()

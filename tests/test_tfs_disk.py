@@ -1,6 +1,5 @@
 """Tests: TFS durability across process restarts (disk-backed mode)."""
 
-import pytest
 
 from repro.config import ClusterConfig, MemoryParams
 from repro.memcloud import MemoryCloud, persistence

@@ -1,6 +1,5 @@
 """Tests for triangle counting."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import TriangleProgram, count_triangles

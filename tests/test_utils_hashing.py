@@ -1,6 +1,5 @@
 """Tests for repro.utils.hashing."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.hashing import hash64, mix64, trunk_of, uid_from
