@@ -1,0 +1,176 @@
+"""Wall-clock benchmark: vectorized BSP fast path vs per-vertex reference.
+
+Not a pytest benchmark (hence the underscore — the collector skips it):
+this harness measures **real** wall-clock seconds, best-of-k, on seeded
+R-MAT graphs, and asserts along the way that the two paths stay
+bit-identical in values and identical in simulated-time/traffic
+accounting.  Results land in ``benchmarks/results/BENCH_bsp.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_perf.py            # full run
+    PYTHONPATH=src python benchmarks/_perf.py --smoke    # CI-sized run
+
+``--smoke`` also compares against the committed baseline JSON and prints
+a GitHub Actions ``::warning::`` (never a failure) when the measured
+speedup regressed by more than 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms.bfs import BfsProgram               # noqa: E402
+from repro.algorithms.pagerank import PageRankProgram     # noqa: E402
+from repro.algorithms.sssp import SsspProgram             # noqa: E402
+from repro.algorithms.wcc import WccProgram               # noqa: E402
+from repro.compute import BspEngine                       # noqa: E402
+from repro.generators import rmat_edges                   # noqa: E402
+from repro.graph import CsrTopology                       # noqa: E402
+from repro.net.simnet import SimNetwork                   # noqa: E402
+from repro.obs import MetricsRegistry                     # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_bsp.json"
+
+MACHINES = 4
+SEED = 42
+
+
+def _programs():
+    return {
+        "pagerank_10iter": lambda: PageRankProgram(iterations=10),
+        "bfs": lambda: BfsProgram(root=0),
+        "sssp_unit": lambda: SsspProgram(root=0),
+        "wcc": lambda: WccProgram(),
+    }
+
+
+def _time_run(topology, make_program, vectorize: bool, repeats: int):
+    """Best-of-``repeats`` wall time; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        engine = BspEngine(
+            topology,
+            network=SimNetwork(registry=MetricsRegistry()),
+            vectorize=vectorize,
+        )
+        program = make_program()
+        start = time.perf_counter()
+        run = engine.run(program, max_supersteps=200)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = run
+    return best, result
+
+
+def _assert_identical(name: str, fast, reference) -> None:
+    fast_values = np.asarray(fast.values)
+    reference_values = np.asarray(reference.values,
+                                  dtype=fast_values.dtype)
+    if not np.array_equal(reference_values, fast_values):
+        raise AssertionError(f"{name}: values diverge between paths")
+    if fast.supersteps != reference.supersteps:
+        raise AssertionError(
+            f"{name}: superstep reports diverge between paths"
+        )
+
+
+def run_bench(scale: int, avg_degree: int, repeats: int) -> dict:
+    edges = rmat_edges(scale=scale, avg_degree=avg_degree, seed=SEED)
+    topology = CsrTopology.from_arrays(edges, machines=MACHINES)
+    print(f"graph: rmat scale={scale} n={topology.n} "
+          f"edges={topology.num_edges} machines={MACHINES}")
+
+    bench = {
+        "graph": {
+            "generator": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": SEED,
+            "nodes": topology.n,
+            "edges": topology.num_edges,
+            "machines": MACHINES,
+        },
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "results": {},
+    }
+    for name, make_program in _programs().items():
+        fast_s, fast = _time_run(topology, make_program, True, repeats)
+        ref_s, reference = _time_run(topology, make_program, False, repeats)
+        _assert_identical(name, fast, reference)
+        speedup = ref_s / fast_s if fast_s else float("inf")
+        bench["results"][name] = {
+            "vectorized_seconds": fast_s,
+            "reference_seconds": ref_s,
+            "speedup": speedup,
+            "supersteps": fast.superstep_count,
+            "simulated_seconds": fast.elapsed,
+        }
+        print(f"{name:16s} vectorized {fast_s * 1e3:9.1f} ms   "
+              f"reference {ref_s * 1e3:9.1f} ms   "
+              f"speedup {speedup:6.2f}x   "
+              f"supersteps {fast.superstep_count}")
+    return bench
+
+
+def check_regression(bench: dict, baseline_path: pathlib.Path) -> None:
+    """Warn (never fail) when a speedup regressed >2x vs the baseline."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return
+    baseline = json.loads(baseline_path.read_text())
+    for name, entry in bench["results"].items():
+        base = baseline.get("results", {}).get(name)
+        if not base:
+            continue
+        if entry["speedup"] * 2.0 < base["speedup"]:
+            print(f"::warning::perf-smoke: {name} speedup "
+                  f"{entry['speedup']:.2f}x is more than 2x below the "
+                  f"committed baseline {base['speedup']:.2f}x")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized graph; compares against the "
+                             "committed baseline and warns on regression")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="override R-MAT scale (2^scale nodes)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-k repetitions (default 3, smoke 2)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="output JSON path (default BENCH_bsp.json; "
+                             "smoke writes BENCH_bsp_smoke.json)")
+    args = parser.parse_args()
+
+    scale = args.scale or (10 if args.smoke else 14)
+    repeats = args.repeats or (2 if args.smoke else 3)
+    bench = run_bench(scale=scale, avg_degree=8, repeats=repeats)
+
+    out = args.out or (RESULTS_DIR / "BENCH_bsp_smoke.json"
+                       if args.smoke else BENCH_PATH)
+    if args.smoke:
+        # Compare against the committed smoke baseline (same scale)
+        # before overwriting it.
+        check_regression(bench, out)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,17 +23,28 @@ UNREACHED = -1
 
 
 class BfsProgram(VertexProgram):
-    """Vertex-centric BFS: value is the node's level (or -1)."""
+    """Vertex-centric BFS: value is the node's level (or -1).
+
+    Declares the ``min`` combiner (a vertex only consumes
+    ``min(messages)``); :meth:`compute_batch` is the vectorized kernel
+    with identical semantics.
+    """
 
     restrictive = True
     uniform_messages = True
     message_bytes = 12  # dst id + level
+    combiner = "min"
+    value_dtype = np.int64
 
     def __init__(self, root: int):
         self.root = root
 
     def init(self, ctx, vertex: int) -> None:
         ctx.set_value(vertex, 0 if vertex == self.root else UNREACHED)
+
+    def init_batch(self, ctx) -> None:
+        ctx.values[:] = UNREACHED
+        ctx.values[self.root] = 0
 
     def compute(self, ctx, vertex: int, messages: list) -> None:
         if ctx.superstep == 0:
@@ -46,6 +57,23 @@ class BfsProgram(VertexProgram):
             ctx.value = level
             ctx.send_to_neighbors(level + 1)
         ctx.vote_to_halt()
+
+    def compute_batch(self, ctx, vertices, combined, received) -> None:
+        values = ctx.values
+        if ctx.superstep == 0:
+            roots = vertices[vertices == self.root]
+            if len(roots):
+                ctx.send_to_neighbors(roots,
+                                      np.ones(len(roots), dtype=np.int64))
+            ctx.halt(vertices)
+            return
+        fresh = received & (values[vertices] == UNREACHED)
+        discovered = vertices[fresh]
+        if len(discovered):
+            levels = combined[fresh]
+            values[discovered] = levels
+            ctx.send_to_neighbors(discovered, levels + 1)
+        ctx.halt(vertices)
 
 
 @dataclass

@@ -25,21 +25,53 @@ INFINITY = float("inf")
 class SsspProgram(VertexProgram):
     """Vertex-centric SSSP with per-edge weight lookup.
 
-    ``weights`` maps (src, dst) dense pairs to edge weight; missing pairs
-    default to 1.  Not uniform-message (each neighbor gets dist + its own
-    edge weight), so hub buffering does not apply — an intentional
-    contrast with PageRank in the ablation benchmarks.
+    Weights come in one of two forms (mutually exclusive):
+
+    * ``weights`` — a dict mapping (src, dst) dense pairs to edge weight,
+      missing pairs defaulting to 1; general but unvectorizable, so such
+      instances veto the batch kernel (:attr:`batch_eligible`) and run
+      per-vertex (still on the combined-inbox fast path);
+    * ``edge_weights`` — an array aligned with ``topology.out_indices``
+      (one weight per directed edge in CSR order), which the batch kernel
+      gathers directly.
+
+    Not uniform-message (each neighbor gets dist + its own edge weight),
+    so hub buffering does not apply — an intentional contrast with
+    PageRank in the ablation benchmarks.  Declares the ``min`` combiner.
     """
 
     restrictive = True
     uniform_messages = False
+    combiner = "min"
 
-    def __init__(self, root: int, weights: dict | None = None):
+    def __init__(self, root: int, weights: dict | None = None,
+                 edge_weights: np.ndarray | None = None):
+        if weights and edge_weights is not None:
+            raise ComputeError(
+                "pass either a weights dict or an edge_weights array, "
+                "not both"
+            )
         self.root = root
         self.weights = weights or {}
+        if edge_weights is not None:
+            edge_weights = np.asarray(edge_weights, dtype=np.float64)
+            if (edge_weights < 0).any():
+                raise ComputeError(
+                    "negative edge weights are not supported"
+                )
+        self.edge_weights = edge_weights
+
+    @property
+    def batch_eligible(self) -> bool:
+        # A (src, dst) -> weight dict cannot be gathered vectorially.
+        return not self.weights
 
     def init(self, ctx, vertex: int) -> None:
         ctx.set_value(vertex, 0.0 if vertex == self.root else INFINITY)
+
+    def init_batch(self, ctx) -> None:
+        ctx.values[:] = INFINITY
+        ctx.values[self.root] = 0.0
 
     def compute(self, ctx, vertex: int, messages: list) -> None:
         best = min(messages) if messages else INFINITY
@@ -49,11 +81,36 @@ class SsspProgram(VertexProgram):
         if ctx.superstep == 0 and vertex == self.root:
             improved = True
         if improved:
-            for dst in ctx.out_neighbors():
-                dst = int(dst)
-                weight = self.weights.get((vertex, dst), 1.0)
-                ctx.send(dst, ctx.value + weight)
+            if self.edge_weights is not None:
+                start, _ = ctx.out_edge_range()
+                for offset, dst in enumerate(ctx.out_neighbors()):
+                    ctx.send(int(dst), ctx.value
+                             + float(self.edge_weights[start + offset]))
+            else:
+                for dst in ctx.out_neighbors():
+                    dst = int(dst)
+                    weight = self.weights.get((vertex, dst), 1.0)
+                    ctx.send(dst, ctx.value + weight)
         ctx.vote_to_halt()
+
+    def compute_batch(self, ctx, vertices, combined, received) -> None:
+        values = ctx.values
+        improved = combined < values[vertices]
+        updated = vertices[improved]
+        values[updated] = combined[improved]
+        if ctx.superstep == 0:
+            improved = improved | (vertices == self.root)
+        senders = vertices[improved]
+        if len(senders):
+            degrees = ctx.out_degrees(senders)
+            _, positions = ctx.out_edges(senders)
+            distances = np.repeat(values[senders], degrees)
+            if self.edge_weights is not None:
+                messages = distances + self.edge_weights[positions]
+            else:
+                messages = distances + 1.0
+            ctx.send_along_edges(senders, messages)
+        ctx.halt(vertices)
 
 
 @dataclass

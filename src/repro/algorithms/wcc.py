@@ -18,13 +18,22 @@ from ._traffic import TrafficModel
 
 
 class WccProgram(VertexProgram):
-    """Vertex-centric HashMin components (value = min label seen)."""
+    """Vertex-centric HashMin components (value = min label seen).
+
+    Declares the ``min`` combiner; :meth:`compute_batch` is the
+    vectorized kernel with identical semantics.
+    """
 
     restrictive = True
     uniform_messages = True
+    combiner = "min"
+    value_dtype = np.int64
 
     def init(self, ctx, vertex: int) -> None:
         ctx.set_value(vertex, vertex)
+
+    def init_batch(self, ctx) -> None:
+        ctx.values[:] = np.arange(ctx.num_vertices, dtype=np.int64)
 
     def compute(self, ctx, vertex: int, messages: list) -> None:
         best = min(messages) if messages else ctx.value
@@ -33,6 +42,16 @@ class WccProgram(VertexProgram):
                 ctx.value = best
             ctx.send_to_neighbors(ctx.value)
         ctx.vote_to_halt()
+
+    def compute_batch(self, ctx, vertices, combined, received) -> None:
+        values = ctx.values
+        better = received & (combined < values[vertices])
+        improved = vertices[better]
+        values[improved] = combined[better]
+        senders = vertices if ctx.superstep == 0 else improved
+        if len(senders):
+            ctx.send_to_neighbors(senders, values[senders])
+        ctx.halt(vertices)
 
 
 @dataclass

@@ -19,7 +19,7 @@
 * :mod:`~repro.compute.checkpoint` — BSP checkpointing to TFS.
 """
 
-from .vertex import ComputeContext, VertexProgram
+from .vertex import BatchComputeContext, ComputeContext, VertexProgram
 from .bsp import BspEngine, BspResult, SuperstepReport
 from .scheduler import ActionScript, BipartiteScheduler, SchedulerPlan
 from .action_replay import ReplayReport, replay_all
@@ -31,6 +31,7 @@ from .checkpoint import CheckpointManager
 __all__ = [
     "VertexProgram",
     "ComputeContext",
+    "BatchComputeContext",
     "BspEngine",
     "BspResult",
     "SuperstepReport",

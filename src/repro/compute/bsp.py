@@ -17,6 +17,26 @@ value is buffered at each destination machine for the whole superstep, so
 it crosses each link once instead of once per edge.  (For a scale-free
 graph the paper estimates that buffering the top 1% of vertices serves
 72.8% of message needs.)
+
+Two execution paths share this accounting:
+
+* the **per-vertex reference path**: a Python loop calling ``compute``
+  with ``list`` inboxes — the semantics of record;
+* the **vectorized fast path** (programs declaring a ``combiner``):
+  inboxes become one dense numpy value array plus a received-mask, folded
+  at enqueue time; programs implementing ``compute_batch`` additionally
+  run one numpy kernel per machine slice, and machine-pair traffic is
+  tallied with ``np.bincount`` instead of per-message dict updates.
+
+Both paths charge the simulated clock identically — same superstep
+reports, same network counters — which ``cross_check=True`` verifies by
+running the reference path against a throwaway network and comparing.
+
+Superstep semantics are deterministic and order-independent: a vertex
+runs in superstep *s* iff it is active at the barrier entering *s*;
+message receipt reactivates a vertex *at the barrier* (so a halt and a
+wake landing in the same superstep always resolve wake-wins, regardless
+of which machine processed first).
 """
 
 from __future__ import annotations
@@ -30,7 +50,12 @@ from ..config import ComputeParams
 from ..errors import ComputeError
 from ..net.simnet import ParallelRound, SimNetwork
 from ..obs import Tracer
-from .vertex import ComputeContext, VertexProgram
+from .vertex import (
+    COMBINERS,
+    BatchComputeContext,
+    ComputeContext,
+    VertexProgram,
+)
 
 
 @dataclass(frozen=True)
@@ -47,9 +72,13 @@ class SuperstepReport:
 
 @dataclass
 class BspResult:
-    """Outcome of a BSP run."""
+    """Outcome of a BSP run.
 
-    values: list
+    ``values`` is a Python list on the reference path and a numpy array
+    on the vectorized path; both index by dense vertex id.
+    """
+
+    values: object
     supersteps: list[SuperstepReport] = field(default_factory=list)
     aggregators: dict[str, float] = field(default_factory=dict)
 
@@ -70,6 +99,78 @@ class BspResult:
         }
 
 
+def _combiner_identity(combiner: str, dtype: np.dtype):
+    """The fold identity: what an unreceiving vertex's combined slot
+    holds (``sum([]) == 0``; min/max use the dtype's infinities)."""
+    if combiner == "sum":
+        return dtype.type(0)
+    if dtype.kind == "f":
+        return dtype.type(np.inf if combiner == "min" else -np.inf)
+    info = np.iinfo(dtype)
+    return dtype.type(info.max if combiner == "min" else info.min)
+
+
+class _FastState:
+    """Per-topology precomputation for the vectorized path.
+
+    All per-edge arrays are laid out in **processing order** — machine by
+    machine, vertices ascending within a machine, edges in CSR slice
+    order — the exact order the per-vertex reference path enqueues
+    messages.  A ``sum`` combiner folded over these arrays therefore
+    reproduces the reference path's float accumulation bit for bit.
+    """
+
+    def __init__(self, topology, machine_vertices, hub_threshold: float):
+        self.degrees = topology.out_degrees()
+        n = topology.n
+        self.machines = topology.machine_count
+        proc = (np.concatenate(machine_vertices).astype(np.int64)
+                if machine_vertices else np.empty(0, dtype=np.int64))
+        proc_degrees = self.degrees[proc]
+        self.p_indptr = np.zeros(len(proc) + 1, dtype=np.int64)
+        np.cumsum(proc_degrees, out=self.p_indptr[1:])
+        self.pos_of = np.zeros(n, dtype=np.int64)
+        self.pos_of[proc] = np.arange(len(proc), dtype=np.int64)
+        total = int(self.p_indptr[-1])
+        if total:
+            first = np.repeat(topology.out_indptr[proc], proc_degrees)
+            offsets = (np.arange(total, dtype=np.int64)
+                       - np.repeat(self.p_indptr[:-1], proc_degrees))
+            # Global CSR edge index of every edge, in processing order.
+            self.edge_pos = first + offsets
+        else:
+            self.edge_pos = np.empty(0, dtype=np.int64)
+        self.edge_dst = topology.out_indices[self.edge_pos]
+        edge_src = np.repeat(proc, proc_degrees)
+        machine = topology.machine
+        self.edge_pair = (machine[edge_src].astype(np.int64) * self.machines
+                          + machine[self.edge_dst].astype(np.int64))
+        self.is_hub = self.degrees >= hub_threshold
+        self._hub_pairs: dict[int, np.ndarray] = {}
+        for v in np.nonzero(self.is_hub)[0]:
+            pos = int(self.pos_of[v])
+            span = slice(self.p_indptr[pos], self.p_indptr[pos + 1])
+            self._hub_pairs[int(v)] = np.unique(self.edge_pair[span])
+
+    def hub_pairs(self, vertex: int) -> np.ndarray:
+        """Flattened machine-pair indices a hub's buffered value crosses
+        (one per distinct destination machine)."""
+        return self._hub_pairs[vertex]
+
+    def edge_slice(self, vertices: np.ndarray) -> np.ndarray:
+        """Indices (into the processing-order edge arrays) of the
+        out-edges of ``vertices``, concatenated per vertex in order."""
+        degrees = self.degrees[vertices]
+        total = int(degrees.sum())
+        if not total:
+            return np.empty(0, dtype=np.int64)
+        starts = self.p_indptr[self.pos_of[vertices]]
+        running = np.cumsum(degrees)
+        offsets = (np.arange(total, dtype=np.int64)
+                   - np.repeat(running - degrees, degrees))
+        return np.repeat(starts, degrees) + offsets
+
+
 class BspEngine:
     """Executes vertex programs superstep by superstep."""
 
@@ -77,12 +178,17 @@ class BspEngine:
                  compute_params: ComputeParams | None = None,
                  hub_buffering: bool = True,
                  hub_fraction: float = 0.01,
-                 validate_restrictive: bool = False):
+                 validate_restrictive: bool = False,
+                 vectorize: bool = True,
+                 cross_check: bool = False):
         self.topology = topology
         self.network = network or SimNetwork()
         self.compute_params = compute_params or ComputeParams()
         self.hub_buffering = hub_buffering
+        self.hub_fraction = hub_fraction
         self.validate_restrictive = validate_restrictive
+        self.vectorize = vectorize
+        self.cross_check = cross_check
         degrees = topology.out_degrees()
         if hub_buffering and len(degrees) and hub_fraction > 0:
             quantile = float(np.quantile(degrees, 1.0 - hub_fraction))
@@ -99,49 +205,74 @@ class BspEngine:
         self._h_messages = self.network.obs.histogram(
             "bsp.superstep.messages"
         )
+        self._h_wall = self.network.obs.histogram(
+            "bsp.superstep.wall_seconds"
+        )
         self._g_queue = self.network.obs.gauge("bsp.queue.depth")
         self._m_supersteps = self.network.obs.counter("bsp.superstep.total")
         # Mutable per-run state (set up in run()).
-        self.values: list = []
+        self.values = []
         self.aggregators: dict[str, float] = {}
         self.aggregators_next: dict[str, float] = {}
         self._program: VertexProgram | None = None
         self._neighbor_sets: dict[int, set] = {}
+        self._fast: _FastState | None = None
+        self._fast_mode = False
 
     # -- engine hooks used by ComputeContext --------------------------------
+
+    def _check_restrictive(self, src: int, dst: int) -> None:
+        neighbors = self._neighbor_sets.get(src)
+        if neighbors is None:
+            neighbors = set(self.topology.out_neighbors(src).tolist())
+            self._neighbor_sets[src] = neighbors
+        if dst not in neighbors:
+            raise ComputeError(
+                f"restrictive program sent from {src} to non-neighbor "
+                f"{dst}; set restrictive=False for the general model"
+            )
 
     def enqueue(self, src: int, dst: int, value) -> None:
         """Route one message (general-model path)."""
         program = self._program
         assert program is not None
         if program.restrictive and self.validate_restrictive:
-            neighbors = self._neighbor_sets.get(src)
-            if neighbors is None:
-                neighbors = set(self.topology.out_neighbors(src).tolist())
-                self._neighbor_sets[src] = neighbors
-            if dst not in neighbors:
-                raise ComputeError(
-                    f"restrictive program sent from {src} to non-neighbor "
-                    f"{dst}; set restrictive=False for the general model"
-                )
+            self._check_restrictive(src, dst)
+        machine = self.topology.machine
+        if self._fast_mode:
+            self._fs_single_dst.append(dst)
+            self._fs_single_val.append(value)
+            self._fs_single_pair.append(
+                int(machine[src]) * self._fast.machines + int(machine[dst])
+            )
+            self._messages += 1
+            return
         self._next_inbox[dst].append(value)
-        self._active[dst] = True
+        self._woken[dst] = True
         self._messages += 1
-        src_machine = int(self.topology.machine[src])
-        dst_machine = int(self.topology.machine[dst])
-        self._traffic[(src_machine, dst_machine)][0] += 1
-        self._traffic[(src_machine, dst_machine)][1] += program.message_bytes
+        # One dict lookup per message, not two.
+        entry = self._traffic[(int(machine[src]), int(machine[dst]))]
+        entry[0] += 1
+        entry[1] += program.message_bytes
 
     def enqueue_to_neighbors(self, src: int, value) -> None:
         """Broadcast to out-neighbors (restrictive fast path)."""
         program = self._program
         assert program is not None
+        if self._fast_mode:
+            degree = int(self._fast.degrees[src])
+            if not degree:
+                return
+            self._fs_bcast_src.append(src)
+            self._fs_bcast_val.append(value)
+            self._messages += degree
+            return
         neighbors = self.topology.out_neighbors(src)
         if not len(neighbors):
             return
         for dst in neighbors:
             self._next_inbox[dst].append(value)
-        self._active[neighbors] = True
+        self._woken[neighbors] = True
         self._messages += len(neighbors)
         src_machine = int(self.topology.machine[src])
         dst_machines = self.topology.machine[neighbors]
@@ -164,6 +295,95 @@ class BspEngine:
     def halt(self, vertex: int) -> None:
         self._active[vertex] = False
 
+    # -- engine hooks used by BatchComputeContext ---------------------------
+
+    def halt_many(self, vertices) -> None:
+        self._active[np.asarray(vertices, dtype=np.int64)] = False
+
+    def _fold_into(self, dsts: np.ndarray, values: np.ndarray) -> None:
+        """Fold per-edge message values into next superstep's combined
+        inbox, in the order given (which both send paths keep equal to
+        the reference path's enqueue order)."""
+        combiner = self._fs_combiner
+        target = self._fs_next_combined
+        if combiner == "sum":
+            if target.dtype.kind == "f":
+                # bincount accumulates sequentially in input order: the
+                # same left-fold the reference path's sum(messages) does.
+                target += np.bincount(dsts, weights=values,
+                                      minlength=len(target))
+            else:
+                np.add.at(target, dsts, values)
+        elif combiner == "min":
+            np.minimum.at(target, dsts, values)
+        else:
+            np.maximum.at(target, dsts, values)
+        self._fs_next_received[dsts] = True
+
+    def batch_send_uniform(self, vertices, values) -> None:
+        """Uniform broadcast for a vertex slice (hub-eligible).
+
+        Deferred until the barrier: all of the superstep's broadcasts
+        fold in one pass over the concatenated edge list, so a ``sum``
+        combiner left-folds in the exact reference enqueue order (a
+        per-call fold would add machine-local partial sums, which is a
+        different float association).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if not len(vertices):
+            return
+        total = int(self._fast.degrees[vertices].sum())
+        if not total:
+            return
+        self._fs_bcast_verts.append(vertices)
+        self._fs_bcast_vals.append(np.asarray(values))
+        self._messages += total
+
+    def batch_send_edges(self, vertices, edge_values) -> None:
+        """Per-edge sends for a vertex slice (non-uniform: no hub opt).
+
+        Deferred like :meth:`batch_send_uniform`.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        edge_values = np.asarray(edge_values)
+        total = int(self._fast.degrees[vertices].sum())
+        if len(edge_values) != total:
+            raise ComputeError(
+                f"send_along_edges got {len(edge_values)} values for "
+                f"{total} edges"
+            )
+        if not total:
+            return
+        self._fs_edge_verts.append(vertices)
+        self._fs_edge_vals.append(edge_values)
+        self._messages += total
+
+    # -- shared accounting ---------------------------------------------------
+
+    def _charge_round(self, round_: ParallelRound, pair_items):
+        """Feed the superstep's traffic (sorted by machine pair, so both
+        paths hit the float accumulators in the same order) and finish
+        the round.  Returns (elapsed, remote_transfers, wire_bytes)."""
+        cost = self.compute_params
+        remote_transfers = 0
+        wire_bytes = 0
+        for (src_machine, dst_machine), (count, size) in pair_items:
+            round_.add_message(src_machine, dst_machine, size, count)
+            if src_machine != dst_machine:
+                remote_transfers += count
+                wire_bytes += size
+        elapsed = round_.finish(parallelism=cost.threads_per_machine)
+        elapsed += cost.barrier_cost
+        self.network.clock.advance(cost.barrier_cost)
+        return elapsed, remote_transfers, wire_bytes
+
+    def _check_initial_values(self, initial_values, n: int) -> None:
+        if initial_values is not None and len(initial_values) != n:
+            raise ComputeError(
+                f"initial_values has {len(initial_values)} entries "
+                f"for {n} vertices"
+            )
+
     # -- main loop ---------------------------------------------------------
 
     def run(self, program: VertexProgram, max_supersteps: int = 50,
@@ -177,21 +397,49 @@ class BspEngine:
         barrier; the checkpointing of Section 6.2 ("for BSP based
         synchronous computation, we make check points every a few
         supersteps") hooks in here.
+
+        Programs declaring a ``combiner`` run on the vectorized fast
+        path when ``vectorize`` is on (the default); with
+        ``cross_check=True`` the per-vertex reference path is executed
+        as well (against a throwaway network) and any divergence in
+        values or accounting raises :class:`ComputeError`.
         """
         if max_supersteps < 1:
             raise ComputeError("max_supersteps must be >= 1")
-        topo = self.topology
-        n = topo.n
+        combiner = program.combiner
+        if combiner is not None and combiner not in COMBINERS:
+            raise ComputeError(
+                f"unknown combiner {combiner!r}; expected one of {COMBINERS}"
+            )
         self._program = program
         self._neighbor_sets = {}
+        try:
+            if not (self.vectorize and combiner is not None
+                    and self.topology.n):
+                return self._run_reference(program, max_supersteps,
+                                           initial_values, on_superstep)
+            result = self._run_fast(program, max_supersteps, initial_values,
+                                    on_superstep,
+                                    use_batch=program.batch_eligible)
+            if self.cross_check:
+                self._run_cross_check(program, max_supersteps,
+                                      initial_values, result)
+            return result
+        finally:
+            self._program = None
+            self._fast_mode = False
+
+    # -- per-vertex reference path ------------------------------------------
+
+    def _run_reference(self, program: VertexProgram, max_supersteps: int,
+                       initial_values, on_superstep) -> BspResult:
+        topo = self.topology
+        n = topo.n
+        self._fast_mode = False
+        self._check_initial_values(initial_values, n)
         if initial_values is None:
             self.values = [None] * n
         else:
-            if len(initial_values) != n:
-                raise ComputeError(
-                    f"initial_values has {len(initial_values)} entries "
-                    f"for {n} vertices"
-                )
             self.values = list(initial_values)
         self.aggregators = {}
         self.aggregators_next = {}
@@ -205,19 +453,22 @@ class BspEngine:
 
         result = BspResult(values=self.values)
         cost = self.compute_params
+        per_vertex_cost = cost.vertex_compute_cost + cost.cell_access_cost
         for superstep in range(max_supersteps):
-            with self.tracer.span("bsp.superstep",
-                                  superstep=superstep) as span:
+            with self._h_wall.time(), \
+                    self.tracer.span("bsp.superstep",
+                                     superstep=superstep) as span:
                 ctx.superstep = superstep
                 self._next_inbox = [[] for _ in range(n)]
                 self._messages = 0
                 self._traffic = defaultdict(lambda: [0, 0])
-                traffic = self._traffic
+                self._woken = np.zeros(n, dtype=bool)
 
                 round_ = ParallelRound(self.network)
                 ran = 0
                 for machine, vertices in enumerate(self._machine_vertices):
-                    compute_seconds = 0.0
+                    ran_here = 0
+                    degree_sum = 0
                     for vertex in vertices:
                         vertex = int(vertex)
                         messages = inbox[vertex]
@@ -225,26 +476,19 @@ class BspEngine:
                             continue
                         ctx._bind(vertex)
                         program.compute(ctx, vertex, messages)
-                        ran += 1
-                        degree = int(topo.out_indptr[vertex + 1]
-                                     - topo.out_indptr[vertex])
-                        compute_seconds += (
-                            cost.vertex_compute_cost + cost.cell_access_cost
-                            + degree * cost.edge_scan_cost
-                        )
-                    round_.add_compute(machine, compute_seconds)
+                        ran_here += 1
+                        degree_sum += int(topo.out_indptr[vertex + 1]
+                                          - topo.out_indptr[vertex])
+                    round_.add_compute(
+                        machine,
+                        ran_here * per_vertex_cost
+                        + degree_sum * cost.edge_scan_cost,
+                    )
+                    ran += ran_here
 
-                remote_transfers = 0
-                wire_bytes = 0
-                for (src_machine, dst_machine), (count, size) \
-                        in traffic.items():
-                    round_.add_message(src_machine, dst_machine, size, count)
-                    if src_machine != dst_machine:
-                        remote_transfers += count
-                        wire_bytes += size
-                elapsed = round_.finish(parallelism=cost.threads_per_machine)
-                elapsed += cost.barrier_cost
-                self.network.clock.advance(cost.barrier_cost)
+                elapsed, remote_transfers, wire_bytes = self._charge_round(
+                    round_, sorted(self._traffic.items())
+                )
                 span.set(active=ran, messages=self._messages,
                          remote_transfers=remote_transfers)
             self._m_supersteps.inc()
@@ -253,6 +497,10 @@ class BspEngine:
             # consumed by the next barrier.
             self._g_queue.set(self._messages)
 
+            # Barrier wake: message receipt reactivates the destination
+            # at the barrier, after all halts — deterministic regardless
+            # of machine processing order.
+            self._active |= self._woken
             self.aggregators = self.aggregators_next
             self.aggregators_next = {}
             ctx.superstep = superstep
@@ -274,5 +522,255 @@ class BspEngine:
 
         result.values = self.values
         result.aggregators = dict(self.aggregators)
-        self._program = None
         return result
+
+    # -- vectorized fast path ------------------------------------------------
+
+    def _flush_broadcasts(self, senders: np.ndarray,
+                          values: np.ndarray) -> None:
+        """Fold uniform broadcasts (senders in compute order) and charge
+        their traffic, applying hub buffering where eligible."""
+        fast = self._fast
+        program = self._program
+        degrees = fast.degrees[senders]
+        edge_idx = fast.edge_slice(senders)
+        per_edge = np.repeat(values, degrees)
+        self._fold_into(fast.edge_dst[edge_idx], per_edge)
+        hub_ok = self.hub_buffering and program.uniform_messages
+        hub_mask = (fast.is_hub[senders] if hub_ok
+                    else np.zeros(len(senders), dtype=bool))
+        if hub_mask.any():
+            keep = np.repeat(~hub_mask, degrees)
+            pairs = fast.edge_pair[edge_idx[keep]]
+            for v in senders[hub_mask].tolist():
+                self._fs_pair_counts[fast.hub_pairs(v)] += 1
+        else:
+            pairs = fast.edge_pair[edge_idx]
+        if len(pairs):
+            self._fs_pair_counts += np.bincount(
+                pairs, minlength=len(self._fs_pair_counts)
+            )
+
+    def _flush_deferred_sends(self) -> None:
+        """Fold the sends collected this superstep, in compute order.
+
+        One fold pass per send kind over the full superstep reproduces
+        the reference enqueue order exactly: broadcasts first, then
+        per-edge sends, then general-model singles.  (A ``sum`` program
+        mixing send kinds in one superstep would see a different — still
+        deterministic — float association than the reference path; the
+        shipped programs each use a single kind per superstep.)"""
+        fast = self._fast
+        if self._fs_bcast_src:
+            self._flush_broadcasts(
+                np.array(self._fs_bcast_src, dtype=np.int64),
+                np.asarray(self._fs_bcast_val, dtype=self._fs_dtype),
+            )
+        if self._fs_bcast_verts:
+            self._flush_broadcasts(
+                np.concatenate(self._fs_bcast_verts),
+                np.concatenate(self._fs_bcast_vals).astype(
+                    self._fs_dtype, copy=False
+                ),
+            )
+        if self._fs_edge_verts:
+            senders = np.concatenate(self._fs_edge_verts)
+            edge_values = np.concatenate(self._fs_edge_vals).astype(
+                self._fs_dtype, copy=False
+            )
+            edge_idx = fast.edge_slice(senders)
+            self._fold_into(fast.edge_dst[edge_idx], edge_values)
+            self._fs_pair_counts += np.bincount(
+                fast.edge_pair[edge_idx],
+                minlength=len(self._fs_pair_counts),
+            )
+        if self._fs_single_dst:
+            dsts = np.array(self._fs_single_dst, dtype=np.int64)
+            values = np.asarray(self._fs_single_val, dtype=self._fs_dtype)
+            self._fold_into(dsts, values)
+            self._fs_pair_counts += np.bincount(
+                np.array(self._fs_single_pair, dtype=np.int64),
+                minlength=len(self._fs_pair_counts),
+            )
+
+    def _fs_pair_items(self, message_bytes: int) -> list:
+        """The superstep's traffic as sorted ((src, dst), (count, bytes))
+        items — the flattened pair index is already lexicographic."""
+        machines = self._fast.machines
+        items = []
+        for pair in np.nonzero(self._fs_pair_counts)[0].tolist():
+            count = int(self._fs_pair_counts[pair])
+            items.append((divmod(pair, machines),
+                          (count, count * message_bytes)))
+        return items
+
+    def _run_fast(self, program: VertexProgram, max_supersteps: int,
+                  initial_values, on_superstep, use_batch: bool) -> BspResult:
+        topo = self.topology
+        n = topo.n
+        cost = self.compute_params
+        if self._fast is None:
+            self._fast = _FastState(topo, self._machine_vertices,
+                                    self.hub_threshold)
+        fast = self._fast
+        dtype = np.dtype(program.value_dtype)
+        identity = _combiner_identity(program.combiner, dtype)
+        self._fast_mode = True
+        self._fs_combiner = program.combiner
+        self._fs_dtype = dtype
+        self._check_initial_values(initial_values, n)
+        if initial_values is None:
+            self.values = np.zeros(n, dtype=dtype)
+        else:
+            self.values = np.array(initial_values, dtype=dtype)
+        self.aggregators = {}
+        self.aggregators_next = {}
+        self._active = np.ones(n, dtype=bool)
+        ctx = ComputeContext(self)
+        batch_ctx = BatchComputeContext(self)
+
+        if type(program).init_batch is not VertexProgram.init_batch:
+            program.init_batch(batch_ctx)
+        else:
+            for vertex in range(n):
+                ctx._bind(vertex)
+                program.init(ctx, vertex)
+
+        combined = np.full(n, identity, dtype=dtype)
+        received = np.zeros(n, dtype=bool)
+        result = BspResult(values=self.values)
+        per_vertex_cost = cost.vertex_compute_cost + cost.cell_access_cost
+        pair_slots = fast.machines * fast.machines
+        for superstep in range(max_supersteps):
+            with self._h_wall.time(), \
+                    self.tracer.span("bsp.superstep",
+                                     superstep=superstep) as span:
+                ctx.superstep = superstep
+                batch_ctx.superstep = superstep
+                self._messages = 0
+                self._fs_next_combined = np.full(n, identity, dtype=dtype)
+                self._fs_next_received = np.zeros(n, dtype=bool)
+                self._fs_pair_counts = np.zeros(pair_slots, dtype=np.int64)
+                self._fs_bcast_src: list[int] = []
+                self._fs_bcast_val: list = []
+                self._fs_bcast_verts: list[np.ndarray] = []
+                self._fs_bcast_vals: list[np.ndarray] = []
+                self._fs_edge_verts: list[np.ndarray] = []
+                self._fs_edge_vals: list[np.ndarray] = []
+                self._fs_single_dst: list[int] = []
+                self._fs_single_val: list = []
+                self._fs_single_pair: list[int] = []
+
+                round_ = ParallelRound(self.network)
+                ran_total = 0
+                for machine, vertices in enumerate(self._machine_vertices):
+                    ran = vertices[self._active[vertices]]
+                    ran_count = len(ran)
+                    degree_sum = 0
+                    if ran_count:
+                        if use_batch:
+                            program.compute_batch(batch_ctx, ran,
+                                                  combined[ran],
+                                                  received[ran])
+                        else:
+                            for vertex in ran.tolist():
+                                ctx._bind(vertex)
+                                messages = ([combined[vertex]]
+                                            if received[vertex] else [])
+                                program.compute(ctx, vertex, messages)
+                        degree_sum = int(fast.degrees[ran].sum())
+                    round_.add_compute(
+                        machine,
+                        ran_count * per_vertex_cost
+                        + degree_sum * cost.edge_scan_cost,
+                    )
+                    ran_total += ran_count
+
+                self._flush_deferred_sends()
+                elapsed, remote_transfers, wire_bytes = self._charge_round(
+                    round_, self._fs_pair_items(program.message_bytes)
+                )
+                span.set(active=ran_total, messages=self._messages,
+                         remote_transfers=remote_transfers)
+            self._m_supersteps.inc()
+            self._h_messages.observe(self._messages)
+            self._g_queue.set(self._messages)
+
+            self._active |= self._fs_next_received
+            self.aggregators = self.aggregators_next
+            self.aggregators_next = {}
+            program.after_superstep(batch_ctx if use_batch else ctx)
+
+            result.supersteps.append(SuperstepReport(
+                superstep=superstep,
+                elapsed=elapsed,
+                active_vertices=ran_total,
+                messages=self._messages,
+                remote_transfers=remote_transfers,
+                message_bytes=wire_bytes,
+            ))
+            if on_superstep is not None:
+                on_superstep(superstep, self.values)
+            combined = self._fs_next_combined
+            received = self._fs_next_received
+            if self._messages == 0 and not self._active.any():
+                break
+
+        result.values = self.values
+        result.aggregators = dict(self.aggregators)
+        return result
+
+    # -- cross-check ---------------------------------------------------------
+
+    def _run_cross_check(self, program: VertexProgram, max_supersteps: int,
+                         initial_values, fast_result: BspResult) -> None:
+        """Run the per-vertex reference path against a throwaway network
+        and require value-identical results and identical accounting."""
+        from ..obs import MetricsRegistry
+
+        reference_engine = BspEngine(
+            self.topology,
+            network=SimNetwork(params=self.network.params,
+                               registry=MetricsRegistry()),
+            compute_params=self.compute_params,
+            hub_buffering=self.hub_buffering,
+            hub_fraction=self.hub_fraction,
+            validate_restrictive=self.validate_restrictive,
+            vectorize=False,
+        )
+        reference = reference_engine.run(program,
+                                         max_supersteps=max_supersteps,
+                                         initial_values=initial_values)
+        fast_values = np.asarray(fast_result.values)
+        try:
+            reference_values = np.asarray(reference.values,
+                                          dtype=fast_values.dtype)
+        except (TypeError, ValueError) as exc:
+            raise ComputeError(
+                "cross-check failed: the reference path left non-numeric "
+                "vertex values (a combiner program must initialise every "
+                "vertex in init/init_batch; the dense fast-path array "
+                "defaults untouched vertices to zero, the reference path "
+                "to None)"
+            ) from exc
+        if not np.array_equal(reference_values, fast_values):
+            diverged = int(np.sum(reference_values != fast_values))
+            raise ComputeError(
+                f"cross-check failed: vectorized values diverge from the "
+                f"per-vertex reference at {diverged} of "
+                f"{len(fast_values)} vertices"
+            )
+        if reference.superstep_count != fast_result.superstep_count:
+            raise ComputeError(
+                f"cross-check failed: {fast_result.superstep_count} "
+                f"vectorized supersteps vs {reference.superstep_count} "
+                f"reference supersteps"
+            )
+        for fast_step, ref_step in zip(fast_result.supersteps,
+                                       reference.supersteps):
+            if fast_step != ref_step:
+                raise ComputeError(
+                    f"cross-check failed at superstep "
+                    f"{ref_step.superstep}: vectorized {fast_step} vs "
+                    f"reference {ref_step}"
+                )

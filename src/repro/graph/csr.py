@@ -44,6 +44,37 @@ class CsrTopology:
         self.machine = machines
         self.machine_count = graph.cloud.config.machines
 
+    @classmethod
+    def from_arrays(cls, edges: np.ndarray, machines: int = 4,
+                    num_nodes: int | None = None) -> "CsrTopology":
+        """Build a topology straight from an ``(m, 2)`` edge array.
+
+        Skips the memory cloud entirely — node ``i`` is its own dense
+        index and id, placed on machine ``i % machines`` (the addressing
+        layer's modulo placement).  Meant for benchmark harnesses, where
+        building a cloud-resident graph at millions of edges would
+        dominate the run without exercising anything the benchmark
+        measures.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if num_nodes is None:
+            num_nodes = int(edges.max()) + 1 if len(edges) else 0
+        topo = cls.__new__(cls)
+        topo.n = num_nodes
+        topo.node_ids = np.arange(num_nodes, dtype=np.int64)
+        topo.index_of = {i: i for i in range(num_nodes)}
+        order = np.argsort(edges[:, 0], kind="stable")
+        src = edges[order, 0]
+        topo.out_indices = edges[order, 1]
+        topo.out_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=num_nodes),
+                  out=topo.out_indptr[1:])
+        topo.in_indptr = None
+        topo.in_indices = None
+        topo.machine = (topo.node_ids % machines).astype(np.int32)
+        topo.machine_count = machines
+        return topo
+
     def _build(self, graph, neighbors_fn):
         indptr = np.zeros(self.n + 1, dtype=np.int64)
         chunks = []

@@ -67,21 +67,32 @@ class TrunkHashTable:
             return 0.0
         return self.probe_count / self.lookup_count
 
-    def _slot_for(self, key: int) -> int:
-        """Find the slot holding ``key`` or the first insertable slot."""
+    def _slot_for(self, key: int, record: bool = True) -> int:
+        """Find the slot holding ``key`` or the first insertable slot.
+
+        ``record=False`` skips the probe statistics — used for internal
+        re-probes (e.g. relocating the key after a resize) that are part
+        of one logical operation and must not be double-counted.
+        """
         index = _slot_hash(key) & self._mask
         first_tombstone = -1
-        self.lookup_count += 1
+        probes = 0
         while True:
-            self.probe_count += 1
+            probes += 1
             slot_key = self._keys[index]
             if slot_key == key:
-                return index
+                break
             if slot_key == _EMPTY:
-                return first_tombstone if first_tombstone >= 0 else index
+                if first_tombstone >= 0:
+                    index = first_tombstone
+                break
             if slot_key == _TOMBSTONE and first_tombstone < 0:
                 first_tombstone = index
             index = (index + 1) & self._mask
+        if record:
+            self.lookup_count += 1
+            self.probe_count += probes
+        return index
 
     def get(self, key: int, default: int | None = None) -> int | None:
         index = self._slot_for(key)
@@ -103,7 +114,9 @@ class TrunkHashTable:
             self._used += 1
             if (self._used + self._tombstones) * 3 >= self.capacity * 2:
                 self._resize()
-                index = self._slot_for(key)
+                # Re-locating the key in the rebuilt table is part of the
+                # same logical set(): don't count it a second time.
+                index = self._slot_for(key, record=False)
         self._values[index] = value
 
     def delete(self, key: int) -> bool:

@@ -94,10 +94,13 @@ class SimNetwork:
         """
         self.counters.messages += messages
         self.counters.payload_bytes += size
-        self.machine_sent(src).inc(size)
         if src == dst:
+            # Local deliveries never hit the wire: they must not show up
+            # in the per-machine sent-bytes series (traffic skew would be
+            # polluted by co-located message volume).
             self.counters.local_messages += messages
             return messages * self.params.per_message_overhead
+        self.machine_sent(src).inc(size)
         self.counters.transfers += 1
         return self.params.transfer_time(size, messages)
 
@@ -183,11 +186,12 @@ class ParallelRound:
                     # transfer and inflate counters.transfers.
                     continue
                 self.network.transfer(machine, dst, size, count)
-                machine_bytes += size
                 if dst == machine:
-                    # Local delivery: per-message handling only.
+                    # Local delivery: per-message handling only, and no
+                    # contribution to the wire-bytes skew series.
                     serial_send += count * params.per_message_overhead
                     continue
+                machine_bytes += size
                 latency_part, serial_part = params.transfer_components(
                     size, count
                 )

@@ -22,6 +22,7 @@ Prometheus data model reduced to what the simulation needs::
 from __future__ import annotations
 
 import bisect
+import time
 from typing import Iterator
 
 
@@ -83,6 +84,23 @@ class Gauge:
 DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(-7, 3))
 
 
+class _HistogramTimer:
+    """Context manager recording a wall-clock duration into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
 class Histogram:
     """Distribution summary: bucketed counts plus sum/min/max."""
 
@@ -110,6 +128,10 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def time(self) -> _HistogramTimer:
+        """``with h.time():`` — observe the block's wall-clock seconds."""
+        return _HistogramTimer(self)
 
     @property
     def mean(self) -> float:
