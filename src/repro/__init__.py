@@ -26,6 +26,7 @@ model), :mod:`repro.compute` (BSP/async engines), :mod:`repro.algorithms`
 
 from .config import ClusterConfig, ComputeParams, MemoryParams, NetworkParams
 from .errors import TrinityError
+from .faults import FaultPlan
 from .memcloud import MemoryCloud
 from .cluster import TrinityCluster
 from .tsl import compile_tsl
@@ -38,6 +39,7 @@ __all__ = [
     "MemoryParams",
     "ComputeParams",
     "TrinityError",
+    "FaultPlan",
     "MemoryCloud",
     "TrinityCluster",
     "compile_tsl",

@@ -1,15 +1,20 @@
 """Trinity clients: the user-interface tier (Section 2).
 
 "A Trinity client ... communicates with Trinity slaves and Trinity
-proxies through the APIs provided by the Trinity library."  The client
-implements the access-failure protocol of Section 6.2: an access to a
-down machine reports the failure to the leader, waits for the addressing
-table to be updated, and retries.
+proxies through the APIs provided by the Trinity library."  Like every
+machine in Section 3, the client keeps its own *replica* of the
+addressing table and routes cell accesses through it — which means the
+replica can go stale when recovery moves trunks.  The client implements
+the access-failure protocol of Section 6.2 on top of that: a failed
+access first re-syncs the replica lazily from the primary (the common
+case after a recovery the client missed), and only if the table was
+already current does it report a genuinely new failure to the leader.
 """
 
 from __future__ import annotations
 
 from ..errors import CellNotFoundError, MachineDownError, RecoveryError
+from ..memcloud import AddressingTable
 
 
 class Client:
@@ -19,6 +24,15 @@ class Client:
         self.client_id = client_id          # fabric address
         self.cluster = cluster
         self.retries = 0
+        self.addressing_replica: AddressingTable = (
+            cluster.cloud.addressing.copy()
+        )
+
+    def sync_addressing(self) -> bool:
+        """Pull the primary addressing table; True if ours was stale."""
+        return self.addressing_replica.sync_from(
+            self.cluster.cloud.addressing
+        )
 
     # -- key-value access with failure detection -----------------------------
 
@@ -29,37 +43,81 @@ class Client:
         item on machine B which is down can detect the failure of machine
         B ... will inform the leader machine ... wait for the addressing
         table to be updated, and attempt to access the item again."
+        Every retry first re-syncs the client's table replica — a stale
+        route is repaired lazily, without disturbing the leader.
         """
+        machine = self.addressing_replica.machine_for_cell(cell_id)
         for _ in range(max_retries + 1):
-            machine = self.cluster.cloud.addressing.machine_for_cell(cell_id)
-            slave = self.cluster.slaves[machine]
-            if slave.alive:
-                payload = self.cluster.runtime.send_sync(
-                    self.client_id, machine, "__get_cell__",
-                    cell_id.to_bytes(8, "little"),
-                )
-                if payload == b"":
+            machine = self.addressing_replica.machine_for_cell(cell_id)
+            slave = self.cluster.slaves.get(machine)
+            if slave is not None and slave.alive:
+                try:
+                    payload = self.cluster.runtime.send_sync(
+                        self.client_id, machine, "__get_cell__",
+                        cell_id.to_bytes(8, "little"),
+                    )
+                except MachineDownError:
+                    # The machine died mid-flight (or an injected fault
+                    # exhausted the transport's retry budget).
+                    payload = None
+                if payload is not None:
+                    if payload[:1] == b"F":
+                        return bytes(payload[1:])
+                    if payload == b"W":
+                        # Misrouted: the slave (with a fresh table of its
+                        # own) refused a cell it does not host.  Our
+                        # replica is the stale one — re-sync and re-route.
+                        self.retries += 1
+                        self.sync_addressing()
+                        continue
+                    # b"N": the slave owns the route but has no such
+                    # cell.  If our table replica was stale the cell may
+                    # now live elsewhere: re-sync and re-route.
+                    if self.sync_addressing():
+                        self.retries += 1
+                        continue
                     raise CellNotFoundError(cell_id)
-                return payload
-            # Detected a dead machine: report and wait for recovery.
+            # The routed machine is unreachable.  A lazy re-sync covers
+            # the common case: recovery already moved the cell and only
+            # our replica still points at the corpse.
             self.retries += 1
+            if self.sync_addressing():
+                continue
+            # The table is current, so this failure is news: report it,
+            # then pick up the table recovery just rewrote.
             self.cluster.report_failure(machine)
+            self.sync_addressing()
         raise MachineDownError(machine)
 
     def put_cell(self, cell_id: int, value: bytes,
                  max_retries: int = 2) -> None:
         """Write a cell with the same failure-driven retry protocol."""
+        machine = self.addressing_replica.machine_for_cell(cell_id)
         for _ in range(max_retries + 1):
-            machine = self.cluster.cloud.addressing.machine_for_cell(cell_id)
-            slave = self.cluster.slaves[machine]
-            if slave.alive:
-                self.cluster.runtime.send_sync(
-                    self.client_id, machine, "__put_cell__",
-                    cell_id.to_bytes(8, "little") + value,
-                )
-                return
+            machine = self.addressing_replica.machine_for_cell(cell_id)
+            slave = self.cluster.slaves.get(machine)
+            if slave is not None and slave.alive:
+                try:
+                    reply = self.cluster.runtime.send_sync(
+                        self.client_id, machine, "__put_cell__",
+                        cell_id.to_bytes(8, "little") + value,
+                    )
+                except MachineDownError:
+                    reply = None
+                if reply == b"K":
+                    return
+                if reply == b"W":
+                    # Misrouted write refused by the slave: a write that
+                    # landed here would be logged under the wrong origin
+                    # and silently skipped by a later replay.
+                    self.retries += 1
+                    self.sync_addressing()
+                    continue
             self.retries += 1
+            if self.sync_addressing():
+                continue
             self.cluster.report_failure(machine)
+            self.sync_addressing()
         raise MachineDownError(machine)
 
     # -- protocol calls ----------------------------------------------------

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..config import ClusterConfig
 from ..errors import CellNotFoundError, RecoveryError
+from ..faults import FaultInjector, FaultPlan
 from ..memcloud import MemoryCloud, persistence
 from ..memcloud.trunk import MemoryTrunk
 from ..net import MessageRuntime, SimNetwork
@@ -37,12 +38,18 @@ class TrinityCluster:
 
     def __init__(self, config: ClusterConfig | None = None,
                  schema=None, enable_buffered_log: bool = True,
-                 disk_root=None, registry: MetricsRegistry | None = None):
+                 disk_root=None, registry: MetricsRegistry | None = None,
+                 faults: FaultPlan | None = None):
         self.config = config or ClusterConfig()
         self.obs = registry if registry is not None else get_registry()
         self.cloud = MemoryCloud(self.config, registry=self.obs)
         self.network = SimNetwork(self.config.network, registry=self.obs)
         self.runtime = MessageRuntime(self.network, schema=schema)
+        self.faults = (FaultInjector(faults, registry=self.obs)
+                       if faults is not None else None)
+        # RPCs and parallel rounds on this fabric now pay for injected
+        # drops/duplicates/delays/partitions; crashes fire in run_chaos().
+        self.network.faults = self.faults
         # With a disk_root, TFS blocks live in real files and the whole
         # deployment can be restored after a process restart via
         # restore_from_tfs().
@@ -51,6 +58,7 @@ class TrinityCluster:
             replication=self.config.replication,
             disk_root=disk_root,
         )
+        self.tfs.faults = self.faults
         self.buffered_log = (
             BufferedLog(self.config.machines, self.config.replication)
             if enable_buffered_log else None
@@ -88,17 +96,34 @@ class TrinityCluster:
     def _install_kv_protocols(self) -> None:
         for machine_id, slave in self.slaves.items():
 
+            # One-byte reply status: b"F"+data = found, b"N" = no such
+            # cell, b"K" = write acknowledged, b"W" = wrong machine (the
+            # caller's table replica is stale — re-sync and re-route).
+            # A slave must refuse cells it does not own: serving a
+            # misrouted write would log it under the wrong origin, and
+            # that record would never be replayed when the true owner
+            # crashes.
+            def _owns_after_sync(slave, cell_id):
+                if slave.owns(cell_id):
+                    return True
+                slave.sync_addressing()
+                return slave.owns(cell_id)
+
             def get_handler(message, payload, slave=slave):
                 cell_id = int.from_bytes(payload[:8], "little")
+                if not _owns_after_sync(slave, cell_id):
+                    return b"W"
                 try:
-                    return slave.local_get(cell_id)
+                    return b"F" + slave.local_get(cell_id)
                 except CellNotFoundError:
-                    return b""
+                    return b"N"
 
             def put_handler(message, payload, slave=slave):
                 cell_id = int.from_bytes(payload[:8], "little")
+                if not _owns_after_sync(slave, cell_id):
+                    return b"W"
                 slave.local_put(cell_id, bytes(payload[8:]))
-                return b""
+                return b"K"
 
             self.runtime.register_handler(
                 machine_id, "__get_cell__", get_handler
@@ -163,6 +188,40 @@ class TrinityCluster:
             self.recovery.recover_machine(machine_id)
         return failed
 
+    def run_chaos(self, max_ticks: int = 100) -> list[int]:
+        """Drive the attached fault plan through simulated time.
+
+        Each heartbeat tick: fire the plan's crashes scheduled for that
+        round, let the heartbeat monitor detect the silence, and run the
+        Section 6.2 recovery for whatever it reports — re-electing the
+        leader when the dead machine held it.  Returns the machines that
+        were crashed-and-recovered, in detection order.
+        """
+        if self.faults is None:
+            raise RecoveryError(
+                "run_chaos needs a FaultPlan: construct the cluster with "
+                "faults=FaultPlan(seed=...)"
+            )
+        recovered = []
+        for _ in range(max_ticks):
+            tick = self.heartbeat.time + 1
+            self.faults.begin_round(tick)
+            for machine_id in self.faults.take_crashes(tick):
+                slave = self.slaves.get(machine_id)
+                if slave is None or not slave.alive:
+                    continue  # already dead (or never existed): no-op
+                if len(self.alive_machines()) <= 1:
+                    continue  # refuse to kill the last machine standing
+                self.fail_machine(machine_id)
+            for machine_id in self.heartbeat.tick():
+                if machine_id == self.leader_id:
+                    self.leader_id = self.election.elect(
+                        self.alive_machines()
+                    )
+                self.recovery.recover_machine(machine_id)
+                recovered.append(machine_id)
+        return recovered
+
     def add_machine(self) -> int:
         """Join a new machine: relocate trunks to it and broadcast.
 
@@ -178,7 +237,7 @@ class TrinityCluster:
         self.recovery.broadcast_addressing()
         # Late registration of the built-in protocols for the newcomer.
         self._install_kv_protocols()
-        self.heartbeat._last_beat[new_id] = self.heartbeat.time
+        self.heartbeat.machine_restarted(new_id)
         if self.buffered_log is not None:
             self.buffered_log.rebalance(self.alive_machines())
         return new_id
@@ -197,6 +256,9 @@ class TrinityCluster:
             raise RecoveryError(f"machine {machine_id} is already alive")
         slave.restart()
         self.runtime.recover_machine(machine_id)
+        # Announce the rejoin to the failure detector: otherwise a crash
+        # before the first periodic beat would never be re-detected.
+        self.heartbeat.machine_restarted(machine_id)
         if self.buffered_log is not None:
             # Returning capacity can lift origins back to full log
             # replication: while few machines were alive the ring may

@@ -38,6 +38,17 @@ class HeartbeatMonitor:
                 failed.append(machine_id)
         return failed
 
+    def machine_restarted(self, machine_id: int) -> None:
+        """An out-of-band beat for a machine joining or restarting *now*.
+
+        Without it, a machine that restarts and crashes again before its
+        first periodic beat stays in ``_reported`` forever and the second
+        failure is never re-detected — so its log buffers are never
+        rebalanced and its trunks never recovered.
+        """
+        self._last_beat[machine_id] = self.time
+        self._reported.discard(machine_id)
+
     def run_until_detection(self, max_ticks: int = 100) -> list[int]:
         """Tick until some failure is detected (or the budget runs out)."""
         for _ in range(max_ticks):

@@ -47,9 +47,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ComputeParams
-from ..errors import ComputeError
+from ..errors import ComputeError, RecoveryError
+from ..faults import FaultInjector, FaultPlan
 from ..net.simnet import ParallelRound, SimNetwork
 from ..obs import Tracer
+from .checkpoint import CheckpointManager
 from .vertex import (
     COMBINERS,
     BatchComputeContext,
@@ -81,6 +83,8 @@ class BspResult:
     values: object
     supersteps: list[SuperstepReport] = field(default_factory=list)
     aggregators: dict[str, float] = field(default_factory=dict)
+    restarts: int = 0
+    """Checkpoint-restarts forced by injected machine crashes."""
 
     @property
     def superstep_count(self) -> int:
@@ -180,7 +184,9 @@ class BspEngine:
                  hub_fraction: float = 0.01,
                  validate_restrictive: bool = False,
                  vectorize: bool = True,
-                 cross_check: bool = False):
+                 cross_check: bool = False,
+                 faults: FaultPlan | None = None,
+                 checkpoints: CheckpointManager | None = None):
         self.topology = topology
         self.network = network or SimNetwork()
         self.compute_params = compute_params or ComputeParams()
@@ -189,6 +195,8 @@ class BspEngine:
         self.validate_restrictive = validate_restrictive
         self.vectorize = vectorize
         self.cross_check = cross_check
+        self.faults = faults
+        self.checkpoints = checkpoints
         degrees = topology.out_degrees()
         if hub_buffering and len(degrees) and hub_fraction > 0:
             quantile = float(np.quantile(degrees, 1.0 - hub_fraction))
@@ -210,6 +218,9 @@ class BspEngine:
         )
         self._g_queue = self.network.obs.gauge("bsp.queue.depth")
         self._m_supersteps = self.network.obs.counter("bsp.superstep.total")
+        self._m_checkpoints = self.network.obs.counter("bsp.checkpoint.total")
+        self._m_restarts = self.network.obs.counter("bsp.restart.total")
+        self._injector: FaultInjector | None = None
         # Mutable per-run state (set up in run()).
         self.values = []
         self.aggregators: dict[str, float] = {}
@@ -384,6 +395,27 @@ class BspEngine:
                 f"for {n} vertices"
             )
 
+    # -- checkpoint-restart helpers ------------------------------------------
+
+    def _latest_state(self) -> dict | None:
+        """The newest engine-state image, or None (restart from scratch)."""
+        if self.checkpoints is None:
+            return None
+        try:
+            _tag, state = self.checkpoints.latest_state()
+        except RecoveryError:
+            return None
+        return state
+
+    def _save_state(self, superstep: int, state: dict) -> None:
+        """Checkpoint an engine image if the interval says so."""
+        if (self.checkpoints is None
+                or (superstep + 1) % self.checkpoints.every):
+            return
+        state["superstep"] = superstep
+        self.checkpoints.save_state(superstep, state)
+        self._m_checkpoints.inc()
+
     # -- main loop ---------------------------------------------------------
 
     def run(self, program: VertexProgram, max_supersteps: int = 50,
@@ -413,6 +445,13 @@ class BspEngine:
             )
         self._program = program
         self._neighbor_sets = {}
+        # A fresh injector per run: crash events re-arm, hash tokens
+        # restart, so the same (plan, workload) replays the same faults.
+        prior_faults = self.network.faults
+        if self.faults is not None:
+            self._injector = FaultInjector(self.faults,
+                                           registry=self.network.obs)
+            self.network.faults = self._injector
         try:
             if not (self.vectorize and combiner is not None
                     and self.topology.n):
@@ -426,6 +465,8 @@ class BspEngine:
                                       initial_values, result)
             return result
         finally:
+            self.network.faults = prior_faults
+            self._injector = None
             self._program = None
             self._fast_mode = False
 
@@ -437,24 +478,47 @@ class BspEngine:
         n = topo.n
         self._fast_mode = False
         self._check_initial_values(initial_values, n)
-        if initial_values is None:
-            self.values = [None] * n
-        else:
-            self.values = list(initial_values)
-        self.aggregators = {}
-        self.aggregators_next = {}
-        self._active = np.ones(n, dtype=bool)
-        inbox: list[list] = [[] for _ in range(n)]
         ctx = ComputeContext(self)
 
-        for vertex in range(n):
-            ctx._bind(vertex)
-            program.init(ctx, vertex)
+        def fresh_start() -> tuple[int, list]:
+            if initial_values is None:
+                self.values = [None] * n
+            else:
+                self.values = list(initial_values)
+            self.aggregators = {}
+            self.aggregators_next = {}
+            self._active = np.ones(n, dtype=bool)
+            for vertex in range(n):
+                ctx._bind(vertex)
+                program.init(ctx, vertex)
+            return 0, [[] for _ in range(n)]
 
+        superstep, inbox = fresh_start()
         result = BspResult(values=self.values)
         cost = self.compute_params
         per_vertex_cost = cost.vertex_compute_cost + cost.cell_access_cost
-        for superstep in range(max_supersteps):
+        while superstep < max_supersteps:
+            if self._injector is not None:
+                if self._injector.take_crashes(superstep):
+                    # A machine died entering this superstep: roll back
+                    # to the last checkpoint image (or superstep 0) and
+                    # replay.  Replayed supersteps recharge the clock —
+                    # that is the cost of recovery — but recompute the
+                    # same values, so results stay bit-identical.
+                    self._m_restarts.inc()
+                    result.restarts += 1
+                    state = self._latest_state()
+                    if state is None:
+                        superstep, inbox = fresh_start()
+                    else:
+                        self.values = state["values"]
+                        self.aggregators = state["aggregators"]
+                        self.aggregators_next = {}
+                        self._active = state["active"]
+                        inbox = state["inbox"]
+                        superstep = state["superstep"] + 1
+                    continue
+                self._injector.begin_round(superstep)
             with self._h_wall.time(), \
                     self.tracer.span("bsp.superstep",
                                      superstep=superstep) as span:
@@ -516,9 +580,16 @@ class BspEngine:
             ))
             if on_superstep is not None:
                 on_superstep(superstep, self.values)
+            self._save_state(superstep, {
+                "values": self.values,
+                "active": self._active,
+                "inbox": self._next_inbox,
+                "aggregators": self.aggregators,
+            })
             inbox = self._next_inbox
             if self._messages == 0 and not self._active.any():
                 break
+            superstep += 1
 
         result.values = self.values
         result.aggregators = dict(self.aggregators)
@@ -619,29 +690,50 @@ class BspEngine:
         self._fs_combiner = program.combiner
         self._fs_dtype = dtype
         self._check_initial_values(initial_values, n)
-        if initial_values is None:
-            self.values = np.zeros(n, dtype=dtype)
-        else:
-            self.values = np.array(initial_values, dtype=dtype)
-        self.aggregators = {}
-        self.aggregators_next = {}
-        self._active = np.ones(n, dtype=bool)
         ctx = ComputeContext(self)
         batch_ctx = BatchComputeContext(self)
 
-        if type(program).init_batch is not VertexProgram.init_batch:
-            program.init_batch(batch_ctx)
-        else:
-            for vertex in range(n):
-                ctx._bind(vertex)
-                program.init(ctx, vertex)
+        def fresh_start() -> tuple[int, np.ndarray, np.ndarray]:
+            if initial_values is None:
+                self.values = np.zeros(n, dtype=dtype)
+            else:
+                self.values = np.array(initial_values, dtype=dtype)
+            self.aggregators = {}
+            self.aggregators_next = {}
+            self._active = np.ones(n, dtype=bool)
+            if type(program).init_batch is not VertexProgram.init_batch:
+                program.init_batch(batch_ctx)
+            else:
+                for vertex in range(n):
+                    ctx._bind(vertex)
+                    program.init(ctx, vertex)
+            return (0, np.full(n, identity, dtype=dtype),
+                    np.zeros(n, dtype=bool))
 
-        combined = np.full(n, identity, dtype=dtype)
-        received = np.zeros(n, dtype=bool)
+        superstep, combined, received = fresh_start()
         result = BspResult(values=self.values)
         per_vertex_cost = cost.vertex_compute_cost + cost.cell_access_cost
         pair_slots = fast.machines * fast.machines
-        for superstep in range(max_supersteps):
+        while superstep < max_supersteps:
+            if self._injector is not None:
+                if self._injector.take_crashes(superstep):
+                    # Same rollback-and-replay as the reference path; the
+                    # pickled image round-trips the numpy arrays exactly.
+                    self._m_restarts.inc()
+                    result.restarts += 1
+                    state = self._latest_state()
+                    if state is None:
+                        superstep, combined, received = fresh_start()
+                    else:
+                        self.values = state["values"]
+                        self.aggregators = state["aggregators"]
+                        self.aggregators_next = {}
+                        self._active = state["active"]
+                        combined = state["combined"]
+                        received = state["received"]
+                        superstep = state["superstep"] + 1
+                    continue
+                self._injector.begin_round(superstep)
             with self._h_wall.time(), \
                     self.tracer.span("bsp.superstep",
                                      superstep=superstep) as span:
@@ -711,10 +803,18 @@ class BspEngine:
             ))
             if on_superstep is not None:
                 on_superstep(superstep, self.values)
+            self._save_state(superstep, {
+                "values": self.values,
+                "active": self._active,
+                "combined": self._fs_next_combined,
+                "received": self._fs_next_received,
+                "aggregators": self.aggregators,
+            })
             combined = self._fs_next_combined
             received = self._fs_next_received
             if self._messages == 0 and not self._active.any():
                 break
+            superstep += 1
 
         result.values = self.values
         result.aggregators = dict(self.aggregators)
@@ -727,7 +827,19 @@ class BspEngine:
         """Run the per-vertex reference path against a throwaway network
         and require value-identical results and identical accounting."""
         from ..obs import MetricsRegistry
+        from ..tfs import TrinityFileSystem
 
+        # The reference run must replay the same chaos: same fault plan
+        # (a fresh injector draws the same seeded faults) and an
+        # equivalent checkpoint cadence on a throwaway TFS, so crashes
+        # roll back and recharge identically on both paths.
+        reference_checkpoints = None
+        if self.checkpoints is not None:
+            reference_checkpoints = CheckpointManager(
+                TrinityFileSystem(),
+                job=self.checkpoints.job,
+                every=self.checkpoints.every,
+            )
         reference_engine = BspEngine(
             self.topology,
             network=SimNetwork(params=self.network.params,
@@ -737,6 +849,8 @@ class BspEngine:
             hub_fraction=self.hub_fraction,
             validate_restrictive=self.validate_restrictive,
             vectorize=False,
+            faults=self.faults,
+            checkpoints=reference_checkpoints,
         )
         reference = reference_engine.run(program,
                                          max_supersteps=max_supersteps,
@@ -765,6 +879,11 @@ class BspEngine:
                 f"cross-check failed: {fast_result.superstep_count} "
                 f"vectorized supersteps vs {reference.superstep_count} "
                 f"reference supersteps"
+            )
+        if reference.restarts != fast_result.restarts:
+            raise ComputeError(
+                f"cross-check failed: {fast_result.restarts} vectorized "
+                f"checkpoint-restarts vs {reference.restarts} reference"
             )
         for fast_step, ref_step in zip(fast_result.supersteps,
                                        reference.supersteps):

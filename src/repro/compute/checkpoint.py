@@ -8,11 +8,19 @@ same manager.
 
 Checkpoint payloads are JSON (vertex values are numbers, strings, lists
 or null), which keeps images portable and diffable.
+
+For checkpoint-*restart* — resuming a BSP job after an injected machine
+crash with bit-identical semantics — JSON is not enough: the engine's
+state includes numpy arrays (values, active mask, combined inbox) whose
+dtypes must round-trip exactly.  ``save_state``/``load_state`` keep
+pickled full-fidelity engine images next to the JSON value vectors
+(``.state`` beside ``.ckpt``).
 """
 
 from __future__ import annotations
 
 import json
+import pickle
 
 from ..errors import RecoveryError
 from ..tfs import TrinityFileSystem
@@ -32,6 +40,17 @@ class CheckpointManager:
 
     def _path(self, tag: int) -> str:
         return f"/trinity/checkpoints/{self.job}/{tag:08d}.ckpt"
+
+    def _state_path(self, tag: int) -> str:
+        return f"/trinity/checkpoints/{self.job}/{tag:08d}.state"
+
+    def _tags_with_suffix(self, suffix: str) -> list[int]:
+        prefix = f"/trinity/checkpoints/{self.job}/"
+        out = []
+        for path in self.tfs.list_files(prefix):
+            if path.endswith(suffix):
+                out.append(int(path[len(prefix):].split(".")[0]))
+        return sorted(out)
 
     def maybe_checkpoint(self, superstep: int, values) -> bool:
         """BSP hook: checkpoint every ``every`` supersteps; True if saved."""
@@ -58,13 +77,8 @@ class CheckpointManager:
         self.saved += 1
 
     def tags(self) -> list[int]:
-        """Available checkpoint tags, ascending."""
-        prefix = f"/trinity/checkpoints/{self.job}/"
-        out = []
-        for path in self.tfs.list_files(prefix):
-            stem = path[len(prefix):].split(".")[0]
-            out.append(int(stem))
-        return sorted(out)
+        """Available JSON checkpoint tags, ascending."""
+        return self._tags_with_suffix(".ckpt")
 
     def load(self, tag: int) -> tuple[list, dict]:
         """Restore one checkpoint: (values, metadata)."""
@@ -79,6 +93,33 @@ class CheckpointManager:
         tag = tags[-1]
         values, metadata = self.load(tag)
         return tag, values, metadata
+
+    # -- full-fidelity engine images (checkpoint-restart) --------------------
+
+    def save_state(self, tag: int, state: dict) -> None:
+        """Persist a pickled engine-state image under an integer tag.
+
+        Unlike :meth:`save`, the payload is a full-fidelity pickle —
+        numpy arrays, dtypes and inbox structures round-trip exactly, so
+        a restart resumes the computation bit-identically.
+        """
+        self.tfs.write(self._state_path(tag), pickle.dumps(state))
+        self.saved += 1
+
+    def load_state(self, tag: int) -> dict:
+        """Restore one engine-state image."""
+        return pickle.loads(self.tfs.read(self._state_path(tag)))
+
+    def state_tags(self) -> list[int]:
+        """Available engine-state image tags, ascending."""
+        return self._tags_with_suffix(".state")
+
+    def latest_state(self) -> tuple[int, dict]:
+        """Restore the newest engine-state image: (tag, state)."""
+        tags = self.state_tags()
+        if not tags:
+            raise RecoveryError(f"no state images for job {self.job!r}")
+        return tags[-1], self.load_state(tags[-1])
 
     def prune(self, keep: int = 2) -> int:
         """Drop all but the newest ``keep`` checkpoints; returns removed."""

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for the memory cloud.
+
+``FaultPlan`` is the pure, seeded schedule (crashes keyed to rounds,
+drop/duplicate/delay rates, partitions, TFS read corruption);
+``FaultInjector`` is its stateful consumer that hooks the simulated
+fabric, charges every fault to the cost model, and counts it in
+``repro.obs``.  Attach a plan to a workload with one argument::
+
+    BspEngine(..., faults=FaultPlan(seed=7, crashes=((2, 1),)))
+    TrinityCluster(machines=4, faults=FaultPlan(seed=7, drop_rate=0.05))
+
+and the chaos-equivalence tests prove results stay bit-identical.
+"""
+
+from .injector import FaultInjector
+from .plan import CrashFault, FaultPlan, Partition
+
+__all__ = ["CrashFault", "FaultInjector", "FaultPlan", "Partition"]

@@ -1,0 +1,176 @@
+"""The stateful side of fault injection: consuming a FaultPlan.
+
+One :class:`FaultInjector` accompanies one run (a BSP job or a cluster's
+lifetime).  It tracks the current round, hands out per-(pair, round)
+hash tokens so repeated sends over the same link see independent draws,
+consumes crash events exactly once, and charges every injected fault to
+the simulated cost model while counting it in ``repro.obs``:
+
+======================================  =====================================
+``faults.crash.total``                  scheduled machine crashes fired
+``faults.drop.total``                   transfers lost and retransmitted
+``faults.duplicate.total``              transfers delivered twice (deduped)
+``faults.delay.total``                  transfers struck by extra latency
+``faults.partition.blocked.total``      transfers blocked by a partition
+``faults.corrupt.total``                TFS replica reads failing checksum
+``rpc.retry.total``                     retransmissions (drop or partition)
+``rpc.retry.backoff.seconds``           backoff charged per retransmission
+``rpc.timeout.total``                   sends abandoned after max_attempts
+======================================  =====================================
+
+The reaction side is reliable-transport semantics: a dropped transfer is
+retransmitted after an exponentially backed-off timeout (charged to the
+clock and the wire), a duplicate is suppressed by correlation id at the
+receiver, a partition stalls the sender until it heals — so no injected
+fault ever changes *results*, only costs.  The chaos-equivalence tests
+prove exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import MachineDownError
+from ..obs import MetricsRegistry, get_registry
+from .plan import FaultPlan
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a live run, metering everything."""
+
+    def __init__(self, plan: FaultPlan,
+                 registry: MetricsRegistry | None = None):
+        self.plan = plan
+        self.obs = registry if registry is not None else get_registry()
+        self.round = 0
+        self._fired: set = set()
+        self._tokens: dict[tuple, int] = defaultdict(int)
+        self._m_crash = self.obs.counter("faults.crash.total")
+        self._m_drop = self.obs.counter("faults.drop.total")
+        self._m_dup = self.obs.counter("faults.duplicate.total")
+        self._m_delay = self.obs.counter("faults.delay.total")
+        self._m_partition = self.obs.counter(
+            "faults.partition.blocked.total"
+        )
+        self._m_corrupt = self.obs.counter("faults.corrupt.total")
+        self._m_retry = self.obs.counter("rpc.retry.total")
+        self._m_timeout = self.obs.counter("rpc.timeout.total")
+        self._h_backoff = self.obs.histogram("rpc.retry.backoff.seconds")
+
+    # -- round bookkeeping ---------------------------------------------------
+
+    def begin_round(self, round_: int) -> None:
+        """Anchor subsequent fault draws to ``round_`` (a BSP superstep
+        or a heartbeat tick)."""
+        self.round = round_
+
+    def take_crashes(self, round_: int) -> list[int]:
+        """Crash events scheduled for ``round_``, each fired only once
+        (a rollback replaying the round must not crash again)."""
+        fired = []
+        for crash in self.plan.crashes:
+            if crash.round == round_ and crash not in self._fired:
+                self._fired.add(crash)
+                fired.append(crash.machine)
+        if fired:
+            self._m_crash.inc(len(fired))
+        return fired
+
+    def _next_token(self, kind: str, src: int, dst: int) -> int:
+        key = (kind, self.round, src, dst)
+        token = self._tokens[key]
+        self._tokens[key] = token + 1
+        return token
+
+    # -- fabric hooks --------------------------------------------------------
+
+    def charge_rpc_faults(self, network, src: int, dst: int,
+                          size: int) -> None:
+        """Apply this plan to one synchronous RPC request.
+
+        Charges every lost attempt (wire time + backoff timeout) to the
+        simulated clock; raises :class:`MachineDownError` if the retry
+        budget is exhausted (partition outliving the sender's patience,
+        or an improbably long drop streak).
+        """
+        plan = self.plan
+        token = self._next_token("rpc", src, dst)
+        partitioned = plan.is_partitioned(src, dst, self.round)
+        if partitioned:
+            drops = plan.max_attempts
+            self._m_partition.inc()
+        else:
+            drops = 0
+            while (drops < plan.max_attempts
+                   and plan.should_drop(src, dst, self.round, drops, token)):
+                drops += 1
+            if drops:
+                self._m_drop.inc(drops)
+        for attempt in range(drops):
+            network.clock.advance(network.transfer(src, dst, size))
+            backoff = plan.backoff(attempt)
+            network.clock.advance(backoff)
+            self._m_retry.inc()
+            self._h_backoff.observe(backoff)
+        if drops >= plan.max_attempts:
+            self._m_timeout.inc()
+            raise MachineDownError(dst)
+        if plan.should_duplicate(src, dst, self.round, token):
+            network.clock.advance(network.transfer(src, dst, size))
+            self._m_dup.inc()
+        delay = plan.delay_for(src, dst, self.round, token)
+        if delay:
+            network.clock.advance(delay)
+            self._m_delay.inc()
+
+    def charge_transfer_faults(self, network, src: int, dst: int,
+                               size: int, count: int) -> float:
+        """Apply this plan to one packed round transfer (BSP barrier
+        traffic).  Returns the extra simulated seconds the faults cost.
+
+        Round transfers are never abandoned: a partition stalls the
+        barrier until it heals, so the sender retries through its whole
+        backoff ladder and delivery still happens — results are
+        unaffected, only the round's elapsed time grows.
+        """
+        plan = self.plan
+        token = self._next_token("round", src, dst)
+        extra = 0.0
+        partitioned = plan.is_partitioned(src, dst, self.round)
+        if partitioned:
+            drops = plan.max_attempts
+            self._m_partition.inc()
+        else:
+            drops = 0
+            while (drops < plan.max_attempts
+                   and plan.should_drop(src, dst, self.round, drops, token)):
+                drops += 1
+            if drops:
+                self._m_drop.inc(drops)
+        for attempt in range(drops):
+            extra += network.transfer(src, dst, size, count)
+            backoff = plan.backoff(attempt)
+            extra += backoff
+            self._m_retry.inc()
+            self._h_backoff.observe(backoff)
+        if plan.should_duplicate(src, dst, self.round, token):
+            extra += network.transfer(src, dst, size, count)
+            self._m_dup.inc()
+        delay = plan.delay_for(src, dst, self.round, token)
+        if delay:
+            extra += delay
+            self._m_delay.inc()
+        return extra
+
+    # -- TFS hook ------------------------------------------------------------
+
+    def corrupt_replica(self, block_id: int, node_id: int) -> bool:
+        """Whether this replica read fails its checksum (one draw per
+        consultation, so a later re-read of the same block may pass)."""
+        key = ("tfs", block_id, node_id)
+        token = self._tokens[key]
+        self._tokens[key] = token + 1
+        if self.plan.should_corrupt(block_id, node_id, token):
+            self._m_corrupt.inc()
+            return True
+        return False

@@ -119,6 +119,14 @@ class MessageRuntime:
         start = self.network.clock.now
         request_blob = self._encode(protocol, payload, request=True)
         message = Message(src, dst, protocol, request_blob)
+        if self.network.faults is not None and src != dst:
+            # Charge injected drops (retransmit + exponential backoff),
+            # duplicates (suppressed by correlation id, wire cost paid)
+            # and delays before the successful attempt below; raises
+            # MachineDownError when the retry budget is exhausted.
+            self.network.faults.charge_rpc_faults(
+                self.network, src, dst, message.size
+            )
         self.network.clock.advance(
             self.network.transfer(src, dst, message.size)
         )

@@ -66,6 +66,10 @@ class SimNetwork:
         self.clock = SimClock()
         self.counters = NetworkCounters()
         self.obs = registry if registry is not None else get_registry()
+        #: Optional :class:`~repro.faults.FaultInjector`; when set, round
+        #: transfers and synchronous RPCs pay for injected drops,
+        #: duplicates, delays and partitions.
+        self.faults = None
         self._machine_sent: dict[int, Counter] = {}
         self._m_rounds = self.obs.counter("net.round.total")
         self._h_elapsed = self.obs.histogram("net.round.elapsed.seconds")
@@ -170,6 +174,7 @@ class ParallelRound:
         elapsed = 0.0
         slowest = (0.0, 0.0, 0.0)      # breakdown of the slowest machine
         sent_bytes = []
+        remote_pairs = []              # fault-charged after the load scan
         params = self.network.params
         for machine, load in self._loads.items():
             compute = load.serial + load.compute / parallelism
@@ -192,6 +197,7 @@ class ParallelRound:
                     serial_send += count * params.per_message_overhead
                     continue
                 machine_bytes += size
+                remote_pairs.append((machine, dst, size, count))
                 latency_part, serial_part = params.transfer_components(
                     size, count
                 )
@@ -204,6 +210,15 @@ class ParallelRound:
             if machine_bytes:
                 sent_bytes.append(machine_bytes)
         network = self.network
+        if network.faults is not None and remote_pairs:
+            # Sorted pair order keeps the injector's hash-token sequence
+            # independent of dict insertion order, so the reference and
+            # vectorized BSP paths draw identical faults (cross_check
+            # compares round timings bit-for-bit).
+            for src, dst, size, count in sorted(remote_pairs):
+                elapsed += network.faults.charge_transfer_faults(
+                    network, src, dst, size, count
+                )
         network._m_rounds.inc()
         network._h_elapsed.observe(elapsed)
         network._h_compute.observe(slowest[0])

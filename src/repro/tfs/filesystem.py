@@ -124,6 +124,10 @@ class TrinityFileSystem:
         self.replication = replication
         self.block_size = block_size
         self.disk_root = disk_root
+        #: Optional :class:`~repro.faults.FaultInjector`; when set, block
+        #: reads may find their first replica checksum-corrupted and fail
+        #: over to the next one.
+        self.faults = None
         self.nodes = [DataNode(i, disk_root) for i in range(datanodes)]
         self._files: dict[str, FileInfo] = {}
         self._block_locations: dict[int, list[int]] = {}
@@ -206,10 +210,20 @@ class TrinityFileSystem:
         return data[: info.size]
 
     def _read_block(self, block_id: int) -> bytes | None:
+        corruption_checked = False
         for node_id in self._block_locations.get(block_id, []):
             chunk = self.nodes[node_id].read(block_id)
-            if chunk is not None:
-                return chunk
+            if chunk is None:
+                continue
+            if self.faults is not None and not corruption_checked:
+                # Injected image corruption strikes at most the first
+                # surviving replica of a read (a checksum rejection);
+                # the read fails over to the next replica, so with
+                # replication >= 2 no data is ever lost.
+                corruption_checked = True
+                if self.faults.corrupt_replica(block_id, node_id):
+                    continue
+            return chunk
         return None
 
     def _pick_nodes(self, live: list[DataNode]) -> list[DataNode]:

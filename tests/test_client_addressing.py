@@ -1,0 +1,134 @@
+"""Audit of the client's addressing-table replica and retry path.
+
+``recovery.py`` promises that "slaves that miss the broadcast re-sync
+lazily on their next failed load".  Clients hold the same kind of
+replica (Section 3: every machine caches the addressing table), so the
+same promise must hold for ``Client.get_cell``/``put_cell``: a stale
+route is repaired by a lazy re-sync from the primary, *without* pestering
+the leader with spurious failure reports — and only a genuinely new
+failure (the table was already current) triggers ``recover_machine``.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.cluster import TrinityCluster
+from repro.errors import CellNotFoundError, MachineDownError
+
+
+@pytest.fixture
+def cluster():
+    return TrinityCluster(ClusterConfig(
+        machines=4, trunk_bits=5,
+        memory=MemoryParams(trunk_size=256 * 1024),
+    ))
+
+
+def cell_on_machine(cluster, machine):
+    """A cell id the primary table routes to ``machine``."""
+    for uid in range(10_000):
+        if cluster.cloud.addressing.machine_for_cell(uid) == machine:
+            return uid
+    raise AssertionError(f"no cell maps to machine {machine}")
+
+
+def test_client_has_its_own_replica(cluster):
+    client = cluster.new_client()
+    assert client.addressing_replica is not cluster.cloud.addressing
+    assert not client.sync_addressing()     # fresh copy is current
+
+
+def test_stale_replica_resyncs_lazily_without_new_recovery(cluster):
+    client = cluster.new_client()
+    uid = cell_on_machine(cluster, 1)
+    client.put_cell(uid, b"payload")
+    cluster.backup_to_tfs()
+
+    # Recovery happens behind the client's back (heartbeat-driven).
+    cluster.fail_machine(1)
+    cluster.report_failure(1)
+    assert cluster.recovery.recoveries == 1
+    # The client's replica still routes the cell to the corpse.
+    assert client.addressing_replica.machine_for_cell(uid) == 1
+    assert cluster.cloud.addressing.machine_for_cell(uid) != 1
+
+    assert client.get_cell(uid) == b"payload"
+    # One lazy re-sync fixed the route; the leader was not re-engaged.
+    assert cluster.recovery.recoveries == 1
+    assert client.retries == 1
+    assert client.addressing_replica.machine_for_cell(uid) != 1
+
+
+def test_current_table_and_dead_machine_reports_failure(cluster):
+    client = cluster.new_client()
+    uid = cell_on_machine(cluster, 2)
+    client.put_cell(uid, b"v")
+    cluster.backup_to_tfs()
+
+    # The machine dies and *nobody* has noticed: the primary table still
+    # routes to it, so the client's re-sync is a no-op and the failure
+    # is genuinely news — the client must drive recovery itself.
+    cluster.fail_machine(2)
+    assert client.get_cell(uid) == b"v"
+    assert cluster.recovery.recoveries == 1
+
+
+def test_two_stale_clients_trigger_recovery_once(cluster):
+    first = cluster.new_client()
+    second = cluster.new_client()
+    uid = cell_on_machine(cluster, 1)
+    first.put_cell(uid, b"shared")
+    cluster.backup_to_tfs()
+
+    cluster.fail_machine(1)
+    assert first.get_cell(uid) == b"shared"   # drives the recovery
+    assert second.get_cell(uid) == b"shared"  # lazily re-syncs only
+    assert cluster.recovery.recoveries == 1
+
+
+def test_put_cell_resyncs_lazily_too(cluster):
+    client = cluster.new_client()
+    uid = cell_on_machine(cluster, 1)
+    client.put_cell(uid, b"before")
+    cluster.backup_to_tfs()
+
+    cluster.fail_machine(1)
+    cluster.report_failure(1)
+    client.put_cell(uid, b"after")
+    assert cluster.recovery.recoveries == 1
+    assert client.get_cell(uid) == b"after"
+
+
+def test_retry_exhaustion_raises_machine_down(cluster, monkeypatch):
+    """If recovery never makes progress the retry budget must bound the
+    loop — and every attempt must have tried a re-sync first."""
+    client = cluster.new_client()
+    uid = cell_on_machine(cluster, 3)
+    client.put_cell(uid, b"v")
+    # Recovery is wedged: reports change nothing.
+    monkeypatch.setattr(cluster, "report_failure", lambda machine: None)
+    cluster.fail_machine(3)
+    with pytest.raises(MachineDownError):
+        client.get_cell(uid, max_retries=2)
+    assert client.retries == 3      # max_retries + 1 attempts
+
+
+def test_missing_cell_resyncs_before_giving_up(cluster):
+    """An empty load on a live slave re-checks the table before raising:
+    the cell may have moved since the replica was cut."""
+    client = cluster.new_client()
+    uid = cell_on_machine(cluster, 0)
+    client.put_cell(uid, b"moves")
+    cluster.backup_to_tfs()
+    # Recovery relocates the cell while the client's replica is stale.
+    cluster.fail_machine(0)
+    cluster.report_failure(0)
+    assert client.get_cell(uid) == b"moves"
+
+    # A genuinely absent cell still raises, with a current table.
+    missing = cell_on_machine(cluster, cluster.alive_machines()[0]) + 1
+    while cluster.cloud.addressing.machine_for_cell(missing) not in \
+            cluster.alive_machines():
+        missing += 1
+    with pytest.raises(CellNotFoundError):
+        client.get_cell(missing)

@@ -1,0 +1,128 @@
+"""Cluster-level fault injection: crashes detected by heartbeat, RPC
+retries under drops, partition timeouts, TFS replica corruption."""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.cluster import TrinityCluster
+from repro.errors import MachineDownError, RecoveryError
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
+
+
+def make_cluster(plan=None, machines=4):
+    registry = MetricsRegistry()
+    cluster = TrinityCluster(
+        ClusterConfig(machines=machines, trunk_bits=5,
+                      memory=MemoryParams(trunk_size=256 * 1024)),
+        registry=registry, faults=plan,
+    )
+    return cluster, registry
+
+
+class TestRunChaos:
+    def test_requires_a_plan(self):
+        cluster, _ = make_cluster()
+        with pytest.raises(RecoveryError):
+            cluster.run_chaos()
+
+    def test_crash_detected_and_recovered_without_data_loss(self):
+        plan = FaultPlan(seed=11, crashes=((3, 1),))
+        cluster, registry = make_cluster(plan)
+        client = cluster.new_client()
+        payloads = {uid: bytes([uid]) * 8 for uid in range(60)}
+        for uid, value in payloads.items():
+            client.put_cell(uid, value)
+        cluster.backup_to_tfs()
+        for uid, value in {u: bytes([u + 1]) * 5
+                           for u in range(20)}.items():
+            client.put_cell(uid, value)          # post-backup online writes
+            payloads[uid] = value
+
+        recovered = cluster.run_chaos(max_ticks=10)
+
+        assert recovered == [1]
+        assert not cluster.slaves[1].alive
+        assert registry.counter("faults.crash.total").value == 1
+        assert cluster.recovery.recoveries == 1
+        # Committed state survived: TFS images plus buffered-log replay.
+        for uid, value in payloads.items():
+            assert client.get_cell(uid) == value
+
+    def test_leader_crash_triggers_reelection(self):
+        cluster, _ = make_cluster()
+        leader = cluster.leader_id
+        plan = FaultPlan(seed=1, crashes=((2, leader),))
+        cluster, _ = make_cluster(plan)
+        cluster.run_chaos(max_ticks=8)
+        assert cluster.leader_id != leader
+        assert cluster.slaves[cluster.leader_id].alive
+
+    def test_crash_schedule_is_consume_once(self):
+        plan = FaultPlan(seed=2, crashes=((2, 0),))
+        cluster, _ = make_cluster(plan)
+        assert cluster.run_chaos(max_ticks=20) == [0]
+        # A second sweep finds nothing left to fire.
+        assert cluster.run_chaos(max_ticks=5) == []
+
+    def test_refuses_to_kill_the_last_machine(self):
+        plan = FaultPlan(seed=3, crashes=((1, 0), (2, 1)))
+        cluster, _ = make_cluster(plan, machines=2)
+        recovered = cluster.run_chaos(max_ticks=10)
+        # Machine 0 dies; machine 1 is the last one standing and is
+        # spared, so the cluster still serves.
+        assert recovered == [0]
+        assert cluster.alive_machines() == [1]
+
+
+class TestRpcFaults:
+    def test_drops_are_retried_and_metered(self):
+        plan = FaultPlan(seed=5, drop_rate=0.2)
+        cluster, registry = make_cluster(plan)
+        client = cluster.new_client()
+        for uid in range(80):
+            client.put_cell(uid, bytes([uid]) * 4)
+        for uid in range(80):
+            assert client.get_cell(uid) == bytes([uid]) * 4
+        assert registry.counter("rpc.retry.total").value > 0
+        assert registry.counter("faults.drop.total").value > 0
+        # Backoff time was charged to the simulated clock.
+        assert cluster.network.clock.now > 0
+
+    def test_partition_times_out_remote_rpc(self):
+        # Every machine is cut off from the clients' side of the fabric.
+        plan = FaultPlan(seed=6, partitions=((0, 1 << 30, {0, 1, 2, 3}),),
+                         max_attempts=3)
+        cluster, registry = make_cluster(plan)
+        client = cluster.new_client()
+        with pytest.raises(MachineDownError):
+            client.put_cell(1, b"x")
+        assert registry.counter("rpc.timeout.total").value > 0
+
+
+class TestTfsCorruption:
+    def test_corrupt_replica_fails_over(self):
+        plan = FaultPlan(seed=8, corrupt_rate=1.0)
+        cluster, registry = make_cluster(plan)
+        client = cluster.new_client()
+        for uid in range(30):
+            client.put_cell(uid, bytes([uid]) * 16)
+        cluster.backup_to_tfs()
+        # Every block read rejects its first replica and falls over to
+        # the second; with replication 2 nothing is lost.
+        assert cluster.restore_from_tfs() > 0
+        assert registry.counter("faults.corrupt.total").value > 0
+        for uid in range(30):
+            assert client.get_cell(uid) == bytes([uid]) * 16
+
+    def test_corruption_survives_machine_recovery(self):
+        plan = FaultPlan(seed=9, crashes=((3, 2),), corrupt_rate=0.5)
+        cluster, _ = make_cluster(plan)
+        client = cluster.new_client()
+        payloads = {uid: bytes([uid, uid]) * 6 for uid in range(50)}
+        for uid, value in payloads.items():
+            client.put_cell(uid, value)
+        cluster.backup_to_tfs()
+        assert cluster.run_chaos(max_ticks=10) == [2]
+        for uid, value in payloads.items():
+            assert client.get_cell(uid) == value

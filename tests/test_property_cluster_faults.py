@@ -5,8 +5,17 @@ machine crashes, recoveries, restarts and joins, checking after every
 step that every acknowledged write is still readable — the composite
 guarantee of Section 6.2's fault-tolerance machinery (TFS trunk images +
 buffered logging + addressing-table recovery).
+
+The BufferedLog invariants hold throughout every interleaving:
+
+* no committed write is lost (including minitransaction commits);
+* no aborted minitransaction write is ever visible;
+* every origin with surviving log records keeps them on at least
+  ``min(replication, live candidates)`` live holders — the factor
+  ``recover_machine``'s rebalance restores after each crash.
 """
 
+import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -18,6 +27,7 @@ from hypothesis import strategies as st
 
 from repro.config import ClusterConfig, MemoryParams
 from repro.cluster import TrinityCluster
+from repro.memcloud.minitransaction import MiniTransaction, TransactionAborted
 
 MACHINES = 4
 
@@ -75,6 +85,36 @@ class ClusterFaultMachine(RuleBasedStateMachine):
                 self.cluster.restart_machine(machine_id)
                 return
 
+    @rule(uid=st.integers(0, 400), size=st.integers(1, 24))
+    def minitransaction_commit(self, uid, size):
+        """A committed minitransaction write must be as durable as a
+        plain put: log it the way ``Slave.local_put`` does, then hold it
+        to the no-write-lost invariant."""
+        self.sequence += 1
+        value = bytes([self.sequence % 255 + 1]) * size
+        tx = MiniTransaction(self.cluster.cloud)
+        if uid in self.reference:
+            tx.compare(uid, self.reference[uid])
+        tx.write(uid, value).commit()
+        log = self.cluster.buffered_log
+        if log is not None:
+            origin = self.cluster.cloud.addressing.machine_for_cell(uid)
+            log.append(origin, uid, value,
+                       alive=set(self.cluster.alive_machines()))
+        self.reference[uid] = value
+
+    @rule(uid=st.integers(0, 400))
+    def minitransaction_abort(self, uid):
+        """An aborted minitransaction must leave no trace."""
+        if uid not in self.reference:
+            return
+        tx = MiniTransaction(self.cluster.cloud)
+        tx.compare(uid, self.reference[uid] + b"\x00wrong")
+        tx.write(uid, b"must never be visible")
+        with pytest.raises(TransactionAborted):
+            tx.commit()
+        assert self.client.get_cell(uid) == self.reference[uid]
+
     @rule(uid=st.integers(0, 400))
     def delete(self, uid):
         if uid in self.reference:
@@ -91,6 +131,35 @@ class ClusterFaultMachine(RuleBasedStateMachine):
             return
         for uid, value in self.reference.items():
             assert self.client.get_cell(uid) == value
+
+    @invariant()
+    def log_replication_factor_restored(self):
+        """Every origin with surviving records keeps the full record set
+        on at least ``min(replication, live ring candidates)`` live
+        holders — the guarantee ``rebalance`` restores after crashes."""
+        if not hasattr(self, "cluster"):
+            return
+        log = self.cluster.buffered_log
+        if log is None:
+            return
+        alive = set(self.cluster.alive_machines())
+        origins = {o for by in log._buffers.values() for o in by}
+        for origin in origins:
+            merged = log.records_for(
+                origin,
+                exclude_holders=[h for h in log._buffers if h not in alive],
+            )
+            if not merged:
+                continue
+            sequences = {r.sequence for r in merged}
+            full_holders = sum(
+                1 for holder, by in log._buffers.items()
+                if holder in alive
+                and sequences <= {r.sequence
+                                  for r in by.get(origin, ())}
+            )
+            candidates = [m for m in alive if m != origin]
+            assert full_holders >= min(log.replication, len(candidates))
 
 
 ClusterFaultMachine.TestCase.settings = settings(
