@@ -19,14 +19,21 @@ This package implements Section 3 ("The Memory Cloud") and Section 6.1
 """
 
 from .locks import SpinLock
-from .hashtable import TrunkHashTable
+from .hashtable import (
+    NumpyTrunkHashTable,
+    TrunkHashTable,
+    make_trunk_hashtable,
+)
 from .trunk import CELL_HEADER_BYTES, MemoryTrunk, TrunkStats
 from .addressing import AddressingTable
-from .cloud import MemoryCloud
+from .cloud import BulkPathDivergence, MemoryCloud
 
 __all__ = [
     "SpinLock",
     "TrunkHashTable",
+    "NumpyTrunkHashTable",
+    "make_trunk_hashtable",
+    "BulkPathDivergence",
     "MemoryTrunk",
     "TrunkStats",
     "CELL_HEADER_BYTES",

@@ -14,12 +14,19 @@ from __future__ import annotations
 
 import contextlib
 
+import numpy as np
+
 from ..config import ClusterConfig
 from ..errors import AddressingError
 from ..obs import MetricsRegistry, MetricsReport, get_registry
-from ..utils.hashing import trunk_of
+from ..utils.hashing import trunk_of, trunk_of_array
+from ..utils.sorting import stable_argsort
 from .addressing import AddressingTable
 from .trunk import MemoryTrunk, TrunkStats
+
+
+class BulkPathDivergence(AssertionError):
+    """The bulk data path disagreed with the scalar shadow replay."""
 
 
 class MemoryCloud:
@@ -40,7 +47,8 @@ class MemoryCloud:
     """
 
     def __init__(self, config: ClusterConfig | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 cross_check: bool = False):
         self.config = config or ClusterConfig()
         self.obs = registry if registry is not None else get_registry()
         self.addressing = AddressingTable(
@@ -51,6 +59,21 @@ class MemoryCloud:
                                   registry=self.obs)
             for trunk_id in range(self.config.trunk_count)
         }
+        self._m_bulk_put_cells = self.obs.counter("memcloud.bulk.put.cells")
+        self._m_bulk_put_batches = self.obs.counter(
+            "memcloud.bulk.put.batches")
+        self._m_bulk_get_cells = self.obs.counter("memcloud.bulk.get.cells")
+        self._m_bulk_get_batches = self.obs.counter(
+            "memcloud.bulk.get.batches")
+        self._h_bulk_put = self.obs.histogram("memcloud.bulk.put.seconds")
+        self._h_bulk_get = self.obs.histogram("memcloud.bulk.get.seconds")
+        # Mirroring BspEngine's cross_check: a shadow cloud replays every
+        # mutation through the scalar path (own registry so the trunk
+        # metric series don't merge) and verify_shadow() compares worlds.
+        self._shadow: MemoryCloud | None = None
+        self._shadow_probes_comparable = True
+        if cross_check:
+            self._shadow = MemoryCloud(self.config, MetricsRegistry())
 
     # -- addressing ----------------------------------------------------------
 
@@ -76,22 +99,147 @@ class MemoryCloud:
     def put(self, cell_id: int, value: bytes) -> None:
         """Insert or overwrite a cell."""
         self.trunk_for(cell_id).put(cell_id, value)
+        if self._shadow is not None:
+            self._shadow.put(cell_id, value)
 
     def get(self, cell_id: int) -> bytes:
         """Read a copy of a cell's payload; raises CellNotFoundError."""
+        if self._shadow is not None:
+            self._shadow.get(cell_id)  # keep probe counters comparable
         return self.trunk_for(cell_id).get(cell_id)
 
     def remove(self, cell_id: int) -> None:
         """Delete a cell; raises CellNotFoundError if absent."""
         self.trunk_for(cell_id).remove(cell_id)
+        if self._shadow is not None:
+            self._shadow.remove(cell_id)
 
     def contains(self, cell_id: int) -> bool:
+        if self._shadow is not None:
+            self._shadow.contains(cell_id)
         return cell_id in self.trunk_for(cell_id)
 
     __contains__ = contains
 
     def size_of(self, cell_id: int) -> int:
+        if self._shadow is not None:
+            self._shadow.size_of(cell_id)
         return self.trunk_for(cell_id).size_of(cell_id)
+
+    # -- bulk fast path ------------------------------------------------------
+
+    def _trunk_groups(self, cell_ids):
+        """Stable (trunk_id, index array) groups for a batch of UIDs.
+
+        One vectorized hash pass routes the whole array (Figure 3's first
+        hop); the stable sort keeps each trunk's subsequence in input
+        order, so the per-trunk operation stream is exactly what a scalar
+        loop would have produced.
+        """
+        uids = np.asarray(cell_ids, dtype=np.uint64)
+        trunks = trunk_of_array(uids, self.config.trunk_bits)
+        order = stable_argsort(trunks)
+        sorted_trunks = trunks[order]
+        boundaries = np.flatnonzero(np.diff(sorted_trunks)) + 1
+        uid_list = uids.tolist()  # one bulk conversion to Python ints
+        for group in np.split(order, boundaries):
+            indices = group.tolist()
+            yield int(trunks[group[0]]), indices, [uid_list[i]
+                                                   for i in indices]
+
+    def bulk_put(self, cell_ids, values, presize: bool = True) -> None:
+        """Insert or overwrite a batch of cells along the batched path.
+
+        Routes the whole UID array to its trunks with one vectorized hash
+        pass, then hands each trunk its subsequence (input order
+        preserved) via :meth:`MemoryTrunk.bulk_put`.  Equivalent to a
+        scalar :meth:`put` loop: same stored bytes and trunk accounting,
+        and bit-identical probe counters when ``presize=False``.
+        """
+        if len(cell_ids) != len(values):
+            raise ValueError(
+                f"bulk_put got {len(cell_ids)} uids but {len(values)} values"
+            )
+        if not len(cell_ids):
+            return
+        with self._h_bulk_put.time():
+            batches = 0
+            for trunk_id, indices, uids in self._trunk_groups(cell_ids):
+                self.trunks[trunk_id].bulk_put(
+                    uids,
+                    [values[i] for i in indices],
+                    presize=presize,
+                )
+                batches += 1
+        self._m_bulk_put_cells.inc(len(cell_ids))
+        self._m_bulk_put_batches.inc(batches)
+        if self._shadow is not None:
+            if presize:
+                self._shadow_probes_comparable = False
+            for cell_id, value in zip(cell_ids, values):
+                self._shadow.put(int(cell_id), value)
+            self.verify_shadow()
+
+    def bulk_get(self, cell_ids) -> list[bytes]:
+        """Payloads for a batch of UIDs, in input order.
+
+        Grouped per trunk like :meth:`bulk_put`; accounting matches a
+        scalar :meth:`get` loop.
+        """
+        if not len(cell_ids):
+            return []
+        if self._shadow is not None:
+            for cell_id in cell_ids:
+                self._shadow.get(int(cell_id))
+        with self._h_bulk_get.time():
+            out: list[bytes | None] = [None] * len(cell_ids)
+            batches = 0
+            for trunk_id, indices, uids in self._trunk_groups(cell_ids):
+                payloads = self.trunks[trunk_id].bulk_get(uids)
+                for position, payload in zip(indices, payloads):
+                    out[position] = payload
+                batches += 1
+        self._m_bulk_get_cells.inc(len(cell_ids))
+        self._m_bulk_get_batches.inc(batches)
+        return out
+
+    def verify_shadow(self) -> None:
+        """Compare every trunk against the scalar shadow replay.
+
+        Raises :class:`BulkPathDivergence` unless stored cells are
+        bit-identical and trunk accounting (live/garbage/committed bytes,
+        wraps, defrag counters — the full :class:`TrunkStats`) matches.
+        Hash-table probe counters are compared too while every bulk call
+        so far used ``presize=False`` (pre-sizing legitimately changes
+        probe lengths, never contents).
+        """
+        if self._shadow is None:
+            raise AddressingError("cloud was not built with cross_check=True")
+        for trunk_id, trunk in self.trunks.items():
+            shadow_trunk = self._shadow.trunks[trunk_id]
+            mine = dict(trunk.dump_cells())
+            theirs = dict(shadow_trunk.dump_cells())
+            if mine != theirs:
+                raise BulkPathDivergence(
+                    f"trunk {trunk_id}: stored cells diverge from the "
+                    f"scalar shadow ({len(mine)} vs {len(theirs)} cells)"
+                )
+            if trunk.stats() != shadow_trunk.stats():
+                raise BulkPathDivergence(
+                    f"trunk {trunk_id}: accounting diverges\n"
+                    f"  bulk:   {trunk.stats()}\n"
+                    f"  scalar: {shadow_trunk.stats()}"
+                )
+            if self._shadow_probes_comparable:
+                index, shadow_index = trunk._index, shadow_trunk._index
+                if (index.probe_count != shadow_index.probe_count
+                        or index.lookup_count != shadow_index.lookup_count):
+                    raise BulkPathDivergence(
+                        f"trunk {trunk_id}: probe counters diverge "
+                        f"({index.probe_count}/{index.lookup_count} vs "
+                        f"{shadow_index.probe_count}/"
+                        f"{shadow_index.lookup_count})"
+                    )
 
     def __len__(self) -> int:
         return sum(len(t) for t in self.trunks.values())
@@ -147,6 +295,8 @@ class MemoryCloud:
 
     def defragment_all(self) -> int:
         """Run a defrag pass on every trunk; returns trunks compacted."""
+        if self._shadow is not None:
+            self._shadow.defragment_all()
         return sum(1 for t in self.trunks.values() if t.defragment())
 
     def metrics_report(self) -> MetricsReport:

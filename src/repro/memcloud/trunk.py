@@ -44,17 +44,22 @@ import struct
 import threading
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import MemoryParams
 from ..errors import CellNotFoundError, TrunkFullError
 from ..obs import MetricsRegistry, get_registry
-from .hashtable import TrunkHashTable
+from .hashtable import make_trunk_hashtable
 from .locks import SpinLock
 
 CELL_HEADER_BYTES = 16
 _HEADER = struct.Struct("<QII")  # uid, live size, reserved size
+# Same 16-byte layout as _HEADER, for pre-packing a whole batch at once.
+_HEADER_DTYPE = np.dtype([("uid", "<u8"), ("size", "<u4"),
+                          ("reserved", "<u4")])
 
 
-@dataclass
+@dataclass(slots=True)
 class _CellEntry:
     """In-index record for one cell: where its payload lives."""
 
@@ -62,7 +67,16 @@ class _CellEntry:
     offset: int      # payload offset (header is at offset - 16)
     size: int        # live payload bytes
     reserved: int    # payload capacity (>= size)
-    lock: SpinLock
+    # Created on first use: an OS lock object per cell is the single
+    # largest constant in bulk loading, and freshly loaded cells are
+    # never contended.  Every access runs under the trunk mutex, so the
+    # lazy creation cannot race.
+    lock: SpinLock | None = None
+
+    def cell_lock(self) -> SpinLock:
+        if self.lock is None:
+            self.lock = SpinLock()
+        return self.lock
 
     @property
     def footprint(self) -> int:
@@ -112,7 +126,7 @@ class MemoryTrunk:
         # Re-entrant: put() may trigger defragment() internally.
         self._mutex = threading.RLock()
         self._arena = bytearray(self.params.trunk_size)
-        self._index = TrunkHashTable()
+        self._index = make_trunk_hashtable(self.params.hashtable_storage)
         self._entries: list[_CellEntry | None] = []
         self._free_slots: list[int] = []
         self._append_head = 0
@@ -170,6 +184,139 @@ class MemoryTrunk:
             entry = self._require(uid)
             return bytes(self._arena[entry.offset:entry.offset + entry.size])
 
+    # -- bulk fast path ------------------------------------------------------
+
+    def reserve(self, extra_cells: int) -> None:
+        """Pre-size the index for ``extra_cells`` additional cells."""
+        with self._mutex:
+            self._index.reserve(len(self._index) + extra_cells)
+
+    def bulk_put(self, uids, payloads, presize: bool = True) -> None:
+        """Insert or replace a batch of cells under one lock acquisition.
+
+        Semantically identical to calling :meth:`put` once per pair in
+        order — same stored bytes, same garbage/committed accounting, and
+        (with ``presize=False``) bit-identical hash-table probe counters.
+        The fast path lays a run of fresh cells out with one header
+        pre-packing pass and a single arena write; batches that overwrite
+        existing cells, repeat a UID, or need to wrap fall back to the
+        scalar code path cell by cell (still under the single lock).
+
+        ``presize`` grows the index up front so the batch never resizes
+        incrementally; because probe lengths depend on table capacity at
+        insertion time, a pre-sized load's ``probe_count`` can differ from
+        an incrementally-grown one (contents and all trunk accounting do
+        not).
+        """
+        if len(uids) != len(payloads):
+            raise ValueError(
+                f"bulk_put got {len(uids)} uids but {len(payloads)} payloads"
+            )
+        if not len(uids):
+            return
+        uids = [int(uid) for uid in uids]
+        with self._mutex:
+            if presize:
+                self._index.reserve(len(self._index) + len(uids))
+            done = self._bulk_insert_fresh(uids, payloads, presize)
+            for i in range(done, len(uids)):
+                entry = self._lookup(uids[i])
+                if entry is None:
+                    self._insert(uids[i], payloads[i])
+                else:
+                    self._update(entry, payloads[i])
+
+    def _bulk_insert_fresh(self, uids: list[int], payloads,
+                           presize: bool = False) -> int:
+        """Batch-lay-out the longest eligible prefix; returns cells done.
+
+        Eligible means: no UID repeats within the batch, none already
+        present, and the prefix fits the straight-line region at the
+        append head (no wrap, no tail advance, no defrag) — in that
+        regime the scalar path would perform exactly these pointer-bump
+        allocations, so one concatenated arena write is equivalent.
+
+        ``presize`` additionally allows the index update to go through
+        the hash table's vectorized batch insert, which is free to lay
+        collided keys out in a different probe order (the pre-sized
+        contract already waives probe-count equality).
+        """
+        if len(set(uids)) != len(uids):
+            return 0
+        if len(self._index) and any(self._index.has_key(u) for u in uids):
+            return 0
+        if self._wrapped:
+            available = self._committed_tail - self._append_head
+        else:
+            available = self.params.trunk_size - self._append_head
+        all_sizes = np.fromiter((len(p) for p in payloads),
+                                dtype=np.int64, count=len(payloads))
+        footprint_ends = np.cumsum(all_sizes + CELL_HEADER_BYTES)
+        count = int(np.searchsorted(footprint_ends, available, side="right"))
+        if count == 0:
+            return 0
+        total = int(footprint_ends[count - 1])
+        sizes = all_sizes[:count]
+        headers = np.zeros(count, dtype=_HEADER_DTYPE)
+        headers["uid"] = np.array(uids[:count], dtype=np.uint64)
+        headers["size"] = sizes
+        headers["reserved"] = sizes
+        header_bytes = headers.tobytes()
+        parts = [b""] * (2 * count)
+        parts[0::2] = (header_bytes[i * CELL_HEADER_BYTES:
+                                    (i + 1) * CELL_HEADER_BYTES]
+                       for i in range(count))
+        parts[1::2] = payloads[:count]
+        start = self._append_head
+        self._arena[start:start + total] = b"".join(parts)
+        self._append_head = start + total
+        self._commit_range(start, start + total)
+        self._m_alloc.inc(count)
+        # Payload offset of cell i = start + footprint_ends[i] - size_i
+        # (its own header sits just below the payload).
+        offsets = (start + (footprint_ends[:count] - sizes)).tolist()
+        size_list = sizes.tolist()
+        if self._free_slots:
+            slots = []
+            for uid, payload_offset, size in zip(uids[:count], offsets,
+                                                 size_list):
+                entry = _CellEntry(uid, payload_offset, size, size)
+                if self._free_slots:
+                    slot = self._free_slots.pop()
+                    self._entries[slot] = entry
+                else:
+                    slot = len(self._entries)
+                    self._entries.append(entry)
+                slots.append(slot)
+        else:
+            base = len(self._entries)
+            self._entries.extend(
+                _CellEntry(uid, payload_offset, size, size)
+                for uid, payload_offset, size in zip(uids[:count], offsets,
+                                                     size_list)
+            )
+            slots = list(range(base, base + count))
+        index = self._index
+        if not (presize and hasattr(index, "bulk_insert_fresh")
+                and index.bulk_insert_fresh(uids[:count], slots)):
+            for uid, slot in zip(uids[:count], slots):
+                index.insert_fresh(uid, slot)
+        return count
+
+    def bulk_get(self, uids) -> list[bytes]:
+        """Payload copies for a batch of UIDs, one lock acquisition.
+
+        Probe accounting matches a loop of scalar :meth:`get` calls.
+        """
+        with self._mutex:
+            out = []
+            arena = self._arena
+            for uid in uids:
+                entry = self._require(int(uid))
+                out.append(bytes(arena[entry.offset:
+                                       entry.offset + entry.size]))
+            return out
+
     def get_view(self, uid: int) -> memoryview:
         """Zero-copy view of the cell payload.
 
@@ -187,7 +334,7 @@ class MemoryTrunk:
     def lock_of(self, uid: int) -> SpinLock:
         """The spin lock associated with the cell (Section 3)."""
         with self._mutex:
-            return self._require(uid).lock
+            return self._require(uid).cell_lock()
 
     def remove(self, uid: int) -> None:
         """Delete a cell; its region becomes garbage until reclaimed."""
@@ -198,7 +345,7 @@ class MemoryTrunk:
         self._maybe_defrag()
 
     def _remove_locked(self, entry: _CellEntry) -> None:
-        with entry.lock:
+        with entry.cell_lock():
             slot = self._index.get(entry.uid)
             assert slot is not None
             self._index.delete(entry.uid)
@@ -226,7 +373,7 @@ class MemoryTrunk:
         with self._mutex:
             entry = self._require(uid)
             if new_size <= entry.reserved:
-                with entry.lock:
+                with entry.cell_lock():
                     if new_size > entry.size:
                         self._arena[
                             entry.offset + entry.size:
@@ -294,8 +441,9 @@ class MemoryTrunk:
 
     def load_cells(self, cells) -> None:
         """Bulk-load (uid, payload) pairs into an empty trunk."""
-        for uid, payload in cells:
-            self.put(uid, payload)
+        cells = list(cells)
+        self.bulk_put([uid for uid, _ in cells],
+                      [payload for _, payload in cells])
 
     # -- allocation internals --------------------------------------------
 
@@ -322,7 +470,7 @@ class MemoryTrunk:
         offset = self._allocate(CELL_HEADER_BYTES + reserved)
         payload_offset = offset + CELL_HEADER_BYTES
         self._write_cell(offset, uid, value, reserved)
-        entry = _CellEntry(uid, payload_offset, len(value), reserved, SpinLock())
+        entry = _CellEntry(uid, payload_offset, len(value), reserved)
         if self._free_slots:
             slot = self._free_slots.pop()
             self._entries[slot] = entry
@@ -332,7 +480,7 @@ class MemoryTrunk:
         self._index.set(uid, slot)
 
     def _update(self, entry: _CellEntry, value: bytes) -> None:
-        with entry.lock:
+        with entry.cell_lock():
             if len(value) <= entry.reserved:
                 # In-place update; shrinking only adjusts the live size and
                 # the slack stays reserved (reclaimed at next defrag).
@@ -504,7 +652,7 @@ class MemoryTrunk:
 
     def _defragment_locked(self) -> bool:
         live = [e for e in self._entries if e is not None]
-        if any(e.lock.held for e in live):
+        if any(e.lock is not None and e.lock.held for e in live):
             self._defrag_aborts += 1
             self._m_defrag_abort.inc()
             return False

@@ -39,6 +39,7 @@ from .lexer import Token, tokenize
 from .parser import parse_tsl
 from .compiler import CompiledSchema, ProtocolSpec, compile_tsl
 from .accessor import CellAccessor
+from .batch import BatchStructEncoder, batch_encoder_for
 from .types import (
     BOOL,
     BYTE,
@@ -62,6 +63,8 @@ __all__ = [
     "CompiledSchema",
     "ProtocolSpec",
     "CellAccessor",
+    "BatchStructEncoder",
+    "batch_encoder_for",
     "Script",
     "StructDecl",
     "FieldDecl",

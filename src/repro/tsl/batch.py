@@ -1,0 +1,185 @@
+"""Batch blob encoding: one compiled layout plan per node type.
+
+``GraphBuilder.finalize`` historically walked the TSL type tree once per
+node — per-field dict lookups, per-element ``struct.pack`` calls.  For a
+bulk load that is the dominant cost after edge ingest.  This module
+compiles a :class:`~repro.tsl.types.StructType` into a *batch encoder*
+once per node type; encoding then runs column-at-a-time, with a numpy
+fast path for the layout that dominates graph cells: ``List<primitive>``
+adjacency fields, which become one ``np.asarray(...).tobytes()`` per node
+instead of one ``struct.pack`` per element.
+
+The fast path is **bit-identical** to the scalar encoder: numpy's C casts
+match the scalar casters (``int()`` truncation toward zero, IEEE float
+narrowing, bool widening), and any value numpy cannot convert falls back
+to the scalar element encoder so error behaviour matches too.  The
+equivalence is test-pinned by a hypothesis suite.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+import numpy as np
+
+from ..utils.varint import encode_varint
+from .types import (
+    BOOL,
+    BYTE,
+    DOUBLE,
+    INT,
+    LONG,
+    SHORT,
+    ListType,
+    StructType,
+    TslType,
+)
+
+# Primitive element types whose scalar struct codes have exact numpy
+# dtype twins (little-endian, no padding) *including error behaviour*:
+# numpy raises on out-of-range integers exactly where struct.pack does.
+# FLOAT is deliberately absent — float64→float32 overflow becomes a
+# silent inf under numpy where ``struct.pack('<f')`` raises.
+_NUMPY_DTYPES = {
+    id(BYTE): np.dtype("u1"),
+    id(BOOL): np.dtype("?"),
+    id(SHORT): np.dtype("<i2"),
+    id(INT): np.dtype("<i4"),
+    id(LONG): np.dtype("<i8"),
+    id(DOUBLE): np.dtype("<f8"),
+}
+
+# Lengths below 128 encode as a single varint byte; precomputing them
+# skips an encode_varint call per list in the hot column loop.
+_VARINT_SMALL = [encode_varint(i) for i in range(128)]
+
+
+def encode_varint_small(n: int) -> bytes:
+    """``encode_varint`` with the single-byte range precomputed."""
+    return _VARINT_SMALL[n] if n < 128 else encode_varint(n)
+
+
+class _FieldPlan:
+    """Encodes one field for every record in a batch (a column)."""
+
+    def __init__(self, name: str, tsl_type: TslType):
+        self.name = name
+        self.tsl_type = tsl_type
+        self._dtype = None
+        if isinstance(tsl_type, ListType):
+            self._dtype = _NUMPY_DTYPES.get(id(tsl_type.element))
+
+    def encode_column(self, values: list) -> list[bytes]:
+        if self._dtype is None:
+            encode = self.tsl_type.encode
+            return [encode(value) for value in values]
+        column = self._encode_column_flat(values)
+        if column is not None:
+            return column
+        out = []
+        dtype = self._dtype
+        scalar_encode = self.tsl_type.encode
+        for value in values:
+            if type(value) in (list, tuple):
+                try:
+                    array = np.asarray(value, dtype=dtype)
+                except (ValueError, TypeError, OverflowError):
+                    # Let the scalar path produce the canonical result
+                    # (or the canonical SchemaMismatchError).
+                    out.append(scalar_encode(value))
+                    continue
+                if array.ndim != 1:
+                    # Nested sequences: the scalar element caster decides
+                    # whether that is encodable (it usually raises).
+                    out.append(scalar_encode(value))
+                    continue
+                out.append(encode_varint(len(value)) + array.tobytes())
+            else:
+                out.append(scalar_encode(value))
+        return out
+
+    def _encode_column_flat(self, values: list) -> list[bytes] | None:
+        """Whole-column conversion: one numpy cast for every element.
+
+        Concatenates all lists, converts once, then slices the resulting
+        byte blob per record — byte-for-byte the same output as one
+        conversion per list.  Returns ``None`` (caller falls back to the
+        per-value path, which in turn falls back per value to the scalar
+        encoder) whenever anything is irregular: a non-list value, a
+        nested sequence (it survives one level of chaining but yields a
+        2-D array), or an element the dtype rejects.
+        """
+        if not all(type(value) in (list, tuple) for value in values):
+            return None
+        lengths = [len(value) for value in values]
+        try:
+            flat = np.asarray(list(chain.from_iterable(values)),
+                              dtype=self._dtype)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        if flat.ndim != 1 or len(flat) != sum(lengths):
+            return None
+        blob = flat.tobytes()
+        itemsize = self._dtype.itemsize
+        small = _VARINT_SMALL
+        out = []
+        position = 0
+        for length in lengths:
+            nbytes = length * itemsize
+            prefix = small[length] if length < 128 else encode_varint(length)
+            out.append(prefix + blob[position:position + nbytes])
+            position += nbytes
+        return out
+
+
+class BatchStructEncoder:
+    """Column-at-a-time encoder for one struct type."""
+
+    def __init__(self, struct_type: StructType):
+        self.struct_type = struct_type
+        self._plans = [
+            _FieldPlan(name, tsl_type)
+            for name, tsl_type in struct_type.fields
+        ]
+
+    def encode_many(self, records: list[dict]) -> list[bytes]:
+        """Encode a batch of records; ≡ ``[struct.encode(r) for r in records]``.
+
+        Missing fields take the field default, exactly like the scalar
+        encoder; unknown fields raise through the scalar validator.
+        """
+        if not records:
+            return []
+        known = {plan.name for plan in self._plans}
+        for record in records:
+            unknown = set(record) - known
+            if unknown:
+                # Defer to the scalar encoder for its canonical error.
+                return [self.struct_type.encode(r) for r in records]
+        columns = []
+        for plan in self._plans:
+            default = plan.tsl_type.default
+            column = [record.get(plan.name, _MISSING) for record in records]
+            for i, value in enumerate(column):
+                if value is _MISSING:
+                    column[i] = default()
+            columns.append(plan.encode_column(column))
+        return [b"".join(parts) for parts in zip(*columns)]
+
+
+_MISSING = object()
+
+_ENCODER_CACHE: dict[int, BatchStructEncoder] = {}
+
+
+def batch_encoder_for(struct_type: StructType) -> BatchStructEncoder:
+    """Get (or compile) the batch encoder for a struct type.
+
+    Cached per StructType instance — this is the "compile the layout once
+    per node type, not per node" half of the bulk loading path.
+    """
+    encoder = _ENCODER_CACHE.get(id(struct_type))
+    if encoder is None or encoder.struct_type is not struct_type:
+        encoder = BatchStructEncoder(struct_type)
+        _ENCODER_CACHE[id(struct_type)] = encoder
+    return encoder

@@ -3,6 +3,7 @@
 from .hashing import hash64, mix64, trunk_of, uid_from
 from .varint import decode_varint, encode_varint
 from .stats import OnlineStats, percentile
+from .sorting import stable_argsort
 
 __all__ = [
     "hash64",
@@ -13,4 +14,5 @@ __all__ = [
     "decode_varint",
     "OnlineStats",
     "percentile",
+    "stable_argsort",
 ]

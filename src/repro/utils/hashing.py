@@ -9,6 +9,10 @@ mix, which is cheap, deterministic across processes (unlike Python's builtin
 
 from __future__ import annotations
 
+import functools
+
+import numpy as np
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -24,6 +28,29 @@ def mix64(x: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
+# numpy mirrors of the splitmix64 constants; uint64 arithmetic wraps
+# modulo 2**64 exactly like the masked scalar path.
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_SHIFT_30 = np.uint64(30)
+_SHIFT_27 = np.uint64(27)
+_SHIFT_31 = np.uint64(31)
+
+
+def mix64_array(values) -> np.ndarray:
+    """Vectorized :func:`mix64` over a uint64 array.
+
+    Bit-identical to the scalar finalizer (test-pinned), so the batched
+    data path routes a whole UID array to trunks with the exact hashes
+    the per-cell path would compute.
+    """
+    x = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> _SHIFT_30)) * _MIX_MULT_1
+        x = (x ^ (x >> _SHIFT_27)) * _MIX_MULT_2
+        return x ^ (x >> _SHIFT_31)
+
+
 def hash64(data: bytes, seed: int = 0) -> int:
     """Hash a byte string to a 64-bit value (FNV-1a core + final mix)."""
     h = (0xCBF29CE484222325 ^ mix64(seed)) & _MASK64
@@ -37,10 +64,19 @@ def trunk_of(cell_id: int, trunk_bits: int) -> int:
     return mix64(cell_id) & ((1 << trunk_bits) - 1)
 
 
+def trunk_of_array(cell_ids, trunk_bits: int) -> np.ndarray:
+    """Vectorized :func:`trunk_of`: trunk index per UID, as uint64."""
+    return mix64_array(cell_ids) & np.uint64((1 << trunk_bits) - 1)
+
+
+@functools.lru_cache(maxsize=65536)
 def uid_from(name: str) -> int:
     """Derive a stable 64-bit UID from a human-readable name.
 
     Convenience for examples and tests; production callers normally assign
-    UIDs from an allocator.
+    UIDs from an allocator.  Name-keyed workloads (people search, the RDF
+    store) re-hash the same strings constantly, so results are memoised in
+    a bounded LRU; :func:`hash64`'s output is pinned by regression tests
+    so the cache can never drift the hash.
     """
     return hash64(name.encode("utf-8"))

@@ -1,55 +1,91 @@
-"""Tests for the per-trunk open-addressing hash table."""
+"""Tests for the per-trunk open-addressing hash table.
+
+Every test runs against both storage backends (Python lists and numpy
+arrays); a dedicated class additionally proves that the two backends
+produce bit-identical probe statistics under identical op sequences —
+the property the trunk-count ablation and the bulk-path shadow
+verification both rely on.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.memcloud.hashtable import TrunkHashTable
+from repro.memcloud.hashtable import (
+    NumpyTrunkHashTable,
+    TrunkHashTable,
+    make_trunk_hashtable,
+)
 
 UID = st.integers(min_value=0, max_value=2**63 - 1)
 
 
+@pytest.fixture(params=["list", "numpy"])
+def storage(request):
+    return request.param
+
+
+def make_table(storage, initial_capacity=16):
+    return make_trunk_hashtable(storage, initial_capacity)
+
+
+class TestFactory:
+    def test_list_backend(self):
+        table = make_trunk_hashtable("list")
+        assert type(table) is TrunkHashTable
+        assert table.storage == "list"
+
+    def test_numpy_backend(self):
+        table = make_trunk_hashtable("numpy")
+        assert type(table) is NumpyTrunkHashTable
+        assert table.storage == "numpy"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_trunk_hashtable("redis")
+
+
 class TestBasics:
-    def test_set_get(self):
-        table = TrunkHashTable()
+    def test_set_get(self, storage):
+        table = make_table(storage)
         table.set(42, 7)
         assert table.get(42) == 7
 
-    def test_missing_returns_default(self):
-        table = TrunkHashTable()
+    def test_missing_returns_default(self, storage):
+        table = make_table(storage)
         assert table.get(1) is None
         assert table.get(1, -1) == -1
 
-    def test_contains(self):
-        table = TrunkHashTable()
+    def test_contains(self, storage):
+        table = make_table(storage)
         table.set(5, 0)
         assert 5 in table
         assert 6 not in table
 
-    def test_overwrite(self):
-        table = TrunkHashTable()
+    def test_overwrite(self, storage):
+        table = make_table(storage)
         table.set(5, 1)
         table.set(5, 2)
         assert table.get(5) == 2
         assert len(table) == 1
 
-    def test_delete(self):
-        table = TrunkHashTable()
+    def test_delete(self, storage):
+        table = make_table(storage)
         table.set(5, 1)
         assert table.delete(5)
         assert 5 not in table
         assert len(table) == 0
 
-    def test_delete_missing(self):
-        table = TrunkHashTable()
+    def test_delete_missing(self, storage):
+        table = make_table(storage)
         assert not table.delete(5)
 
-    def test_negative_value_rejected(self):
-        table = TrunkHashTable()
+    def test_negative_value_rejected(self, storage):
+        table = make_table(storage)
         with pytest.raises(ValueError):
             table.set(1, -1)
 
-    def test_items_and_keys(self):
-        table = TrunkHashTable()
+    def test_items_and_keys(self, storage):
+        table = make_table(storage)
         expected = {i: i * 10 for i in range(20)}
         for key, value in expected.items():
             table.set(key, value)
@@ -58,16 +94,16 @@ class TestBasics:
 
 
 class TestGrowth:
-    def test_grows_past_initial_capacity(self):
-        table = TrunkHashTable(initial_capacity=16)
+    def test_grows_past_initial_capacity(self, storage):
+        table = make_table(storage, initial_capacity=16)
         for i in range(1000):
             table.set(i, i)
         assert len(table) == 1000
         assert all(table.get(i) == i for i in range(1000))
         assert table.capacity >= 1024
 
-    def test_tombstone_reuse_without_growth(self):
-        table = TrunkHashTable(initial_capacity=64)
+    def test_tombstone_reuse_without_growth(self, storage):
+        table = make_table(storage, initial_capacity=64)
         # Churn: insert/delete cycles should not balloon capacity.
         for round_ in range(50):
             for i in range(30):
@@ -76,24 +112,24 @@ class TestGrowth:
                 table.delete(i)
         assert table.capacity <= 256
 
-    def test_probe_stats_exposed(self):
-        table = TrunkHashTable()
+    def test_probe_stats_exposed(self, storage):
+        table = make_table(storage)
         for i in range(100):
             table.set(i, i)
         assert table.lookup_count >= 100
         assert table.mean_probe_length >= 1.0
 
-    def test_fuller_table_probes_more(self):
+    def test_fuller_table_probes_more(self, storage):
         # The paper's rationale for many trunks: conflict probability
         # grows with load.  Compare mean probes at low vs high load in a
         # fixed-capacity regime by disabling growth via small data.
-        sparse = TrunkHashTable(initial_capacity=4096)
+        sparse = make_table(storage, initial_capacity=4096)
         for i in range(100):
             sparse.set(i, i)
         sparse.probe_count = sparse.lookup_count = 0
         for i in range(100):
             sparse.get(i)
-        dense = TrunkHashTable(initial_capacity=4096)
+        dense = make_table(storage, initial_capacity=4096)
         for i in range(2500):
             dense.set(i, i)
         dense.probe_count = dense.lookup_count = 0
@@ -102,21 +138,143 @@ class TestGrowth:
         assert dense.mean_probe_length >= sparse.mean_probe_length
 
 
+class TestBulkPrimitives:
+    def test_has_key_does_not_record(self, storage):
+        table = make_table(storage)
+        table.set(7, 0)
+        lookups, probes = table.lookup_count, table.probe_count
+        assert table.has_key(7)
+        assert not table.has_key(8)
+        assert table.lookup_count == lookups
+        assert table.probe_count == probes
+
+    def test_has_key_vs_contains(self, storage):
+        table = make_table(storage)
+        for i in range(50):
+            table.set(i, i)
+        table.delete(17)
+        for key in range(60):
+            assert table.has_key(key) == (key in table)
+
+    def test_insert_fresh_matches_get_then_set_counters(self, storage):
+        # insert_fresh claims to record exactly the statistics of the
+        # scalar get-miss + set pair — verify against a replay.
+        keys = [k * 7919 for k in range(200)]
+        fused = make_table(storage)
+        for i, key in enumerate(keys):
+            fused.insert_fresh(key, i)
+        replay = make_table(storage)
+        for i, key in enumerate(keys):
+            assert replay.get(key) is None
+            replay.set(key, i)
+        assert fused.lookup_count == replay.lookup_count
+        assert fused.probe_count == replay.probe_count
+        assert dict(fused.items()) == dict(replay.items())
+        assert fused.capacity == replay.capacity
+
+    def test_insert_fresh_rejects_negative_value(self, storage):
+        table = make_table(storage)
+        with pytest.raises(ValueError):
+            table.insert_fresh(1, -1)
+
+    def test_reserve_prevents_incremental_resizes(self, storage):
+        table = make_table(storage)
+        table.reserve(1000)
+        capacity = table.capacity
+        assert capacity >= 1024
+        for i in range(1000):
+            table.insert_fresh(i, i)
+        assert table.capacity == capacity  # no resize happened
+
+    def test_reserve_never_shrinks(self, storage):
+        table = make_table(storage, initial_capacity=1024)
+        table.reserve(10)
+        assert table.capacity == 1024
+
+    def test_reserve_keeps_contents_and_counters(self, storage):
+        table = make_table(storage)
+        for i in range(100):
+            table.set(i, i)
+        lookups, probes = table.lookup_count, table.probe_count
+        table.reserve(5000)
+        assert table.lookup_count == lookups
+        assert table.probe_count == probes
+        assert dict(table.items()) == {i: i for i in range(100)}
+
+    def test_reserve_compacts_tombstones(self, storage):
+        table = make_table(storage, initial_capacity=64)
+        for i in range(30):
+            table.set(i, i)
+        for i in range(30):
+            table.delete(i)
+        table.set(99, 1)
+        table.reserve(100)
+        assert table._tombstones == 0
+        assert dict(table.items()) == {99: 1}
+
+
 class TestPropertyBased:
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.tuples(st.sampled_from(["set", "del"]),
                               st.integers(0, 50)), max_size=300))
     def test_matches_dict_semantics(self, ops):
-        table = TrunkHashTable()
-        reference: dict[int, int] = {}
+        for storage in ("list", "numpy"):
+            table = make_table(storage)
+            reference: dict[int, int] = {}
+            for i, (op, key) in enumerate(ops):
+                if op == "set":
+                    table.set(key, i)
+                    reference[key] = i
+                else:
+                    assert table.delete(key) == (key in reference)
+                    reference.pop(key, None)
+            assert len(table) == len(reference)
+            assert dict(table.items()) == reference
+            for key in range(51):
+                assert table.get(key) == reference.get(key)
+
+
+class TestBackendEquivalence:
+    """The two storage backends must be observationally identical."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["set", "del", "get", "fresh", "reserve"]),
+        st.integers(0, 40)), max_size=250))
+    def test_identical_counters_and_contents(self, ops):
+        list_table = make_table("list")
+        numpy_table = make_table("numpy")
         for i, (op, key) in enumerate(ops):
             if op == "set":
-                table.set(key, i)
-                reference[key] = i
+                list_table.set(key, i)
+                numpy_table.set(key, i)
+            elif op == "del":
+                assert list_table.delete(key) == numpy_table.delete(key)
+            elif op == "get":
+                assert list_table.get(key) == numpy_table.get(key)
+            elif op == "fresh":
+                if list_table.has_key(key):
+                    continue
+                list_table.insert_fresh(key, i)
+                numpy_table.insert_fresh(key, i)
             else:
-                assert table.delete(key) == (key in reference)
-                reference.pop(key, None)
-        assert len(table) == len(reference)
-        assert dict(table.items()) == reference
-        for key in range(51):
-            assert table.get(key) == reference.get(key)
+                list_table.reserve(key * 8)
+                numpy_table.reserve(key * 8)
+        assert list_table.probe_count == numpy_table.probe_count
+        assert list_table.lookup_count == numpy_table.lookup_count
+        assert list_table.capacity == numpy_table.capacity
+        assert dict(list_table.items()) == dict(numpy_table.items())
+
+    def test_large_identical_sequence(self):
+        list_table = make_table("list")
+        numpy_table = make_table("numpy")
+        for i in range(3000):
+            key = (i * 2654435761) % (2**40)
+            list_table.set(key, i)
+            numpy_table.set(key, i)
+            if i % 3 == 0:
+                list_table.delete(key)
+                numpy_table.delete(key)
+        assert list_table.probe_count == numpy_table.probe_count
+        assert list_table.lookup_count == numpy_table.lookup_count
+        assert dict(list_table.items()) == dict(numpy_table.items())

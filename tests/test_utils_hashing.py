@@ -1,8 +1,17 @@
 """Tests for repro.utils.hashing."""
 
+import numpy as np
 from hypothesis import given, strategies as st
 
-from repro.utils.hashing import hash64, mix64, trunk_of, uid_from
+from repro.utils.hashing import (
+    hash64,
+    mix64,
+    mix64_array,
+    trunk_of,
+    trunk_of_array,
+    uid_from,
+)
+from repro.utils.sorting import stable_argsort
 
 UINT64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
 
@@ -70,6 +79,57 @@ class TestTrunkOf:
         assert trunk_of(991, 5) == trunk_of(991, 5)
 
 
+class TestPinnedValues:
+    """Regression pins: these exact outputs are part of the wire format.
+
+    Anything stored in a trunk (offsets come from mix64) or named by
+    ``uid_from`` depends on them, so a silent change would corrupt every
+    persisted layout.  If one of these fails, the hash changed — do not
+    update the constants without a migration story.
+    """
+
+    def test_mix64_pins(self):
+        assert mix64(0) == 0x0
+        assert mix64(1) == 0x5692161D100B05E5
+        assert mix64(42) == 0xA759EA27D4727622
+        assert mix64(12345) == 0xF36CF1164265DD51
+        assert mix64(2**63) == 0x25C26EA579CEA98A
+        assert mix64(2**64 - 1) == 0xB4D055FCF2CBBD7B
+
+    def test_hash64_pins(self):
+        assert hash64(b"") == 0xF52A15E9A9B5E89B
+        assert hash64(b"a") == 0x02C0BDBF481420F8
+        assert hash64(b"trinity") == 0xF7643D575FC36AAE
+        assert hash64(b"trinity", seed=1) == 0x7A6A45A8E5163131
+
+    def test_uid_from_pins(self):
+        assert uid_from("Alice") == 0x498CD77792BF4527
+        assert uid_from("Bob") == 0x370424EB7AF2AD23
+        assert uid_from("trinity") == hash64(b"trinity")
+
+
+class TestMix64Array:
+    def test_edge_values_match_scalar(self):
+        values = [0, 1, 42, 12345, 2**63, 2**64 - 1]
+        out = mix64_array(values)
+        assert out.dtype == np.uint64
+        assert [int(v) for v in out] == [mix64(v) for v in values]
+
+    @given(st.lists(UINT64, min_size=1, max_size=64))
+    def test_matches_scalar_elementwise(self, values):
+        out = mix64_array(np.asarray(values, dtype=np.uint64))
+        assert [int(v) for v in out] == [mix64(v) for v in values]
+
+    @given(st.lists(UINT64, min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=16))
+    def test_trunk_of_array_matches_scalar(self, values, bits):
+        out = trunk_of_array(np.asarray(values, dtype=np.uint64), bits)
+        assert [int(v) for v in out] == [trunk_of(v, bits) for v in values]
+
+    def test_empty_input(self):
+        assert len(mix64_array(np.asarray([], dtype=np.uint64))) == 0
+
+
 class TestUidFrom:
     def test_stable_for_name(self):
         assert uid_from("Alice") == uid_from("Alice")
@@ -79,3 +139,60 @@ class TestUidFrom:
 
     def test_unicode(self):
         assert 0 <= uid_from("三位一体") < 2**64
+
+    def test_cached(self):
+        before = uid_from.cache_info()
+        value = uid_from("cache-probe-name")
+        assert uid_from("cache-probe-name") == value
+        after = uid_from.cache_info()
+        assert after.hits >= before.hits + 1
+
+    def test_cache_is_bounded(self):
+        assert uid_from.cache_info().maxsize == 65536
+
+    def test_cached_value_matches_uncached(self):
+        # The cache must be a pure memo over hash64 of the UTF-8 bytes.
+        assert uid_from("Zaphod") == hash64("Zaphod".encode("utf-8"))
+
+
+class TestStableArgsort:
+    """The radix fast path must be bit-identical to plain stable argsort."""
+
+    @given(
+        st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+                 max_size=200),
+        st.sampled_from(["<i8", "<u8", "<i4", "<u2"]),
+    )
+    def test_matches_numpy_stable(self, values, dtype):
+        if dtype == "<u8" or dtype == "<u2":
+            values = [abs(v) for v in values]
+        if dtype == "<u2":
+            values = [v % 65536 for v in values]
+        if dtype == "<i4":
+            values = [v % 2**31 for v in values]
+        arr = np.asarray(values, dtype=dtype)
+        expected = arr.argsort(kind="stable")
+        assert np.array_equal(stable_argsort(arr), expected)
+
+    def test_narrow_range_takes_radix_path(self):
+        # Wide dtype, narrow range: above the cutover the shifted-uint16
+        # path runs; order must still match mergesort exactly.
+        rng = np.random.default_rng(7)
+        arr = (rng.integers(0, 2**14, 4096) + 2**40).astype(np.int64)
+        assert np.array_equal(stable_argsort(arr),
+                              arr.argsort(kind="stable"))
+
+    def test_wide_range_falls_back(self):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(-(2**60), 2**60, 4096).astype(np.int64)
+        assert np.array_equal(stable_argsort(arr),
+                              arr.argsort(kind="stable"))
+
+    def test_stability_of_equal_keys(self):
+        arr = np.zeros(5000, dtype=np.int64)
+        assert np.array_equal(stable_argsort(arr), np.arange(5000))
+
+    def test_float_dtype_uses_fallback(self):
+        arr = np.asarray([3.5, -1.0, 2.25])
+        assert np.array_equal(stable_argsort(arr),
+                              arr.argsort(kind="stable"))
