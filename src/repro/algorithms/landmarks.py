@@ -27,6 +27,7 @@ import numpy as np
 
 from ..config import ComputeParams
 from ..errors import QueryError
+from ..memcloud.cloud import BulkPathDivergence
 
 
 @dataclass
@@ -269,17 +270,25 @@ class OracleEvaluation:
 
 
 def evaluate_oracle(topology, landmarks: list[int], pairs: int = 200,
-                    seed: int = 0) -> OracleEvaluation:
+                    seed: int = 0, batch: bool = True,
+                    cross_check: bool = False) -> OracleEvaluation:
     """Measure estimation accuracy of a landmark set.
 
     Estimates are upper bounds, so accuracy is the mean of
     true/estimated distance over random connected pairs (1.0 = always
     exact) — a monotone stand-in for the paper's "estimation accuracy %".
+
+    ``batch`` runs the underlying BFS passes as vectorized frontier
+    waves over the CSR arrays (identical distances — wave levels don't
+    depend on intra-level order); ``cross_check=True`` also runs the
+    scalar BFS and raises
+    :class:`~repro.memcloud.cloud.BulkPathDivergence` on any mismatch.
     """
     n = topology.n
     rng = np.random.default_rng(seed)
     landmark_distances = np.stack([
-        _bfs_distances(topology, lm) for lm in landmarks
+        _bfs_distances(topology, lm, batch=batch, cross_check=cross_check)
+        for lm in landmarks
     ])
     evaluation = OracleEvaluation(
         strategy="", landmarks=list(landmarks),
@@ -294,7 +303,8 @@ def evaluate_oracle(topology, landmarks: list[int], pairs: int = 200,
         v = int(rng.integers(n))
         if u == v:
             continue
-        true = _pair_distance(topology, u, v)
+        true = _pair_distance(topology, u, v, batch=batch,
+                              cross_check=cross_check)
         if true <= 0:
             continue
         through = landmark_distances[:, u] + landmark_distances[:, v]
@@ -313,7 +323,36 @@ def evaluate_oracle(topology, landmarks: list[int], pairs: int = 200,
     return evaluation
 
 
-def _bfs_distances(topology, source: int) -> np.ndarray:
+def _gather_wave(indptr: np.ndarray, indices: np.ndarray,
+                 frontier: np.ndarray) -> np.ndarray:
+    """All out-neighbors of a frontier in one vectorized CSR gather."""
+    counts = indptr[frontier + 1] - indptr[frontier]
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=indices.dtype)
+    shifts = np.concatenate((np.zeros(1, dtype=np.int64),
+                             np.cumsum(counts)[:-1]))
+    positions = np.repeat(indptr[frontier] - shifts, counts)
+    return indices[positions + np.arange(total)]
+
+
+def _bfs_distances(topology, source: int, batch: bool = True,
+                   cross_check: bool = False) -> np.ndarray:
+    if cross_check and batch:
+        mine = _bfs_distances_batch(topology, source)
+        theirs = _bfs_distances_scalar(topology, source)
+        if not np.array_equal(mine, theirs):
+            raise BulkPathDivergence(
+                f"batch BFS from {source} diverges from scalar at nodes "
+                f"{np.flatnonzero(mine != theirs)[:10].tolist()}"
+            )
+        return mine
+    if batch:
+        return _bfs_distances_batch(topology, source)
+    return _bfs_distances_scalar(topology, source)
+
+
+def _bfs_distances_scalar(topology, source: int) -> np.ndarray:
     n = topology.n
     dist = np.full(n, np.inf)
     dist[source] = 0
@@ -332,8 +371,44 @@ def _bfs_distances(topology, source: int) -> np.ndarray:
     return dist
 
 
-def _pair_distance(topology, u: int, v: int) -> int:
+def _bfs_distances_batch(topology, source: int) -> np.ndarray:
+    """Wave-at-a-time BFS: one CSR gather per level.
+
+    Distances are level numbers, so intra-wave visit order is
+    irrelevant — the result is identical to the scalar walk.
+    """
+    dist = np.full(topology.n, np.inf)
+    dist[source] = 0
+    indptr, indices = topology.out_indptr, topology.out_indices
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        flat = _gather_wave(indptr, indices, frontier)
+        fresh = flat[~np.isfinite(dist[flat])] if len(flat) else flat
+        frontier = np.unique(fresh)
+        dist[frontier] = level
+    return dist
+
+
+def _pair_distance(topology, u: int, v: int, batch: bool = True,
+                   cross_check: bool = False) -> int:
     """Exact BFS distance (early-exit); -1 if disconnected."""
+    if cross_check and batch:
+        mine = _pair_distance_batch(topology, u, v)
+        theirs = _pair_distance_scalar(topology, u, v)
+        if mine != theirs:
+            raise BulkPathDivergence(
+                f"batch pair distance ({u}, {v}) diverges from scalar: "
+                f"{mine} != {theirs}"
+            )
+        return mine
+    if batch:
+        return _pair_distance_batch(topology, u, v)
+    return _pair_distance_scalar(topology, u, v)
+
+
+def _pair_distance_scalar(topology, u: int, v: int) -> int:
     if u == v:
         return 0
     seen = {u}
@@ -351,4 +426,24 @@ def _pair_distance(topology, u: int, v: int) -> int:
                     seen.add(y)
                     next_frontier.append(y)
         frontier = next_frontier
+    return -1
+
+
+def _pair_distance_batch(topology, u: int, v: int) -> int:
+    """Vectorized early-exit BFS; wave levels match the scalar walk."""
+    if u == v:
+        return 0
+    seen = np.zeros(topology.n, dtype=bool)
+    seen[u] = True
+    indptr, indices = topology.out_indptr, topology.out_indices
+    frontier = np.asarray([u], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        flat = _gather_wave(indptr, indices, frontier)
+        if len(flat) and np.any(flat == v):
+            return level
+        fresh = flat[~seen[flat]] if len(flat) else flat
+        frontier = np.unique(fresh)
+        seen[frontier] = True
     return -1

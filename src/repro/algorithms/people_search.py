@@ -11,6 +11,20 @@ The implementation runs over the *cloud-resident* cells (real blob
 decodes, not a topology snapshot — this is the online path), and each hop
 is one :class:`~repro.net.simnet.ParallelRound`: per-machine cell/edge
 costs plus the packed cross-machine frontier messages.
+
+Two host-speed gears share that one cost model:
+
+* the scalar path (``batch=False``) — one ``cloud.get`` plus one
+  whole-cell decode per frontier node;
+* the batched path (default) — per hop, one vectorized
+  ``machine_of_batch`` ownership pass groups the frontier, each machine
+  group expands with one ``outlinks_batch`` CSR decode, and the
+  name-check compares the whole next frontier's raw utf-8 bytes with
+  one ``field_eq_batch`` (no Python string is ever built).
+
+Both paths visit nodes in the same order and charge identical simulated
+costs; ``cross_check=True`` replays the scalar path (per batched read
+*and* end-to-end) and raises on any divergence.
 """
 
 from __future__ import annotations
@@ -18,11 +32,61 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import ComputeParams
 from ..errors import QueryError
+from ..memcloud.cloud import BulkPathDivergence
 from ..net.simnet import ParallelRound, SimNetwork
 
 _FRONTIER_ID_BYTES = 9   # 8-byte cell id + 1-byte hop tag
+
+
+class _VisitedTracker:
+    """Visited-id set over int64 arrays.
+
+    A dense bool mask (O(1) membership, no sorting) while ids stay under
+    ``_MASK_CAP``; permanently switches to the sorted-array
+    ``np.isin``/``np.union1d`` representation the first time an id is
+    negative or too large for a mask.  Both representations answer
+    ``unseen`` identically, so the switch is invisible to the search.
+    """
+
+    _MASK_CAP = 1 << 26  # a 64 MiB mask at most
+
+    def __init__(self, start: int) -> None:
+        self.count = 1
+        self._sorted: np.ndarray | None = None
+        if 0 <= start < self._MASK_CAP:
+            self._mask = np.zeros(max(1024, start + 1), dtype=bool)
+            self._mask[start] = True
+        else:
+            self._mask = None
+            self._sorted = np.asarray([start], dtype=np.int64)
+
+    def unseen(self, ids: np.ndarray) -> np.ndarray:
+        """Not-yet-visited flag per id (duplicates all flagged)."""
+        if self._mask is not None and len(ids):
+            lo, hi = int(ids.min()), int(ids.max())
+            if lo < 0 or hi >= self._MASK_CAP:
+                self._sorted = np.flatnonzero(self._mask)
+                self._mask = None
+            elif hi >= len(self._mask):
+                grown = np.zeros(max(hi + 1, 2 * len(self._mask)),
+                                 dtype=bool)
+                grown[:len(self._mask)] = self._mask
+                self._mask = grown
+        if self._mask is not None:
+            return ~self._mask[ids]
+        return ~np.isin(ids, self._sorted)
+
+    def add(self, new: np.ndarray) -> None:
+        """Record ids (must be duplicate-free and all unseen)."""
+        self.count += len(new)
+        if self._mask is not None:
+            self._mask[new] = True
+        else:
+            self._sorted = np.union1d(self._sorted, new)
 
 
 @dataclass
@@ -45,11 +109,17 @@ class PeopleSearchResult:
 
 def people_search(graph, start: int, name: str, hops: int = 3,
                   network: SimNetwork | None = None,
-                  params: ComputeParams | None = None) -> PeopleSearchResult:
+                  params: ComputeParams | None = None,
+                  batch: bool = True,
+                  cross_check: bool = False) -> PeopleSearchResult:
     """Find all nodes named ``name`` within ``hops`` of ``start``.
 
     The graph must use a schema with a ``Name`` attribute (see
-    :func:`repro.graph.model.social_graph_schema`).
+    :func:`repro.graph.model.social_graph_schema`).  ``batch`` selects
+    the vectorized frontier expansion; ``cross_check=True`` additionally
+    shadow-replays the scalar path and raises
+    :class:`~repro.memcloud.cloud.BulkPathDivergence` if the two ever
+    disagree (matches, visited set, messages or simulated hop times).
     """
     if hops < 1:
         raise QueryError("hops must be >= 1")
@@ -57,7 +127,33 @@ def people_search(graph, start: int, name: str, hops: int = 3,
         raise QueryError("people_search needs a graph with a Name attribute")
     network = network or SimNetwork()
     params = params or ComputeParams()
+    if not batch:
+        return _people_search_scalar(graph, start, name, hops, network,
+                                     params)
+    result = _people_search_batch(graph, start, name, hops, network,
+                                  params, cross_check)
+    if cross_check:
+        shadow = _people_search_scalar(
+            graph, start, name, hops, SimNetwork(network.params), params,
+        )
+        _compare_results(result, shadow)
+    return result
 
+
+def _compare_results(batched: PeopleSearchResult,
+                     scalar: PeopleSearchResult) -> None:
+    for attr in ("matches", "visited", "messages", "hop_times"):
+        mine, theirs = getattr(batched, attr), getattr(scalar, attr)
+        if mine != theirs:
+            raise BulkPathDivergence(
+                f"people_search batch path diverges from scalar on "
+                f"{attr}: {mine!r} != {theirs!r}"
+            )
+
+
+def _people_search_scalar(graph, start: int, name: str, hops: int,
+                          network: SimNetwork,
+                          params: ComputeParams) -> PeopleSearchResult:
     result = PeopleSearchResult(start=start, name=name, hops=hops)
     visited = {start}
     frontier = [start]
@@ -110,5 +206,87 @@ def people_search(graph, start: int, name: str, hops: int = 3,
         )
         frontier = next_frontier
     result.visited = len(visited) - 1
+    result.matches.sort()
+    return result
+
+
+def _people_search_batch(graph, start: int, name: str, hops: int,
+                         network: SimNetwork, params: ComputeParams,
+                         cross_check: bool) -> PeopleSearchResult:
+    """Vectorized frontier expansion; bit-identical accounting.
+
+    Per hop: one ``machine_of_batch`` pass routes the frontier, machine
+    groups are processed in scalar first-appearance order, each group
+    expands with one CSR ``outlinks_batch`` decode, newly discovered
+    nodes are deduplicated with a first-occurrence ``np.unique`` (the
+    scalar visited-set semantics), and the whole next frontier is
+    name-checked through one ``field_eq_batch`` byte compare.
+    """
+    result = PeopleSearchResult(start=start, name=name, hops=hops)
+    visited = _VisitedTracker(start)
+    frontier = np.asarray([start], dtype=np.int64)
+    for hop in range(1, hops + 1):
+        if not len(frontier):
+            break
+        round_ = ParallelRound(network)
+        owners = graph.machine_of_batch(frontier)
+        # Machine groups in first-appearance order — the scalar loop's
+        # dict-insertion order, which decides who "discovers" a node
+        # reachable from two machines in the same hop.
+        _, first_positions = np.unique(owners, return_index=True)
+        group_machines = owners[np.sort(first_positions)]
+
+        new_groups: list[np.ndarray] = []
+        delivery: dict[tuple[int, int], int] = defaultdict(int)
+        for machine in group_machines.tolist():
+            nodes = frontier[owners == machine]
+            indptr, flat = graph.outlinks_batch(nodes,
+                                                cross_check=cross_check)
+            edges_scanned = int(indptr[-1])
+            # First-occurrence dedup of this group's discoveries against
+            # everything visited so far (including earlier groups of the
+            # same hop — ``visited`` is updated between groups).
+            fresh = flat[visited.unseen(flat)]
+            _, first_seen = np.unique(fresh, return_index=True)
+            new = fresh[np.sort(first_seen)]
+            if len(new):
+                destinations = graph.machine_of_batch(new)
+                counts = np.bincount(destinations)
+                # Destination keys in first-appearance order — the
+                # scalar loop's dict-insertion order.  finish() sums
+                # each sender's outgoing entries in that order, and
+                # float addition is not associative.
+                _, first_dst = np.unique(destinations, return_index=True)
+                for dst in destinations[np.sort(first_dst)].tolist():
+                    delivery[(machine, dst)] += int(counts[dst])
+                visited.add(new)
+                new_groups.append(new)
+            round_.add_compute(
+                machine,
+                len(nodes) * params.cell_access_cost
+                + edges_scanned * params.edge_scan_cost,
+            )
+
+        next_frontier = (np.concatenate(new_groups) if new_groups
+                         else np.empty(0, dtype=np.int64))
+        if len(next_frontier):
+            check_machines = graph.machine_of_batch(next_frontier)
+            checks = np.bincount(check_machines)
+            for machine in np.flatnonzero(checks).tolist():
+                round_.add_compute(
+                    machine, int(checks[machine]) * params.cell_access_cost)
+            hits = graph.field_eq_batch(next_frontier, "Name", name,
+                                        cross_check=cross_check)
+            result.matches.extend(next_frontier[hits].tolist())
+
+        for (src, dst), count in delivery.items():
+            round_.add_message(src, dst, count * _FRONTIER_ID_BYTES, count)
+            result.messages += count
+
+        result.hop_times.append(
+            round_.finish(parallelism=params.threads_per_machine)
+        )
+        frontier = next_frontier
+    result.visited = visited.count - 1
     result.matches.sort()
     return result

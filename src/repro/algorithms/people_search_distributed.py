@@ -8,6 +8,15 @@ handlers, and the one-sided asynchronous runtime with message packing.
 machines" — each hop, every slave expands its share of the frontier
 locally and sends the next-hop candidates to their owning slaves.
 
+Both sides run on the batched traversal path by default: the handler
+expands its whole frontier share with one ``outlinks_batch`` CSR decode
+and name-checks its owned candidates with one ``read_field_batch``; the
+client routes the frontier with one vectorized ``machine_of_batch`` pass
+(one packed ExpandRequest per destination slave, in scalar
+first-appearance order) and dedups replies with array operations.
+``batch=False`` keeps the per-node loops; ``cross_check=True`` replays
+the scalar logic alongside the batched one and raises on divergence.
+
 Used by the integration tests to prove the fast-path implementation and
 the protocol implementation agree, and by the examples to show the TSL
 protocol workflow end to end.
@@ -17,7 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import QueryError
+from ..memcloud.cloud import BulkPathDivergence
 from ..tsl import compile_tsl
 
 SEARCH_TSL = """
@@ -47,33 +59,69 @@ class DistributedSearchResult:
     elapsed: float = 0.0
 
 
-def install_search_handlers(cluster, graph) -> None:
+def install_search_handlers(cluster, graph, batch: bool = True,
+                            cross_check: bool = False) -> None:
     """Register the ExpandFrontier handler on every slave.
 
     The handler is pure local work: expand the frontier nodes this slave
     owns, name-check the discovered neighbors it owns, and return both
-    the matches and the candidates belonging to other machines.
+    the matches and the candidates belonging to other machines.  With
+    ``batch`` the expansion is one CSR decode and the name check one
+    column read; ``cross_check=True`` also replays the scalar handler
+    and raises :class:`~repro.memcloud.cloud.BulkPathDivergence` if the
+    replies differ.
     """
     if "Name" not in graph.graph_schema.attribute_fields:
         raise QueryError("distributed search needs a Name attribute")
     schema = compile_tsl(SEARCH_TSL)
     cluster.runtime.schema = _merged_schema(cluster.runtime.schema, schema)
 
+    def scalar_expand(machine_id: int, request) -> dict:
+        matches = []
+        next_frontier = []
+        for node in request["Frontier"]:
+            for neighbor in graph.outlinks(node):
+                next_frontier.append(neighbor)
+        # Name-check locally-owned candidates here; foreign ones are
+        # returned for their owners to check next hop.
+        for node in list(next_frontier):
+            if (graph.machine_of(node) == machine_id
+                    and graph.attribute(node, "Name")
+                    == request["Target"]):
+                matches.append(node)
+        return {"Matches": matches, "Next": next_frontier}
+
+    def batch_expand(machine_id: int, request) -> dict:
+        frontier = np.asarray(request["Frontier"], dtype=np.int64)
+        if not len(frontier):
+            return {"Matches": [], "Next": []}
+        _, flat = graph.outlinks_batch(frontier, cross_check=cross_check)
+        matches: list[int] = []
+        if len(flat):
+            local = flat[graph.machine_of_batch(flat) == machine_id]
+            if len(local):
+                names = graph.read_field_batch(local, "Name",
+                                               cross_check=cross_check)
+                target = request["Target"]
+                matches = [int(node) for node, node_name
+                           in zip(local.tolist(), names)
+                           if node_name == target]
+        return {"Matches": matches, "Next": flat.tolist()}
+
     def make_handler(machine_id: int):
         def handler(message, request):
-            matches = []
-            next_frontier = []
-            for node in request["Frontier"]:
-                for neighbor in graph.outlinks(node):
-                    next_frontier.append(neighbor)
-            # Name-check locally-owned candidates here; foreign ones are
-            # returned for their owners to check next hop.
-            for node in list(next_frontier):
-                if (graph.machine_of(node) == machine_id
-                        and graph.attribute(node, "Name")
-                        == request["Target"]):
-                    matches.append(node)
-            return {"Matches": matches, "Next": next_frontier}
+            if not batch:
+                return scalar_expand(machine_id, request)
+            reply = batch_expand(machine_id, request)
+            if cross_check:
+                shadow = scalar_expand(machine_id, request)
+                if reply != shadow:
+                    raise BulkPathDivergence(
+                        f"ExpandFrontier batch handler on machine "
+                        f"{machine_id} diverges from scalar: "
+                        f"{reply!r} != {shadow!r}"
+                    )
+            return reply
         return handler
 
     for machine_id, slave in cluster.slaves.items():
@@ -90,7 +138,9 @@ def _merged_schema(existing, extra):
 
 
 def distributed_people_search(cluster, graph, start: int, name: str,
-                              hops: int = 3) -> DistributedSearchResult:
+                              hops: int = 3, batch: bool = True,
+                              cross_check: bool = False
+                              ) -> DistributedSearchResult:
     """Run the k-hop name search via ExpandFrontier protocol calls.
 
     A client drives the wave: per hop it groups the frontier by owning
@@ -98,9 +148,21 @@ def distributed_people_search(cluster, graph, start: int, name: str,
     dedups against the visited set, and name-checks candidates whose
     owner differs from their discoverer (mirroring the handler's local
     check).  Results are identical to the fast-path implementation.
+
+    With ``batch`` the client-side routing, dedup and name check are
+    vectorized (identical call order and replies, so the simulated clock
+    advances identically); ``cross_check=True`` also replays the scalar
+    dedup per hop and raises on divergence.
     """
     if hops < 1:
         raise QueryError("hops must be >= 1")
+    if not batch:
+        return _client_scalar(cluster, graph, start, name, hops)
+    return _client_batch(cluster, graph, start, name, hops, cross_check)
+
+
+def _client_scalar(cluster, graph, start: int, name: str,
+                   hops: int) -> DistributedSearchResult:
     client = cluster.new_client()
     result = DistributedSearchResult()
     visited = {start}
@@ -135,5 +197,56 @@ def distributed_people_search(cluster, graph, start: int, name: str,
     # explored neighborhood.
     result.matches = sorted(m for m in matched if m in visited)
     result.visited = len(visited) - 1
+    result.elapsed = cluster.network.clock.now - before
+    return result
+
+
+def _client_batch(cluster, graph, start: int, name: str, hops: int,
+                  cross_check: bool) -> DistributedSearchResult:
+    client = cluster.new_client()
+    result = DistributedSearchResult()
+    visited = np.asarray([start], dtype=np.int64)          # kept sorted
+    frontier = np.asarray([start], dtype=np.int64)
+    matched: set[int] = set()
+    before = cluster.network.clock.now
+    for _ in range(hops):
+        if not len(frontier):
+            break
+        owners = graph.machine_of_batch(frontier)
+        _, first_positions = np.unique(owners, return_index=True)
+        group_machines = owners[np.sort(first_positions)]
+        candidates: list[int] = []
+        for machine_id in group_machines.tolist():
+            nodes = frontier[owners == machine_id].tolist()
+            reply = client.call(machine_id, "ExpandFrontier",
+                                {"Target": name, "Frontier": nodes})
+            result.protocol_calls += 1
+            matched.update(reply["Matches"])
+            candidates.extend(reply["Next"])
+        cand = np.asarray(candidates, dtype=np.int64)
+        fresh = cand[~np.isin(cand, visited)] if len(cand) else cand
+        _, first_seen = np.unique(fresh, return_index=True)
+        new = fresh[np.sort(first_seen)]
+        if cross_check:
+            seen = set(visited.tolist())
+            shadow_new = [n for n in candidates
+                          if n not in seen and not seen.add(n)]
+            if new.tolist() != shadow_new:
+                raise BulkPathDivergence(
+                    f"distributed search batch dedup diverges from "
+                    f"scalar: {new.tolist()!r} != {shadow_new!r}"
+                )
+        if len(new):
+            visited = np.union1d(visited, new)
+            names = graph.read_field_batch(new, "Name",
+                                           cross_check=cross_check)
+            matched.update(int(node) for node, node_name
+                           in zip(new.tolist(), names)
+                           if node_name == name)
+        frontier = new
+    matched.discard(start)
+    visited_set = set(visited.tolist())
+    result.matches = sorted(m for m in matched if m in visited_set)
+    result.visited = len(visited_set) - 1
     result.elapsed = cluster.network.clock.now - before
     return result

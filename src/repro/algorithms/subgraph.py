@@ -28,6 +28,7 @@ import numpy as np
 
 from ..config import ComputeParams
 from ..errors import QueryError
+from ..memcloud.cloud import BulkPathDivergence
 from ..net.simnet import ParallelRound, SimNetwork
 
 
@@ -268,7 +269,9 @@ def match_subgraph(topology, labels, query: Query,
                    params: ComputeParams | None = None,
                    index: LabelIndex | None = None,
                    max_embeddings: int = 1024,
-                   max_expansions: int = 2_000_000) -> SubgraphMatchResult:
+                   max_expansions: int = 2_000_000,
+                   batch: bool = True,
+                   cross_check: bool = False) -> SubgraphMatchResult:
     """Find embeddings of ``query`` in the labeled data graph.
 
     Embeddings are injective label-preserving mappings with every query
@@ -277,6 +280,16 @@ def match_subgraph(topology, labels, query: Query,
     come from the adjacency list of an already-bound neighbor (one cell
     access, like Trinity's live exploration), or from the label index for
     the first root.
+
+    With ``batch`` (the default) the per-level candidate prefilter —
+    label check plus adjacency to every bound anchor — runs as one
+    vectorized mask over the whole candidate array instead of a Python
+    test per candidate.  The filter is loop-invariant at each level
+    (anchor bindings and the injectivity set only change at *other*
+    depths), so the surviving candidates, their order, and all accounting
+    are identical to the scalar path; ``cross_check=True`` replays the
+    scalar filter at every level and raises
+    :class:`~repro.memcloud.cloud.BulkPathDivergence` on any difference.
 
     Stops once ``max_embeddings`` are found or ``max_expansions``
     candidates were examined (``truncated`` set in either case); online
@@ -320,6 +333,32 @@ def match_subgraph(topology, labels, query: Query,
     mapping: dict[int, int] = {}
     used: set[int] = set()
 
+    def _prefilter(candidates, wanted_label: int,
+                   anchor_nodes) -> np.ndarray:
+        """Vectorized label + injectivity + anchor-adjacency mask."""
+        cand = np.asarray(candidates, dtype=np.int64)
+        mask = labels[cand] == wanted_label
+        if used:
+            mask &= ~np.isin(cand, np.fromiter(used, dtype=np.int64,
+                                               count=len(used)))
+        for a in anchor_nodes:
+            mask &= np.isin(cand, neighbors_of(mapping[a]))
+        survivors = cand[mask]
+        if cross_check:
+            shadow = [
+                int(c) for c in candidates
+                if int(labels[int(c)]) == wanted_label
+                and int(c) not in used
+                and all(int(c) in neighbor_set_of(mapping[a])
+                        for a in anchor_nodes)
+            ]
+            if survivors.tolist() != shadow:
+                raise BulkPathDivergence(
+                    f"subgraph batch prefilter diverges from scalar: "
+                    f"{survivors.tolist()!r} != {shadow!r}"
+                )
+        return survivors
+
     def backtrack(depth: int) -> bool:
         """Returns False when a budget stops the search."""
         if len(result.embeddings) >= max_embeddings:
@@ -344,14 +383,18 @@ def match_subgraph(topology, labels, query: Query,
             pivot_machine = None
         wanted_label = query.labels[qv]
         row_bytes = 8 * (depth + 1)
+        if batch:
+            candidates = _prefilter(candidates, wanted_label,
+                                    anchor_nodes)
         for candidate in candidates:
             candidate = int(candidate)
-            if labels[candidate] != wanted_label or candidate in used:
-                continue
-            # Every bound anchor must be adjacent to the candidate.
-            if not all(candidate in neighbor_set_of(mapping[a])
-                       for a in anchor_nodes):
-                continue
+            if not batch:
+                if labels[candidate] != wanted_label or candidate in used:
+                    continue
+                # Every bound anchor must be adjacent to the candidate.
+                if not all(candidate in neighbor_set_of(mapping[a])
+                           for a in anchor_nodes):
+                    continue
             result.candidates_examined += 1
             machine = int(topology.machine[candidate])
             compute_total[0] += (

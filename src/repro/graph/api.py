@@ -5,13 +5,29 @@ is never shadow-copied into Python objects (the paper's Section 4.3
 argument against runtime objects).  For tight analytic loops the compute
 engines build a :class:`~repro.graph.csr.CsrTopology` snapshot once and
 reuse it across supersteps, matching Trinity's memory-resident topology.
+
+Online queries get a middle road: the ``*_batch`` methods take a whole
+frontier of node ids at once, route it through the memory cloud's
+``bulk_get`` (one vectorized hash pass, one lock acquisition per trunk)
+and decode adjacency columns CSR-style via the compiled decoders in
+:mod:`repro.tsl.batch` — k frontier nodes cost one batched read instead
+of k hash probes plus k whole-cell decodes.  Every batch entry point
+accepts ``cross_check=True``, which shadow-replays the scalar path and
+raises :class:`~repro.memcloud.cloud.BulkPathDivergence` on any
+disagreement.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import QueryError
 from ..memcloud import MemoryCloud
+from ..memcloud.cloud import BulkPathDivergence
 from ..tsl.accessor import use_cell
+from ..tsl.batch import batch_decoder_for
+from ..tsl.types import ListType
+from ..utils.varint import decode_varint
 from .model import GraphSchema
 
 
@@ -28,6 +44,12 @@ class Graph:
         self.graph_schema = graph_schema
         self.node_ids = list(node_ids)
         self._node_type = graph_schema.node_type
+        self._decoder = batch_decoder_for(self._node_type)
+        obs = cloud.obs
+        self._m_batch_calls = obs.counter("query.batch.calls")
+        self._m_batch_cells = obs.counter("query.batch.cells")
+        self._m_batch_headers = obs.counter("query.batch.degree_headers")
+        self._m_batch_checks = obs.counter("query.batch.cross_checks")
 
     # -- basic shape --------------------------------------------------------
 
@@ -43,7 +65,11 @@ class Graph:
         return self.cloud.contains(node_id)
 
     def num_edges(self) -> int:
-        total = sum(len(self.outlinks(n)) for n in self.node_ids)
+        if not self.node_ids:
+            return 0
+        degrees = self.degree_batch(np.asarray(self.node_ids,
+                                               dtype=np.int64))
+        total = int(degrees.sum())
         return total if self.directed else total // 2
 
     # -- adjacency ---------------------------------------------------------
@@ -66,7 +92,190 @@ class Graph:
         return self._read_field(node_id, self.graph_schema.in_field)
 
     def degree(self, node_id: int) -> int:
-        return len(self.outlinks(node_id))
+        """Out-degree, decoded from the adjacency list's count header
+        only — the elements are never touched."""
+        field_name = self.graph_schema.out_field
+        if not isinstance(self._node_type.field_type(field_name), ListType):
+            return len(self.outlinks(node_id))
+        blob = self.cloud.get(node_id)
+        offset = self._node_type.field_offset(blob, field_name)
+        count, _ = decode_varint(blob, offset)
+        return count
+
+    # -- batched adjacency (the online traversal fast path) ----------------
+
+    def _bulk_spans(self, node_ids) -> tuple[int, list]:
+        """Zero-copy payload spans for a frontier array.
+
+        Returns ``(n, groups)`` where each group is one trunk's
+        ``(arena_view, starts, limits, input_indices)`` — the cell bytes
+        are never copied; the decoders run directly on the trunk arenas
+        and only field payloads materialize.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise QueryError(
+                f"batch reads take a 1-D id array, got shape {ids.shape}"
+            )
+        self._m_batch_calls.inc()
+        self._m_batch_cells.inc(len(ids))
+        return len(ids), self.cloud.bulk_get_spans(ids)
+
+    def outlinks_batch(self, node_ids, cross_check: bool = False
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency for a whole frontier: ``(indptr, flat)``.
+
+        ``flat[indptr[i]:indptr[i + 1]]`` are the out-neighbors of
+        ``node_ids[i]`` — one ``cloud.bulk_get`` and one columnar decode
+        for the whole batch.  ``cross_check=True`` replays every node
+        through the scalar :meth:`outlinks` path and raises
+        :class:`BulkPathDivergence` on any difference.
+        """
+        return self.read_field_csr(node_ids, self.graph_schema.out_field,
+                                   cross_check=cross_check)
+
+    def inlinks_batch(self, node_ids, cross_check: bool = False
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR in-neighbors per node (== :meth:`outlinks_batch` when
+        undirected)."""
+        field = self.graph_schema.in_field or self.graph_schema.out_field
+        return self.read_field_csr(node_ids, field, cross_check=cross_check)
+
+    def read_field_csr(self, node_ids, field_name: str,
+                       cross_check: bool = False
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched CSR decode of one ``List<primitive>`` field."""
+        self._require_field(field_name)
+        if self._decoder.csr_dtype(field_name) is None:
+            raise QueryError(
+                f"field {field_name!r} has no CSR batch decoding"
+            )
+        n, groups = self._bulk_spans(node_ids)
+        decoded = [
+            (idx, self._decoder.decode_list_csr_spans(arena, starts, limits,
+                                                      field_name))
+            for arena, starts, limits, idx in groups
+        ]
+        counts = np.zeros(n, dtype=np.int64)
+        for idx, (sub_indptr, _) in decoded:
+            counts[idx] = np.diff(sub_indptr)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = np.empty(int(indptr[-1]),
+                        dtype=self._decoder.csr_dtype(field_name))
+        for idx, (sub_indptr, sub_flat) in decoded:
+            if len(sub_flat):
+                # Scatter each trunk's contiguous lists to their input-
+                # order positions, element-at-a-time in one fancy index.
+                sizes = np.diff(sub_indptr)
+                positions = (np.repeat(indptr[idx] - sub_indptr[:-1], sizes)
+                             + np.arange(len(sub_flat)))
+                flat[positions] = sub_flat
+        if cross_check:
+            self._m_batch_checks.inc()
+            bounds = indptr.tolist()
+            values = flat.tolist()
+            for i, node_id in enumerate(np.asarray(node_ids).tolist()):
+                scalar = self._read_field(int(node_id), field_name)
+                if values[bounds[i]:bounds[i + 1]] != scalar:
+                    raise BulkPathDivergence(
+                        f"node {node_id}: batched {field_name} decode "
+                        f"diverges from the scalar path"
+                    )
+        return indptr, flat
+
+    def read_field_batch(self, node_ids, field_name: str,
+                         cross_check: bool = False) -> list:
+        """One value per node for any declared field (attribute or edge
+        list), through one ``bulk_get`` — the batched twin of
+        :meth:`read_field`."""
+        self._require_field(field_name)
+        n, groups = self._bulk_spans(node_ids)
+        values: list = [None] * n
+        for arena, starts, limits, idx in groups:
+            decoded = self._decoder.decode_column_spans(arena, starts,
+                                                        limits, field_name)
+            for i, value in zip(idx.tolist(), decoded):
+                values[i] = value
+        if cross_check:
+            self._m_batch_checks.inc()
+            for node_id, value in zip(np.asarray(node_ids).tolist(), values):
+                scalar = self._read_field(int(node_id), field_name)
+                if value != scalar:
+                    raise BulkPathDivergence(
+                        f"node {node_id}: batched {field_name} decode "
+                        f"diverges from the scalar path"
+                    )
+        return values
+
+    def field_eq_batch(self, node_ids, field_name: str, value,
+                       cross_check: bool = False) -> np.ndarray:
+        """``field == value`` per node, as one bool array.
+
+        The frontier name-check of people search: for string fields the
+        comparison runs on the raw utf-8 bytes in the trunk arenas —
+        length headers reject most nodes, and no Python string is ever
+        built for the rest.
+        """
+        self._require_field(field_name)
+        n, groups = self._bulk_spans(node_ids)
+        hits = np.zeros(n, dtype=bool)
+        for arena, starts, limits, idx in groups:
+            hits[idx] = self._decoder.string_eq_spans(arena, starts, limits,
+                                                      field_name, value)
+        if cross_check:
+            self._m_batch_checks.inc()
+            for node_id, hit in zip(np.asarray(node_ids).tolist(),
+                                    hits.tolist()):
+                scalar = self._read_field(int(node_id), field_name) == value
+                if hit != scalar:
+                    raise BulkPathDivergence(
+                        f"node {node_id}: batched {field_name} == "
+                        f"{value!r} diverges from the scalar path"
+                    )
+        return hits
+
+    def degree_batch(self, node_ids, cross_check: bool = False) -> np.ndarray:
+        """Out-degrees for a batch of nodes, reading only the adjacency
+        count headers (no element decode at all)."""
+        field_name = self.graph_schema.out_field
+        self._require_field(field_name)
+        n, groups = self._bulk_spans(node_ids)
+        counts = np.zeros(n, dtype=np.int64)
+        header_only = isinstance(self._node_type.field_type(field_name),
+                                 ListType)
+        for arena, starts, limits, idx in groups:
+            if header_only:
+                counts[idx] = self._decoder.field_counts_spans(
+                    arena, starts, limits, field_name)
+            else:
+                counts[idx] = [
+                    len(v) for v in self._decoder.decode_column_spans(
+                        arena, starts, limits, field_name)]
+        self._m_batch_headers.inc(len(counts))
+        if cross_check:
+            self._m_batch_checks.inc()
+            for node_id, count in zip(np.asarray(node_ids).tolist(),
+                                      counts.tolist()):
+                scalar = len(self.outlinks(int(node_id)))
+                if count != scalar:
+                    raise BulkPathDivergence(
+                        f"node {node_id}: batched degree {count} != "
+                        f"scalar {scalar}"
+                    )
+        return counts
+
+    def machine_of_batch(self, node_ids) -> np.ndarray:
+        """Owning machine per node — one vectorized ``trunk_of_array``
+        pass through the addressing table."""
+        return self.cloud.machines_of_array(node_ids)
+
+    def _require_field(self, field_name: str) -> None:
+        if field_name not in self._node_type.field_names():
+            raise QueryError(
+                f"{self.graph_schema.cell_name} has no field "
+                f"{field_name!r}"
+            )
 
     # -- attributes ---------------------------------------------------------
 
@@ -82,11 +291,7 @@ class Graph:
     def read_field(self, node_id: int, field_name: str):
         """Read any declared field of a node's cell (attribute or edge
         list) — the raw access surface TQL queries are compiled onto."""
-        if field_name not in self._node_type.field_names():
-            raise QueryError(
-                f"{self.graph_schema.cell_name} has no field "
-                f"{field_name!r}"
-            )
+        self._require_field(field_name)
         return self._read_field(node_id, field_name)
 
     def node(self, node_id: int) -> dict:
@@ -123,6 +328,7 @@ class Graph:
         cached = getattr(self, "_node_set_cache", None)
         if cached is not None:
             cached.add(node_id)
+        self._machine_partition_cache = None
 
     def add_edge(self, src: int, dst: int) -> None:
         """Insert one edge into the live graph via cell accessors.
@@ -142,6 +348,7 @@ class Graph:
         else:
             with self.use_node(dst) as cell:
                 cell.get(schema.out_field).append(src)
+        self._machine_partition_cache = None
 
     # -- placement ---------------------------------------------------------
 
@@ -150,19 +357,34 @@ class Graph:
         return self.cloud.machine_of(node_id)
 
     def nodes_on(self, machine_id: int) -> list[int]:
-        """Node ids hosted by one machine (ascending)."""
-        return sorted(
-            uid for uid in self.cloud.cells_on(machine_id)
-            if self.cloud.contains(uid) and uid in self._node_set()
-        )
+        """Node ids hosted by one machine (ascending).
+
+        Cached per machine alongside ``_node_set_cache``; both caches
+        are invalidated by :meth:`add_node`/:meth:`add_edge`.
+        """
+        cache = getattr(self, "_machine_partition_cache", None)
+        if cache is None:
+            cache = {}
+            self._machine_partition_cache = cache
+        nodes = cache.get(machine_id)
+        if nodes is None:
+            nodes = sorted(
+                uid for uid in self.cloud.cells_on(machine_id)
+                if self.cloud.contains(uid) and uid in self._node_set()
+            )
+            cache[machine_id] = nodes
+        return list(nodes)
 
     def partition(self) -> dict[int, list[int]]:
         """machine id → node ids, for the whole graph."""
         machines: dict[int, list[int]] = {
             m: [] for m in range(self.cloud.config.machines)
         }
-        for node_id in self.node_ids:
-            machines[self.machine_of(node_id)].append(node_id)
+        if self.node_ids:
+            owners = self.machine_of_batch(
+                np.asarray(self.node_ids, dtype=np.int64)).tolist()
+            for node_id, machine in zip(self.node_ids, owners):
+                machines[machine].append(node_id)
         return machines
 
     def _node_set(self) -> set[int]:

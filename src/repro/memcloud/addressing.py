@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
+
 from ..errors import AddressingError
-from ..utils.hashing import trunk_of
+from ..utils.hashing import trunk_of, trunk_of_array
 
 
 class AddressingTable:
@@ -53,6 +55,20 @@ class AddressingTable:
     def machine_for_cell(self, cell_id: int) -> int:
         """Resolve the machine hosting ``cell_id`` (hash, then table)."""
         return self._slots[trunk_of(cell_id, self.trunk_bits)]
+
+    def machines_for_cells(self, cell_ids) -> np.ndarray:
+        """Vectorized :meth:`machine_for_cell` over a UID array.
+
+        One ``trunk_of_array`` hash pass plus one table take — the
+        ownership-grouping primitive of the batched traversal path.  The
+        slot array is cached and rebuilt whenever ``version`` moves.
+        """
+        cached = getattr(self, "_slots_array", None)
+        if cached is None or cached[0] != self.version:
+            cached = (self.version, np.asarray(self._slots, dtype=np.int64))
+            self._slots_array = cached
+        trunks = trunk_of_array(cell_ids, self.trunk_bits).astype(np.int64)
+        return cached[1][trunks]
 
     def trunks_of(self, machine_id: int) -> list[int]:
         """All trunk ids currently hosted by ``machine_id``."""

@@ -19,6 +19,7 @@ import numpy as np
 from ..config import ClusterConfig
 from ..errors import AddressingError
 from ..obs import MetricsRegistry, MetricsReport, get_registry
+from ..utils.arrays import gather_ranges
 from ..utils.hashing import trunk_of, trunk_of_array
 from ..utils.sorting import stable_argsort
 from .addressing import AddressingTable
@@ -84,6 +85,10 @@ class MemoryCloud:
     def machine_of(self, cell_id: int) -> int:
         """The machine hosting ``cell_id`` per the addressing table."""
         return self.addressing.machine_for_cell(cell_id)
+
+    def machines_of_array(self, cell_ids) -> np.ndarray:
+        """Vectorized :meth:`machine_of`: owning machine per UID."""
+        return self.addressing.machines_for_cells(cell_ids)
 
     def trunks_on(self, machine_id: int) -> list[MemoryTrunk]:
         """All trunks currently owned by one machine."""
@@ -202,6 +207,82 @@ class MemoryCloud:
         self._m_bulk_get_cells.inc(len(cell_ids))
         self._m_bulk_get_batches.inc(batches)
         return out
+
+    def bulk_get_packed(self, cell_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Payloads for a batch of UIDs as one packed ``(buffer, bounds)``.
+
+        ``buffer[bounds[i]:bounds[i + 1]]`` is ``cell_ids[i]``'s payload.
+        The batched twin of :meth:`bulk_get` that never materialises a
+        per-cell ``bytes`` object: each trunk gathers its subsequence
+        into a packed buffer (:meth:`MemoryTrunk.bulk_get_packed`), and
+        one more vectorized gather reorders the concatenation back to
+        input order.  Lookup and metrics accounting match
+        :meth:`bulk_get` exactly.
+        """
+        n = len(cell_ids)
+        if not n:
+            return np.empty(0, dtype=np.uint8), np.zeros(1, dtype=np.int64)
+        if self._shadow is not None:
+            for cell_id in cell_ids:
+                self._shadow.get(int(cell_id))
+        with self._h_bulk_get.time():
+            batches = 0
+            buffers = []
+            starts_parts = []
+            sizes_parts = []
+            index_parts = []
+            base = 0
+            for trunk_id, indices, uids in self._trunk_groups(cell_ids):
+                buf, bounds = self.trunks[trunk_id].bulk_get_packed(uids)
+                buffers.append(buf)
+                starts_parts.append(bounds[:-1] + base)
+                sizes_parts.append(np.diff(bounds))
+                index_parts.append(np.asarray(indices, dtype=np.int64))
+                base += len(buf)
+                batches += 1
+            joined = (buffers[0] if len(buffers) == 1
+                      else np.concatenate(buffers))
+            original = np.concatenate(index_parts)
+            starts = np.empty(n, dtype=np.int64)
+            starts[original] = np.concatenate(starts_parts)
+            sizes = np.empty(n, dtype=np.int64)
+            sizes[original] = np.concatenate(sizes_parts)
+            out_bounds = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(sizes, out=out_bounds[1:])
+            packed = gather_ranges(joined, starts, sizes)
+        self._m_bulk_get_cells.inc(n)
+        self._m_bulk_get_batches.inc(batches)
+        return packed, out_bounds
+
+    def bulk_get_spans(self, cell_ids) -> list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Zero-copy payload spans for a batch, grouped per trunk.
+
+        Returns ``(arena_view, starts, limits, positions)`` tuples — one
+        per trunk touched — where ``arena_view[starts[i]:limits[i]]`` is
+        the payload of ``cell_ids[positions[i]]``.  Nothing is copied:
+        the views alias trunk arenas and are only valid until the next
+        write or defragmentation on those trunks, which is exactly the
+        lifetime a query hop needs (fetch a frontier, decode it, move
+        on).  Lookup and metrics accounting match :meth:`bulk_get`.
+        """
+        if not len(cell_ids):
+            return []
+        if self._shadow is not None:
+            for cell_id in cell_ids:
+                self._shadow.get(int(cell_id))
+        with self._h_bulk_get.time():
+            spans = []
+            batches = 0
+            for trunk_id, indices, uids in self._trunk_groups(cell_ids):
+                arena, starts, limits = \
+                    self.trunks[trunk_id].bulk_get_spans(uids)
+                spans.append((arena, starts, limits,
+                              np.asarray(indices, dtype=np.int64)))
+                batches += 1
+        self._m_bulk_get_cells.inc(len(cell_ids))
+        self._m_bulk_get_batches.inc(batches)
+        return spans
 
     def verify_shadow(self) -> None:
         """Compare every trunk against the scalar shadow replay.

@@ -195,6 +195,24 @@ class TrunkHashTable:
         self._tombstones += 1
         return True
 
+    def bulk_lookup(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Values for a batch of keys: ``(values, found_mask)``.
+
+        Read-only, so a batch is equivalent to a loop of :meth:`get`
+        calls in any order — probe/lookup counters advance by exactly
+        the scalar totals.  The list backend probes per key; the numpy
+        backend overrides this with round-vectorized probing.
+        """
+        n = len(keys)
+        values = np.zeros(n, dtype=np.int64)
+        found = np.zeros(n, dtype=bool)
+        for i in range(n):
+            value = self.get(int(keys[i]))
+            if value is not None:
+                values[i] = value
+                found[i] = True
+        return values, found
+
     def reserve(self, entries: int) -> None:
         """Pre-size the table to hold ``entries`` live keys resize-free.
 
@@ -339,6 +357,46 @@ class NumpyTrunkHashTable(TrunkHashTable):
         self._used -= 1
         self._tombstones += 1
         return True
+
+    def bulk_lookup(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`get` over a key batch.
+
+        Linear probing advances all unresolved keys one slot per round;
+        a key retires when its slot is a live match (found) or empty
+        (absent), and walks past tombstones — the exact scalar probe
+        sequence, so ``probe_count``/``lookup_count`` advance by the
+        same totals a :meth:`get` loop would record.
+        """
+        n = len(keys)
+        if n < 16:
+            # Fixed numpy overhead beats the probe work on tiny batches
+            # (cross-trunk fan-out leaves many); the scalar loop keeps
+            # the identical probe accounting.
+            return super().bulk_lookup(keys)
+        keys_arr = np.asarray(keys, dtype=np.uint64)
+        values = np.zeros(n, dtype=np.int64)
+        found = np.zeros(n, dtype=bool)
+        with np.errstate(over="ignore"):
+            index = (mix64_array(keys_arr ^ np.uint64(_TRUNK_SALT))
+                     & np.uint64(self._mask)).astype(np.int64)
+        active = np.arange(n)
+        probes = 0
+        mask = self._mask
+        while len(active):
+            probes += len(active)
+            slots = index[active]
+            states = self._states[slots]
+            live_match = ((states == _STATE_LIVE)
+                          & (self._keys[slots] == keys_arr[active]))
+            finished = live_match | (states == _STATE_EMPTY)
+            hits = active[live_match]
+            values[hits] = self._values[index[hits]]
+            found[hits] = True
+            active = active[~finished]
+            index[active] = (index[active] + 1) & mask
+        self.lookup_count += n
+        self.probe_count += probes
+        return values, found
 
     def bulk_insert_fresh(self, keys, values) -> bool:
         """Insert a batch of fresh keys with one vectorized hash pass.

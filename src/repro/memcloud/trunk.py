@@ -49,6 +49,7 @@ import numpy as np
 from ..config import MemoryParams
 from ..errors import CellNotFoundError, TrunkFullError
 from ..obs import MetricsRegistry, get_registry
+from ..utils.arrays import gather_ranges
 from .hashtable import make_trunk_hashtable
 from .locks import SpinLock
 
@@ -128,6 +129,7 @@ class MemoryTrunk:
         self._arena = bytearray(self.params.trunk_size)
         self._index = make_trunk_hashtable(self.params.hashtable_storage)
         self._entries: list[_CellEntry | None] = []
+        self._span_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._free_slots: list[int] = []
         self._append_head = 0
         self._committed_tail = 0       # oldest live byte (circular start)
@@ -245,6 +247,7 @@ class MemoryTrunk:
             return 0
         if len(self._index) and any(self._index.has_key(u) for u in uids):
             return 0
+        self._span_cache = None
         if self._wrapped:
             available = self._committed_tail - self._append_head
         else:
@@ -306,16 +309,80 @@ class MemoryTrunk:
     def bulk_get(self, uids) -> list[bytes]:
         """Payload copies for a batch of UIDs, one lock acquisition.
 
-        Probe accounting matches a loop of scalar :meth:`get` calls.
+        Index slots resolve through one vectorized
+        :meth:`~repro.memcloud.hashtable.TrunkHashTable.bulk_lookup`
+        pass; probe accounting matches a loop of scalar :meth:`get`
+        calls.  Raises :class:`CellNotFoundError` for the first missing
+        UID in input order, like the scalar loop would.
         """
         with self._mutex:
+            slots, found = self._index.bulk_lookup(uids)
+            if not found.all():
+                missing = int(np.flatnonzero(~found)[0])
+                raise CellNotFoundError(int(uids[missing]))
+            arena = memoryview(self._arena)
+            entries = self._entries
             out = []
-            arena = self._arena
-            for uid in uids:
-                entry = self._require(int(uid))
-                out.append(bytes(arena[entry.offset:
-                                       entry.offset + entry.size]))
+            append = out.append
+            for slot in slots.tolist():
+                entry = entries[slot]
+                append(bytes(arena[entry.offset:
+                                   entry.offset + entry.size]))
             return out
+
+    def bulk_get_packed(self, uids) -> tuple[np.ndarray, np.ndarray]:
+        """Payloads for a batch of UIDs as one packed ``(buffer, bounds)``.
+
+        ``buffer[bounds[i]:bounds[i + 1]]`` is UID ``i``'s payload.  Same
+        lookup and accounting as :meth:`bulk_get`, but the payload bytes
+        are assembled with a single vectorized gather from the arena —
+        no per-cell ``bytes`` object is ever created.
+        """
+        with self._mutex:
+            arena, starts, limits = self._spans_locked(uids)
+            sizes = limits - starts
+            bounds = np.zeros(len(starts) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=bounds[1:])
+            return gather_ranges(arena, starts, sizes), bounds
+
+    def bulk_get_spans(self, uids
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy payload spans: ``(arena_view, starts, limits)``.
+
+        ``arena_view[starts[i]:limits[i]]`` is UID ``i``'s payload, read
+        straight out of the trunk arena — nothing is copied.  The view is
+        only valid until the next structural change on this trunk (a put,
+        remove, resize, or defragmentation relocates cells); it exists
+        for query execution, which decodes a frontier batch immediately
+        after fetching it.  Lookup accounting matches :meth:`bulk_get`.
+        """
+        with self._mutex:
+            return self._spans_locked(uids)
+
+    def _spans_locked(self, uids
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        slots, found = self._index.bulk_lookup(uids)
+        if not found.all():
+            missing = int(np.flatnonzero(~found)[0])
+            raise CellNotFoundError(int(uids[missing]))
+        offsets, sizes = self._entry_spans()
+        starts = offsets[slots]
+        return (np.frombuffer(self._arena, dtype=np.uint8),
+                starts, starts + sizes[slots])
+
+    def _entry_spans(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-slot (offset, size) arrays, rebuilt lazily after writes."""
+        cache = self._span_cache
+        if cache is None:
+            n = len(self._entries)
+            offsets = np.zeros(n, dtype=np.int64)
+            sizes = np.zeros(n, dtype=np.int64)
+            for slot, entry in enumerate(self._entries):
+                if entry is not None:
+                    offsets[slot] = entry.offset
+                    sizes[slot] = entry.size
+            cache = self._span_cache = (offsets, sizes)
+        return cache
 
     def get_view(self, uid: int) -> memoryview:
         """Zero-copy view of the cell payload.
@@ -345,6 +412,7 @@ class MemoryTrunk:
         self._maybe_defrag()
 
     def _remove_locked(self, entry: _CellEntry) -> None:
+        self._span_cache = None
         with entry.cell_lock():
             slot = self._index.get(entry.uid)
             assert slot is not None
@@ -372,6 +440,7 @@ class MemoryTrunk:
             raise ValueError("cell size cannot be negative")
         with self._mutex:
             entry = self._require(uid)
+            self._span_cache = None
             if new_size <= entry.reserved:
                 with entry.cell_lock():
                     if new_size > entry.size:
@@ -462,6 +531,7 @@ class MemoryTrunk:
         return entry
 
     def _insert(self, uid: int, value: bytes, reserve: bool = False) -> None:
+        self._span_cache = None
         reserved = len(value)
         if reserve:
             reserved = max(
@@ -480,6 +550,7 @@ class MemoryTrunk:
         self._index.set(uid, slot)
 
     def _update(self, entry: _CellEntry, value: bytes) -> None:
+        self._span_cache = None
         with entry.cell_lock():
             if len(value) <= entry.reserved:
                 # In-place update; shrinking only adjusts the live size and
@@ -651,6 +722,7 @@ class MemoryTrunk:
             return self._defragment_locked()
 
     def _defragment_locked(self) -> bool:
+        self._span_cache = None
         live = [e for e in self._entries if e is not None]
         if any(e.lock is not None and e.lock.held for e in live):
             self._defrag_aborts += 1

@@ -11,6 +11,17 @@ Costs are charged like the other online queries: one cell access per
 candidate touched, adjacency scans per edge expansion, and traffic when
 the expansion crosses machines — all folded into one
 :class:`~repro.net.simnet.ParallelRound` under the spread-work model.
+
+The engine runs on the batched read path by default (``batch=True``):
+candidate sets and BFS waves are *prefetched* through
+``Graph.read_field_batch`` — one ``bulk_get`` plus one column decode per
+wave — into a staging dict that ``read_field`` consumes.  Costs are
+charged on first *consumption*, never at prefetch time, so
+``cells_touched``/``elapsed`` stay bit-identical to the scalar engine
+even when a LIMIT stops the search before prefetched values are used.
+``cross_check=True`` shadow-replays the scalar decode per batched read
+and re-executes the whole query on the scalar path, raising
+:class:`~repro.memcloud.cloud.BulkPathDivergence` on any difference.
 """
 
 from __future__ import annotations
@@ -18,8 +29,11 @@ from __future__ import annotations
 import operator
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import ComputeParams
 from ..errors import QueryError
+from ..memcloud.cloud import BulkPathDivergence
 from ..net.simnet import ParallelRound, SimNetwork
 from .parser import Operand, TqlQuery, parse_tql
 
@@ -48,27 +62,86 @@ class TqlResult:
 def execute_tql(graph, query: TqlQuery | str,
                 network: SimNetwork | None = None,
                 params: ComputeParams | None = None,
-                max_rows: int = 10_000) -> TqlResult:
-    """Run a TQL query against a :class:`~repro.graph.api.Graph`."""
+                max_rows: int = 10_000,
+                batch: bool = True,
+                cross_check: bool = False) -> TqlResult:
+    """Run a TQL query against a :class:`~repro.graph.api.Graph`.
+
+    ``batch`` enables the vectorized prefetch path (identical results
+    and accounting); ``cross_check=True`` additionally re-executes the
+    query on the scalar path and raises
+    :class:`~repro.memcloud.cloud.BulkPathDivergence` if rows, cost
+    accounting or simulated time diverge.
+    """
     if isinstance(query, str):
         query = parse_tql(query)
     network = network or SimNetwork()
     params = params or ComputeParams()
+    result = _execute(graph, query, network, params, max_rows, batch,
+                      cross_check)
+    if batch and cross_check:
+        shadow = _execute(graph, query, SimNetwork(network.params), params,
+                          max_rows, False, False)
+        for attr in ("rows", "cells_touched", "messages", "elapsed",
+                     "truncated"):
+            mine, theirs = getattr(result, attr), getattr(shadow, attr)
+            if mine != theirs:
+                raise BulkPathDivergence(
+                    f"TQL batch path diverges from scalar on {attr}: "
+                    f"{mine!r} != {theirs!r}"
+                )
+    return result
+
+
+def _execute(graph, query: TqlQuery, network: SimNetwork,
+             params: ComputeParams, max_rows: int, batch: bool,
+             cross_check: bool) -> TqlResult:
     result = TqlResult(query=query)
     limit = query.limit if query.limit is not None else max_rows
 
     compute = [0.0]
     remote = [0, 0]  # messages, bytes
     field_cache: dict[tuple[int, str], object] = {}
+    # Values staged by the batched prefetch.  Consuming one through
+    # read_field charges the same cell-access cost as a scalar read, so
+    # prefetching more than the scalar path ends up touching (e.g. under
+    # a LIMIT early exit) never skews the accounting.
+    prefetched: dict[tuple[int, str], object] = {}
     seen_rows: set[tuple] = set()
 
     def read_field(node_id: int, field_name: str):
         key = (node_id, field_name)
         if key not in field_cache:
-            field_cache[key] = graph.read_field(node_id, field_name)
+            if key in prefetched:
+                field_cache[key] = prefetched.pop(key)
+            else:
+                field_cache[key] = graph.read_field(node_id, field_name)
             compute[0] += params.cell_access_cost
             result.cells_touched += 1
         return field_cache[key]
+
+    def prefetch(node_ids, field_name: str) -> None:
+        """Stage a column for later read_field consumption (batch only)."""
+        if not batch:
+            return
+        wanted: list[int] = []
+        staged = set()
+        for node_id in node_ids:
+            node_id = int(node_id)
+            key = (node_id, field_name)
+            if (key in field_cache or key in prefetched
+                    or node_id in staged):
+                continue
+            staged.add(node_id)
+            wanted.append(node_id)
+        if len(wanted) < 2:
+            return
+        values = graph.read_field_batch(
+            np.asarray(wanted, dtype=np.int64), field_name,
+            cross_check=cross_check,
+        )
+        for node_id, value in zip(wanted, values):
+            prefetched[(node_id, field_name)] = value
 
     def node_matches(pattern, node_id: int) -> bool:
         if pattern.anchor is not None and node_id != pattern.anchor:
@@ -113,6 +186,17 @@ def execute_tql(graph, query: TqlQuery | str,
         # filters prune during the scan).
         return graph.node_ids
 
+    def scans_adjacency_field(edge) -> bool:
+        """True when single_expand reads ``edge.field`` via read_field."""
+        if not edge.reverse:
+            return True
+        schema = graph.graph_schema
+        if edge.field == schema.out_field and schema.in_field:
+            return False
+        if schema.in_field and edge.field == schema.in_field:
+            return False
+        return True
+
     def expand(node_id: int, edge):
         if edge.variable_length:
             return variable_expand(node_id, edge)
@@ -122,10 +206,14 @@ def execute_tql(graph, query: TqlQuery | str,
         """Bounded BFS: nodes whose hop distance along the field lies in
         [min_hops, max_hops] (Cypher-style ``*min..max`` semantics)."""
         single = type(edge)(edge.field, edge.reverse)
+        prefetchable = scans_adjacency_field(single)
         distance = {node_id: 0}
         frontier = [node_id]
         found: list[int] = []
         for depth in range(1, edge.max_hops + 1):
+            if prefetchable:
+                # One column decode covers the whole BFS wave.
+                prefetch(frontier, edge.field)
             next_frontier: list[int] = []
             for current in frontier:
                 for neighbor in single_expand(current, single):
@@ -182,6 +270,10 @@ def execute_tql(graph, query: TqlQuery | str,
             edge = query.edges[index - 1]
             source = binding[query.nodes[index - 1].var]
             candidates = expand(source, edge)
+        if pattern.filters and pattern.anchor is None:
+            # Every surviving candidate will read the first filter field;
+            # stage the whole column in one batched pass.
+            prefetch(candidates, pattern.filters[0][0])
         rebound = pattern.var in binding
         for candidate in candidates:
             candidate = int(candidate)

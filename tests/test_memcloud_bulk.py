@@ -317,3 +317,55 @@ class TestPropertyEquivalence:
             cloud.bulk_get(sorted(set(uids)))
             clouds[storage] = cloud
         assert_clouds_identical(clouds["list"], clouds["numpy"], probes=True)
+
+
+class TestBulkGetSpansAndPacked:
+    """The zero-copy read forms must agree byte-for-byte with bulk_get."""
+
+    def _loaded_cloud(self, storage="numpy"):
+        cloud = make_cloud(storage=storage)
+        rng = np.random.default_rng(7)
+        uids = rng.choice(2**40, size=200, replace=False).astype(np.int64)
+        payloads = [bytes([i % 251]) * (i % 37) for i in range(len(uids))]
+        cloud.bulk_put(uids.tolist(), payloads)
+        return cloud, uids, payloads
+
+    def test_packed_roundtrip(self):
+        cloud, uids, payloads = self._loaded_cloud()
+        buf, bounds = cloud.bulk_get_packed(uids)
+        cuts = bounds.tolist()
+        got = [buf[cuts[i]:cuts[i + 1]].tobytes() for i in range(len(uids))]
+        assert got == payloads
+
+    def test_spans_roundtrip(self):
+        for storage in ("list", "numpy"):
+            cloud, uids, payloads = self._loaded_cloud(storage)
+            out = [None] * len(uids)
+            for arena, starts, limits, idx in cloud.bulk_get_spans(uids):
+                for j, i in enumerate(idx.tolist()):
+                    out[i] = arena[starts[j]:limits[j]].tobytes()
+            assert out == payloads
+
+    def test_spans_track_mutations(self):
+        """Overwrites and removes must invalidate the span caches."""
+        cloud, uids, payloads = self._loaded_cloud()
+        cloud.bulk_get_spans(uids)  # populate every trunk's span cache
+        for i in range(0, len(uids), 3):
+            payloads[i] = b"x" * (64 + i)
+            cloud.put(int(uids[i]), payloads[i])
+        cloud.remove(int(uids[1]))
+        keep = np.asarray([u for j, u in enumerate(uids.tolist())
+                           if j != 1], dtype=np.int64)
+        expected = [p for j, p in enumerate(payloads) if j != 1]
+        out = [None] * len(keep)
+        for arena, starts, limits, idx in cloud.bulk_get_spans(keep):
+            for j, i in enumerate(idx.tolist()):
+                out[i] = arena[starts[j]:limits[j]].tobytes()
+        assert out == expected
+
+    def test_spans_missing_uid_raises(self):
+        from repro.errors import CellNotFoundError
+        cloud, uids, _ = self._loaded_cloud()
+        missing = np.concatenate([uids[:3], [np.int64(2**41 + 5)]])
+        with pytest.raises(CellNotFoundError):
+            cloud.bulk_get_spans(missing)

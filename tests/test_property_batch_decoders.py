@@ -1,0 +1,146 @@
+"""Property tests pinning the batch column decoders to the scalar path.
+
+For any struct and any batch of records: encode each record with the
+scalar TSL encoder, decode columns with
+:class:`repro.tsl.batch.BatchStructDecoder`, and the results must equal
+per-blob scalar decodes — including empty lists, varint count
+boundaries (127/128 elements), and extreme element values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaMismatchError
+from repro.tsl import (
+    BOOL,
+    BYTE,
+    DOUBLE,
+    INT,
+    LONG,
+    SHORT,
+    STRING,
+    ListType,
+    StructType,
+)
+from repro.tsl.batch import batch_decoder_for
+
+I64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+I32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+I16 = st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1)
+I8 = st.integers(min_value=-128, max_value=127)
+
+PERSON = StructType("Person", [
+    ("Name", STRING),
+    ("Age", INT),
+    ("Friends", ListType(LONG)),
+    ("Scores", ListType(DOUBLE)),
+])
+
+RECORDS = st.lists(
+    st.fixed_dictionaries({
+        "Name": st.text(max_size=12),
+        "Age": I32,
+        "Friends": st.lists(I64, max_size=20),
+        "Scores": st.lists(
+            st.floats(allow_nan=False, width=64), max_size=6),
+    }),
+    min_size=1, max_size=30,
+)
+
+
+def scalar_decode(struct_type, blob, field_name):
+    field_type = struct_type.field_type(field_name)
+    offset = struct_type.field_offset(blob, field_name)
+    value, _ = field_type.decode(blob, offset)
+    return value
+
+
+class TestColumnRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(RECORDS)
+    def test_all_columns_match_scalar(self, records):
+        decoder = batch_decoder_for(PERSON)
+        blobs = [PERSON.encode(r) for r in records]
+        for field_name in PERSON.field_names():
+            column = decoder.decode_column(blobs, field_name)
+            assert column == [scalar_decode(PERSON, b, field_name)
+                              for b in blobs]
+
+    @settings(max_examples=60, deadline=None)
+    @given(RECORDS)
+    def test_csr_matches_scalar(self, records):
+        decoder = batch_decoder_for(PERSON)
+        blobs = [PERSON.encode(r) for r in records]
+        indptr, flat = decoder.decode_list_csr(blobs, "Friends")
+        assert indptr[0] == 0 and indptr[-1] == len(flat)
+        for i, blob in enumerate(blobs):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == \
+                scalar_decode(PERSON, blob, "Friends")
+
+    @settings(max_examples=60, deadline=None)
+    @given(RECORDS)
+    def test_header_counts_match_scalar(self, records):
+        decoder = batch_decoder_for(PERSON)
+        blobs = [PERSON.encode(r) for r in records]
+        counts = decoder.field_counts(blobs, "Friends")
+        assert counts.tolist() == [len(r["Friends"]) for r in records]
+
+
+class TestBoundaries:
+    @pytest.mark.parametrize("count", [0, 1, 126, 127, 128, 129, 300])
+    def test_varint_count_boundaries(self, count):
+        """List counts around the one-byte varint limit."""
+        decoder = batch_decoder_for(PERSON)
+        record = {"Name": "x" * 130, "Age": 1,
+                  "Friends": list(range(count)), "Scores": []}
+        blobs = [PERSON.encode(record)] * 3
+        indptr, flat = decoder.decode_list_csr(blobs, "Friends")
+        assert indptr.tolist() == [count * i for i in range(4)]
+        assert flat[:count].tolist() == list(range(count))
+        assert decoder.field_counts(blobs, "Friends").tolist() == [count] * 3
+
+    def test_int64_extremes_survive(self):
+        decoder = batch_decoder_for(PERSON)
+        extremes = [-(2 ** 63), -1, 0, 1, 2 ** 63 - 1]
+        blob = PERSON.encode({"Name": "", "Age": 0,
+                              "Friends": extremes, "Scores": []})
+        _, flat = decoder.decode_list_csr([blob], "Friends")
+        assert flat.tolist() == extremes
+
+    def test_empty_batch(self):
+        decoder = batch_decoder_for(PERSON)
+        indptr, flat = decoder.decode_list_csr([], "Friends")
+        assert indptr.tolist() == [0]
+        assert len(flat) == 0
+        assert decoder.decode_column([], "Name") == []
+        assert decoder.field_counts([], "Friends").tolist() == []
+
+    def test_narrow_element_dtypes(self):
+        narrow = StructType("Narrow", [
+            ("Bytes", ListType(BYTE)),
+            ("Shorts", ListType(SHORT)),
+            ("Flags", ListType(BOOL)),
+        ])
+        decoder = batch_decoder_for(narrow)
+        record = {"Bytes": [0, 127, 255], "Shorts": [-(2 ** 15), 2 ** 15 - 1],
+                  "Flags": [True, False, True]}
+        blobs = [narrow.encode(record)] * 2
+        for field_name in narrow.field_names():
+            column = decoder.decode_column(blobs, field_name)
+            assert column == [scalar_decode(narrow, b, field_name)
+                              for b in blobs]
+
+    def test_non_list_field_has_no_counts(self):
+        decoder = batch_decoder_for(PERSON)
+        blob = PERSON.encode({"Name": "a", "Age": 1,
+                              "Friends": [], "Scores": []})
+        with pytest.raises(SchemaMismatchError):
+            decoder.field_counts([blob], "Age")
+
+    def test_truncated_blob_raises(self):
+        decoder = batch_decoder_for(PERSON)
+        blob = PERSON.encode({"Name": "abc", "Age": 1,
+                              "Friends": [1, 2, 3], "Scores": []})
+        with pytest.raises(SchemaMismatchError):
+            decoder.decode_list_csr([blob[:-5]], "Friends")

@@ -1,0 +1,325 @@
+"""Equivalence tests for the batched online-traversal path.
+
+Every batched query surface — the Graph ``*_batch`` reads, people search
+(fast path and protocol-driven), TQL multi-hop expansion, subgraph
+candidate prefiltering, and the landmark-oracle BFS — must agree with
+its scalar twin on seeded R-MAT graphs, across at least two machine
+counts, with ``cross_check=True`` shadow-replaying the scalar path
+inside the batched one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.landmarks import evaluate_oracle, select_landmarks
+from repro.algorithms.people_search import people_search
+from repro.algorithms.people_search_distributed import (
+    distributed_people_search,
+    install_search_handlers,
+)
+from repro.algorithms.subgraph import (
+    LabelIndex,
+    assign_labels,
+    generate_query_dfs,
+    generate_query_random,
+    match_subgraph,
+)
+from repro.cluster import TrinityCluster
+from repro.config import ClusterConfig, MemoryParams
+from repro.errors import QueryError
+from repro.generators.names import sample_names
+from repro.generators.rmat import rmat_edges
+from repro.graph import GraphBuilder
+from repro.graph.csr import CsrTopology
+from repro.graph.model import social_graph_schema
+from repro.memcloud import MemoryCloud
+from repro.net.simnet import SimNetwork
+from repro.obs import MetricsRegistry
+
+MACHINE_COUNTS = [2, 5]
+
+
+def build_rmat_named_graph(cloud, scale=8, avg_degree=6.0, seed=11):
+    """A named friendship graph over an R-MAT edge set."""
+    n = 1 << scale
+    edges = rmat_edges(scale, avg_degree=avg_degree, seed=seed, dedup=True)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    builder = GraphBuilder(cloud, social_graph_schema())
+    for node_id, name in enumerate(sample_names(n, seed=seed + 1)):
+        builder.add_node(node_id, Name=name)
+    builder.add_edges(edges.tolist())
+    return builder.finalize()
+
+
+@pytest.fixture(scope="module", params=MACHINE_COUNTS)
+def deployment(request):
+    machines = request.param
+    cloud = MemoryCloud(ClusterConfig(machines=machines, trunk_bits=5),
+                        MetricsRegistry())
+    graph = build_rmat_named_graph(cloud)
+    return cloud, graph
+
+
+class TestGraphBatchSurface:
+    def test_outlinks_batch_matches_scalar(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:300], dtype=np.int64)
+        indptr, flat = graph.outlinks_batch(ids, cross_check=True)
+        assert len(indptr) == len(ids) + 1
+        for i, node_id in enumerate(ids.tolist()):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == \
+                graph.outlinks(node_id)
+
+    def test_read_field_batch_attribute_column(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:200], dtype=np.int64)
+        names = graph.read_field_batch(ids, "Name", cross_check=True)
+        assert names == [graph.attribute(int(i), "Name") for i in ids]
+
+    def test_degree_batch_header_only(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids, dtype=np.int64)
+        degrees = graph.degree_batch(ids, cross_check=True)
+        assert degrees.tolist() == [len(graph.outlinks(int(i)))
+                                    for i in ids]
+
+    def test_degree_scalar_header_decode(self, deployment):
+        _, graph = deployment
+        for node_id in graph.node_ids[:50]:
+            assert graph.degree(node_id) == len(graph.outlinks(node_id))
+
+    def test_num_edges_via_degree_batch(self, deployment):
+        _, graph = deployment
+        total = sum(len(graph.outlinks(v)) for v in graph.node_ids)
+        assert graph.num_edges() == total // 2  # undirected schema
+
+    def test_machine_of_batch(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:500], dtype=np.int64)
+        owners = graph.machine_of_batch(ids)
+        assert owners.tolist() == [graph.machine_of(int(i)) for i in ids]
+
+    def test_batch_counters_move(self, deployment):
+        cloud, graph = deployment
+        before = cloud.obs.counter("query.batch.cells").value
+        graph.outlinks_batch(np.asarray(graph.node_ids[:10],
+                                        dtype=np.int64))
+        assert cloud.obs.counter("query.batch.cells").value == before + 10
+
+    def test_rejects_bad_shapes_and_fields(self, deployment):
+        _, graph = deployment
+        with pytest.raises(QueryError):
+            graph.outlinks_batch(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(QueryError):
+            graph.read_field_batch(np.asarray([0], dtype=np.int64),
+                                   "NoSuchField")
+        with pytest.raises(QueryError):
+            # string column: no CSR decoding
+            graph.read_field_csr(np.asarray([0], dtype=np.int64), "Name")
+
+
+class TestNodesOnCache:
+    def test_cache_hits_and_invalidation(self):
+        cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=4),
+                            MetricsRegistry())
+        graph = build_rmat_named_graph(cloud, scale=6)
+        first = graph.nodes_on(0)
+        assert graph.nodes_on(0) == first
+        # Returned lists are copies: mutating one must not poison the cache.
+        first.append(-1)
+        assert -1 not in graph.nodes_on(0)
+        new_id = max(graph.node_ids) + 1
+        graph.add_node(new_id, Name="Zed")
+        machine = graph.machine_of(new_id)
+        assert new_id in graph.nodes_on(machine)
+        peer = max(graph.node_ids) + 1
+        graph.add_edge(new_id, peer)  # also invalidates (creates peer)
+        assert peer in graph.nodes_on(graph.machine_of(peer))
+
+
+class TestPeopleSearchBatch:
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_batch_equals_scalar(self, deployment, hops):
+        _, graph = deployment
+        batched = people_search(graph, 0, "David", hops=hops,
+                                network=SimNetwork(), batch=True,
+                                cross_check=True)
+        scalar = people_search(graph, 0, "David", hops=hops,
+                               network=SimNetwork(), batch=False)
+        assert batched.matches == scalar.matches
+        assert batched.visited == scalar.visited
+        assert batched.messages == scalar.messages
+        assert batched.hop_times == scalar.hop_times
+
+    def test_rare_name(self, deployment):
+        _, graph = deployment
+        result = people_search(graph, 0, "NoSuchName", hops=3,
+                               network=SimNetwork(), cross_check=True)
+        assert result.matches == []
+        assert result.visited > 0
+
+
+class TestDistributedSearchBatch:
+    @pytest.fixture(scope="class", params=MACHINE_COUNTS)
+    def cluster_deployment(self, request):
+        cluster = TrinityCluster(ClusterConfig(
+            machines=request.param, trunk_bits=6,
+            memory=MemoryParams(trunk_size=8 * 1024 * 1024),
+        ))
+        graph = build_rmat_named_graph(cluster.cloud, scale=8)
+        return cluster, graph
+
+    def test_batch_handlers_equal_scalar(self, cluster_deployment):
+        cluster, graph = cluster_deployment
+        install_search_handlers(cluster, graph, batch=True,
+                                cross_check=True)
+        batched = distributed_people_search(cluster, graph, 0, "David",
+                                            hops=3, batch=True,
+                                            cross_check=True)
+        install_search_handlers(cluster, graph, batch=False)
+        scalar = distributed_people_search(cluster, graph, 0, "David",
+                                           hops=3, batch=False)
+        assert batched.matches == scalar.matches
+        assert batched.visited == scalar.visited
+        assert batched.protocol_calls == scalar.protocol_calls
+        fast = people_search(graph, 0, "David", hops=3)
+        assert batched.matches == fast.matches
+
+
+class TestTqlBatch:
+    QUERIES = [
+        "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) RETURN c",
+        "MATCH (a = 0) -[Friends*1..3]-> (b) "
+        "WHERE b.Name = 'David' RETURN b",
+        "MATCH (a) -[Friends]-> (b) WHERE b.Name = 'David' "
+        "RETURN a LIMIT 40",
+        "MATCH (a {Name: 'David'}) <-[Friends]- (b) RETURN b LIMIT 25",
+    ]
+
+    @pytest.mark.parametrize("tql", QUERIES)
+    def test_batch_equals_scalar(self, deployment, tql):
+        from repro.tql.engine import execute_tql
+        _, graph = deployment
+        batched = execute_tql(graph, tql, network=SimNetwork(),
+                              batch=True, cross_check=True)
+        scalar = execute_tql(graph, tql, network=SimNetwork(),
+                             batch=False)
+        assert batched.rows == scalar.rows
+        assert batched.cells_touched == scalar.cells_touched
+        assert batched.messages == scalar.messages
+        assert batched.elapsed == scalar.elapsed
+        assert batched.truncated == scalar.truncated
+
+
+class TestSubgraphBatch:
+    @pytest.mark.parametrize("generator,qseed",
+                             [(generate_query_dfs, 2),
+                              (generate_query_random, 5)])
+    def test_batch_equals_scalar(self, deployment, generator, qseed):
+        _, graph = deployment
+        topology = CsrTopology(graph)
+        labels = assign_labels(topology.n, num_labels=8, seed=3)
+        query = generator(topology, labels, size=5, seed=qseed)
+        index = LabelIndex(topology, labels)
+        batched = match_subgraph(topology, labels, query,
+                                 network=SimNetwork(), index=index,
+                                 batch=True, cross_check=True)
+        scalar = match_subgraph(topology, labels, query,
+                                network=SimNetwork(), index=index,
+                                batch=False)
+        assert batched.embeddings == scalar.embeddings
+        assert batched.candidates_examined == scalar.candidates_examined
+        assert batched.messages == scalar.messages
+        assert batched.round_times == scalar.round_times
+
+
+class TestLandmarkBatch:
+    def test_oracle_batch_equals_scalar(self, deployment):
+        _, graph = deployment
+        topology = CsrTopology(graph)
+        landmarks = select_landmarks(topology, 4, strategy="degree")
+        batched = evaluate_oracle(topology, landmarks, pairs=40, seed=2,
+                                  batch=True, cross_check=True)
+        scalar = evaluate_oracle(topology, landmarks, pairs=40, seed=2,
+                                 batch=False)
+        assert batched.per_pair == scalar.per_pair
+        assert batched.accuracy == scalar.accuracy
+        assert batched.exact_fraction == scalar.exact_fraction
+
+
+class TestFieldEqBatch:
+    def test_matches_scalar_compare(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:300], dtype=np.int64)
+        target = graph.attribute(5, "Name")
+        hits = graph.field_eq_batch(ids, "Name", target, cross_check=True)
+        assert hits.dtype == bool
+        assert hits.tolist() == [
+            graph.attribute(int(i), "Name") == target for i in ids]
+
+    def test_no_match_and_empty_needle(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:64], dtype=np.int64)
+        assert not graph.field_eq_batch(
+            ids, "Name", "no such name ever", cross_check=True).any()
+        assert not graph.field_eq_batch(ids, "Name", "",
+                                        cross_check=True).any()
+
+    def test_non_string_field_falls_back(self, deployment):
+        _, graph = deployment
+        ids = np.asarray(graph.node_ids[:50], dtype=np.int64)
+        target = graph.outlinks(int(ids[3]))
+        hits = graph.field_eq_batch(ids, "Friends", target,
+                                    cross_check=True)
+        assert hits.tolist() == [graph.outlinks(int(i)) == target
+                                 for i in ids]
+
+
+class TestVisitedTracker:
+    def test_mask_grows_and_counts(self):
+        from repro.algorithms.people_search import _VisitedTracker
+        tracker = _VisitedTracker(0)
+        ids = np.asarray([1, 5000, 1, 0], dtype=np.int64)
+        assert tracker.unseen(ids).tolist() == [True, True, True, False]
+        tracker.add(np.asarray([1, 5000], dtype=np.int64))
+        assert tracker.unseen(ids).tolist() == [False, False, False, False]
+        assert tracker.count == 3
+
+    def test_switches_to_sorted_on_huge_ids(self):
+        from repro.algorithms.people_search import _VisitedTracker
+        tracker = _VisitedTracker(3)
+        tracker.add(np.asarray([9], dtype=np.int64))
+        huge = np.asarray([2**50, 3, 9, 2**50 + 1], dtype=np.int64)
+        assert tracker.unseen(huge).tolist() == [True, False, False, True]
+        assert tracker._mask is None  # permanently in sorted mode
+        tracker.add(np.asarray([2**50], dtype=np.int64))
+        assert tracker.unseen(huge).tolist() == [False, False, False, True]
+        assert tracker.count == 3
+
+    def test_people_search_on_sparse_huge_ids(self):
+        """End-to-end batch == scalar on a graph whose node ids overflow
+        any dense visited mask (the sorted-array fallback path)."""
+        cloud = MemoryCloud(ClusterConfig(machines=3, trunk_bits=5),
+                            MetricsRegistry())
+        base = 2**52
+        ids = [base + 17 * k for k in range(40)]
+        names = sample_names(len(ids), seed=9)
+        builder = GraphBuilder(cloud, social_graph_schema())
+        for node_id, name in zip(ids, names):
+            builder.add_node(node_id, Name=name)
+        rng = np.random.default_rng(4)
+        edges = {(ids[int(a)], ids[int(b)])
+                 for a, b in rng.integers(0, len(ids), size=(160, 2))
+                 if a != b}
+        builder.add_edges(sorted(edges))
+        graph = builder.finalize()
+        target = names[7]
+        batched = people_search(graph, ids[0], target, hops=3,
+                                network=SimNetwork(), batch=True,
+                                cross_check=True)
+        scalar = people_search(graph, ids[0], target, hops=3,
+                               network=SimNetwork(), batch=False)
+        assert batched.matches == scalar.matches
+        assert batched.visited == scalar.visited
+        assert batched.messages == scalar.messages
+        assert batched.hop_times == scalar.hop_times
