@@ -39,10 +39,15 @@ class TrinityCluster:
     def __init__(self, config: ClusterConfig | None = None,
                  schema=None, enable_buffered_log: bool = True,
                  disk_root=None, registry: MetricsRegistry | None = None,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 arena_factory=None, lock_factory=None):
         self.config = config or ClusterConfig()
         self.obs = registry if registry is not None else get_registry()
-        self.cloud = MemoryCloud(self.config, registry=self.obs)
+        self._arena_factory = arena_factory
+        self._lock_factory = lock_factory
+        self.cloud = MemoryCloud(self.config, registry=self.obs,
+                                 arena_factory=arena_factory,
+                                 lock_factory=lock_factory)
         self.network = SimNetwork(self.config.network, registry=self.obs)
         self.runtime = MessageRuntime(self.network, schema=schema)
         self.faults = (FaultInjector(faults, registry=self.obs)
@@ -164,10 +169,18 @@ class TrinityCluster:
         slave = self.slaves[machine_id]
         slave.fail()
         self.runtime.fail_machine(machine_id)
+        trunk_kwargs = {}
+        if self._lock_factory is not None:
+            trunk_kwargs["lock_factory"] = self._lock_factory
         for trunk_id in self.cloud.addressing.trunks_of(machine_id):
-            # Losing the machine loses the DRAM: model it honestly.
+            # Losing the machine loses the DRAM: model it honestly.  The
+            # replacement trunk keeps the cluster's arena/lock wiring so
+            # shared-memory backends survive a machine failure.
             self.cloud.trunks[trunk_id] = MemoryTrunk(
-                trunk_id, self.config.memory, registry=self.obs
+                trunk_id, self.config.memory, registry=self.obs,
+                arena=(self._arena_factory(self.config.memory.trunk_size)
+                       if self._arena_factory is not None else None),
+                **trunk_kwargs,
             )
         if machine_id == self.leader_id:
             self.leader_id = self.election.elect(self.alive_machines())

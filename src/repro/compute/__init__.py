@@ -20,7 +20,9 @@
 """
 
 from .vertex import BatchComputeContext, ComputeContext, VertexProgram
+from .backend import ExecutionBackend, InProcessBackend, resolve_backend
 from .bsp import BspEngine, BspResult, SuperstepReport
+from .shm import SharedMemoryBackend
 from .scheduler import ActionScript, BipartiteScheduler, SchedulerPlan
 from .action_replay import ReplayReport, replay_all
 from .residence import MemoryResidenceModel, ResidencePlan
@@ -35,6 +37,10 @@ __all__ = [
     "BspEngine",
     "BspResult",
     "SuperstepReport",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "SharedMemoryBackend",
+    "resolve_backend",
     "BipartiteScheduler",
     "SchedulerPlan",
     "ActionScript",

@@ -1,0 +1,106 @@
+"""Execution backends: who runs the superstep kernels.
+
+The BSP engine's main loop is a *coordinator*: it owns the simulated
+clock, the fault injector, checkpoints, traffic charging, and the
+barrier.  What happens *between* barriers — running the vertex kernels
+over each machine's slice — is delegated to an :class:`ExecutionBackend`:
+
+* :class:`InProcessBackend` (default): the kernels run inline in the
+  coordinator process, machine by machine — semantically exactly the
+  engine's historical behaviour.
+* :class:`~repro.compute.shm.SharedMemoryBackend`: the kernels run in
+  forked worker processes on real cores, reading and writing engine
+  state through OS shared memory.
+
+The seam is drawn so that everything order- or float-sensitive stays on
+the coordinator: workers return *what they would have sent* (the
+deferred send buffers, per-machine compute counts, an ordered aggregate
+log) and the coordinator folds, charges, and advances the simulated
+clock exactly as the in-process path does.  That is what makes the
+parallel backend bit-identical rather than merely statistically
+equivalent — ``cross_check=True`` holds under every backend.
+"""
+
+from __future__ import annotations
+
+from ..errors import ComputeError
+
+
+class ExecutionBackend:
+    """Strategy interface for running fast-path superstep kernels.
+
+    Lifecycle per :meth:`BspEngine.run`: ``prepare_run`` once, then
+    ``bind_values``/``bind_active`` after every (re)initialisation of
+    the dense state arrays, ``run_superstep`` once per superstep,
+    ``on_restart`` after a fault rollback, and ``finish_run`` in the
+    engine's ``finally``.
+    """
+
+    name = "in_process"
+
+    def prepare_run(self, engine, program, use_batch: bool) -> None:
+        self._use_batch = use_batch
+
+    def bind_values(self, values):
+        """Adopt the dense value array (shared backends re-home it)."""
+        return values
+
+    def bind_active(self, active):
+        """Adopt the active mask (shared backends re-home it)."""
+        return active
+
+    def run_superstep(self, engine, superstep: int, combined, received):
+        """Run every machine's kernels for one superstep.
+
+        On return the engine's deferred sends must be flushed — i.e.
+        ``_fs_next_combined`` / ``_fs_next_received`` / ``_fs_pair_counts``
+        and ``_messages`` hold the superstep's folded outcome.  Returns
+        ``(ran_total, costs)`` where ``costs`` is a per-machine
+        ``(machine, ran_count, degree_sum)`` list in ascending machine
+        order — the coordinator charges the simulated clock from it.
+        """
+        raise NotImplementedError
+
+    def on_restart(self, engine) -> None:
+        """A fault rolled the engine back; reset any worker state."""
+
+    def materialize(self, values):
+        """Detach a result array from backend-owned storage."""
+        return values
+
+    def finish_run(self, engine) -> None:
+        """Tear down per-run resources (workers, shared segments)."""
+
+
+class InProcessBackend(ExecutionBackend):
+    """The historical single-process path: kernels run inline."""
+
+    name = "in_process"
+
+    def run_superstep(self, engine, superstep: int, combined, received):
+        engine._reset_send_buffers()
+        ran_total, costs = engine._compute_machines(
+            range(engine.topology.machine_count), combined, received,
+            self._use_batch,
+        )
+        engine._flush_deferred_sends()
+        return ran_total, costs
+
+
+def resolve_backend(spec, workers: int | None = None) -> ExecutionBackend:
+    """Turn a backend spec (name or instance) into an instance.
+
+    ``workers`` only applies to ``"shared_memory"``; ``None`` lets the
+    backend pick (capped at the machine count and available cores).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec in (None, "in_process"):
+        return InProcessBackend()
+    if spec == "shared_memory":
+        from .shm import SharedMemoryBackend
+        return SharedMemoryBackend(workers=workers)
+    raise ComputeError(
+        f"unknown execution backend {spec!r}; expected 'in_process', "
+        f"'shared_memory', or an ExecutionBackend instance"
+    )

@@ -51,6 +51,7 @@ from ..errors import ComputeError, RecoveryError
 from ..faults import FaultInjector, FaultPlan
 from ..net.simnet import ParallelRound, SimNetwork
 from ..obs import Tracer
+from .backend import ExecutionBackend, resolve_backend
 from .checkpoint import CheckpointManager
 from .vertex import (
     COMBINERS,
@@ -186,7 +187,9 @@ class BspEngine:
                  vectorize: bool = True,
                  cross_check: bool = False,
                  faults: FaultPlan | None = None,
-                 checkpoints: CheckpointManager | None = None):
+                 checkpoints: CheckpointManager | None = None,
+                 backend: str | ExecutionBackend = "in_process",
+                 workers: int | None = None):
         self.topology = topology
         self.network = network or SimNetwork()
         self.compute_params = compute_params or ComputeParams()
@@ -197,6 +200,13 @@ class BspEngine:
         self.cross_check = cross_check
         self.faults = faults
         self.checkpoints = checkpoints
+        #: Which ExecutionBackend runs the fast-path kernels:
+        #: "in_process" (default) or "shared_memory" (forked workers over
+        #: shm-resident state; ``workers`` caps the pool).  The reference
+        #: path and non-combiner programs always run in-process.
+        self.backend = backend
+        self.workers = workers
+        self._backend_impl: ExecutionBackend | None = None
         degrees = topology.out_degrees()
         if hub_buffering and len(degrees) and hub_fraction > 0:
             quantile = float(np.quantile(degrees, 1.0 - hub_fraction))
@@ -469,6 +479,8 @@ class BspEngine:
             self._injector = None
             self._program = None
             self._fast_mode = False
+            if self._backend_impl is not None:
+                self._backend_impl.finish_run(self)
 
     # -- per-vertex reference path ------------------------------------------
 
@@ -675,6 +687,68 @@ class BspEngine:
                           (count, count * message_bytes)))
         return items
 
+    def _reset_send_buffers(self, arrays: bool = True) -> None:
+        """Zero the per-superstep message state.
+
+        ``arrays=False`` skips the dense fold targets — backend workers
+        only *collect* deferred sends (the coordinator owns the fold), so
+        they never touch the combined/received/pair arrays.
+        """
+        self._messages = 0
+        if arrays:
+            n = self.topology.n
+            self._fs_next_combined = np.full(n, self._fs_identity,
+                                             dtype=self._fs_dtype)
+            self._fs_next_received = np.zeros(n, dtype=bool)
+            self._fs_pair_counts = np.zeros(self._fs_pair_slots,
+                                            dtype=np.int64)
+        self._fs_bcast_src: list[int] = []
+        self._fs_bcast_val: list = []
+        self._fs_bcast_verts: list[np.ndarray] = []
+        self._fs_bcast_vals: list[np.ndarray] = []
+        self._fs_edge_verts: list[np.ndarray] = []
+        self._fs_edge_vals: list[np.ndarray] = []
+        self._fs_single_dst: list[int] = []
+        self._fs_single_val: list = []
+        self._fs_single_pair: list[int] = []
+
+    def _compute_machines(self, machines, combined, received,
+                          use_batch: bool):
+        """Run the fast-path kernels for the given machine ids.
+
+        The unit of work an :class:`ExecutionBackend` distributes: each
+        machine's active vertices run ``compute_batch`` (or the
+        per-vertex ``compute`` loop), collecting sends into the deferred
+        buffers and aggregates/halts/value writes into engine state.
+        Returns ``(ran_total, costs)`` with per-machine
+        ``(machine, ran_count, degree_sum)`` tuples in iteration order.
+        """
+        program = self._program
+        fast = self._fast
+        ctx = self._fs_ctx
+        batch_ctx = self._fs_batch_ctx
+        ran_total = 0
+        costs = []
+        for machine in machines:
+            vertices = self._machine_vertices[machine]
+            ran = vertices[self._active[vertices]]
+            ran_count = len(ran)
+            degree_sum = 0
+            if ran_count:
+                if use_batch:
+                    program.compute_batch(batch_ctx, ran, combined[ran],
+                                          received[ran])
+                else:
+                    for vertex in ran.tolist():
+                        ctx._bind(vertex)
+                        messages = ([combined[vertex]]
+                                    if received[vertex] else [])
+                        program.compute(ctx, vertex, messages)
+                degree_sum = int(fast.degrees[ran].sum())
+            costs.append((machine, ran_count, degree_sum))
+            ran_total += ran_count
+        return ran_total, costs
+
     def _run_fast(self, program: VertexProgram, max_supersteps: int,
                   initial_values, on_superstep, use_batch: bool) -> BspResult:
         topo = self.topology
@@ -689,9 +763,17 @@ class BspEngine:
         self._fast_mode = True
         self._fs_combiner = program.combiner
         self._fs_dtype = dtype
+        self._fs_identity = identity
+        self._fs_pair_slots = fast.machines * fast.machines
         self._check_initial_values(initial_values, n)
         ctx = ComputeContext(self)
         batch_ctx = BatchComputeContext(self)
+        self._fs_ctx = ctx
+        self._fs_batch_ctx = batch_ctx
+        if self._backend_impl is None:
+            self._backend_impl = resolve_backend(self.backend, self.workers)
+        backend = self._backend_impl
+        backend.prepare_run(self, program, use_batch)
 
         def fresh_start() -> tuple[int, np.ndarray, np.ndarray]:
             if initial_values is None:
@@ -707,13 +789,16 @@ class BspEngine:
                 for vertex in range(n):
                     ctx._bind(vertex)
                     program.init(ctx, vertex)
+            # Shared backends re-home the dense state so forked workers
+            # read and write it through the same physical pages.
+            self.values = backend.bind_values(self.values)
+            self._active = backend.bind_active(self._active)
             return (0, np.full(n, identity, dtype=dtype),
                     np.zeros(n, dtype=bool))
 
         superstep, combined, received = fresh_start()
         result = BspResult(values=self.values)
         per_vertex_cost = cost.vertex_compute_cost + cost.cell_access_cost
-        pair_slots = fast.machines * fast.machines
         while superstep < max_supersteps:
             if self._injector is not None:
                 if self._injector.take_crashes(superstep):
@@ -725,13 +810,17 @@ class BspEngine:
                     if state is None:
                         superstep, combined, received = fresh_start()
                     else:
-                        self.values = state["values"]
+                        self.values = backend.bind_values(state["values"])
                         self.aggregators = state["aggregators"]
                         self.aggregators_next = {}
-                        self._active = state["active"]
+                        self._active = backend.bind_active(state["active"])
                         combined = state["combined"]
                         received = state["received"]
                         superstep = state["superstep"] + 1
+                    # Workers restart too: the pool is torn down and
+                    # re-forked from the rolled-back image, proving the
+                    # fault plan replays identically under real workers.
+                    backend.on_restart(self)
                     continue
                 self._injector.begin_round(superstep)
             with self._h_wall.time(), \
@@ -739,46 +828,16 @@ class BspEngine:
                                      superstep=superstep) as span:
                 ctx.superstep = superstep
                 batch_ctx.superstep = superstep
-                self._messages = 0
-                self._fs_next_combined = np.full(n, identity, dtype=dtype)
-                self._fs_next_received = np.zeros(n, dtype=bool)
-                self._fs_pair_counts = np.zeros(pair_slots, dtype=np.int64)
-                self._fs_bcast_src: list[int] = []
-                self._fs_bcast_val: list = []
-                self._fs_bcast_verts: list[np.ndarray] = []
-                self._fs_bcast_vals: list[np.ndarray] = []
-                self._fs_edge_verts: list[np.ndarray] = []
-                self._fs_edge_vals: list[np.ndarray] = []
-                self._fs_single_dst: list[int] = []
-                self._fs_single_val: list = []
-                self._fs_single_pair: list[int] = []
-
                 round_ = ParallelRound(self.network)
-                ran_total = 0
-                for machine, vertices in enumerate(self._machine_vertices):
-                    ran = vertices[self._active[vertices]]
-                    ran_count = len(ran)
-                    degree_sum = 0
-                    if ran_count:
-                        if use_batch:
-                            program.compute_batch(batch_ctx, ran,
-                                                  combined[ran],
-                                                  received[ran])
-                        else:
-                            for vertex in ran.tolist():
-                                ctx._bind(vertex)
-                                messages = ([combined[vertex]]
-                                            if received[vertex] else [])
-                                program.compute(ctx, vertex, messages)
-                        degree_sum = int(fast.degrees[ran].sum())
+                ran_total, machine_costs = backend.run_superstep(
+                    self, superstep, combined, received
+                )
+                for machine, ran_count, degree_sum in machine_costs:
                     round_.add_compute(
                         machine,
                         ran_count * per_vertex_cost
                         + degree_sum * cost.edge_scan_cost,
                     )
-                    ran_total += ran_count
-
-                self._flush_deferred_sends()
                 elapsed, remote_transfers, wire_bytes = self._charge_round(
                     round_, self._fs_pair_items(program.message_bytes)
                 )
@@ -816,6 +875,10 @@ class BspEngine:
                 break
             superstep += 1
 
+        # Detach results (and the engine's own arrays) from any
+        # backend-owned shared storage before the segments go away.
+        self.values = backend.materialize(self.values)
+        self._active = backend.materialize(self._active)
         result.values = self.values
         result.aggregators = dict(self.aggregators)
         return result

@@ -44,6 +44,27 @@ class CellLockedError(MemoryCloudError):
     """A spin lock could not be acquired within the configured budget."""
 
 
+class StaleSpanError(MemoryCloudError):
+    """A zero-copy span outlived a structural change on its trunk.
+
+    Raised by span consumers when the trunk's mutation epoch has moved
+    since the spans were fetched: a put/remove/resize/defragmentation may
+    have slid cells under the view, so decoding it would read moved
+    bytes.  Re-fetch the spans and decode again.
+    """
+
+    def __init__(self, trunk_id: int, fetched_epoch: int,
+                 current_epoch: int):
+        super().__init__(
+            f"trunk {trunk_id}: spans fetched at structural epoch "
+            f"{fetched_epoch} are stale (trunk is now at epoch "
+            f"{current_epoch}); re-fetch before decoding"
+        )
+        self.trunk_id = trunk_id
+        self.fetched_epoch = fetched_epoch
+        self.current_epoch = current_epoch
+
+
 class AddressingError(MemoryCloudError):
     """The addressing table cannot map a trunk to a live machine."""
 

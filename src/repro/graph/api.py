@@ -121,6 +121,19 @@ class Graph:
         self._m_batch_cells.inc(len(ids))
         return len(ids), self.cloud.bulk_get_spans(ids)
 
+    @staticmethod
+    def _assert_spans_fresh(groups) -> None:
+        """Reject decode results built from relocated cells.
+
+        Checked *after* decoding: if any touched trunk structurally
+        changed between the span fetch and now (a put that triggered a
+        defrag, a remove, a resize), the arena views may have read moved
+        bytes and the decoded values cannot be trusted —
+        :class:`~repro.errors.StaleSpanError` instead of silent garbage.
+        """
+        for group in groups:
+            group.assert_fresh()
+
     def outlinks_batch(self, node_ids, cross_check: bool = False
                        ) -> tuple[np.ndarray, np.ndarray]:
         """CSR adjacency for a whole frontier: ``(indptr, flat)``.
@@ -171,6 +184,7 @@ class Graph:
                 positions = (np.repeat(indptr[idx] - sub_indptr[:-1], sizes)
                              + np.arange(len(sub_flat)))
                 flat[positions] = sub_flat
+        self._assert_spans_fresh(groups)
         if cross_check:
             self._m_batch_checks.inc()
             bounds = indptr.tolist()
@@ -197,6 +211,7 @@ class Graph:
                                                         limits, field_name)
             for i, value in zip(idx.tolist(), decoded):
                 values[i] = value
+        self._assert_spans_fresh(groups)
         if cross_check:
             self._m_batch_checks.inc()
             for node_id, value in zip(np.asarray(node_ids).tolist(), values):
@@ -223,6 +238,7 @@ class Graph:
         for arena, starts, limits, idx in groups:
             hits[idx] = self._decoder.string_eq_spans(arena, starts, limits,
                                                       field_name, value)
+        self._assert_spans_fresh(groups)
         if cross_check:
             self._m_batch_checks.inc()
             for node_id, hit in zip(np.asarray(node_ids).tolist(),
@@ -252,6 +268,7 @@ class Graph:
                 counts[idx] = [
                     len(v) for v in self._decoder.decode_column_spans(
                         arena, starts, limits, field_name)]
+        self._assert_spans_fresh(groups)
         self._m_batch_headers.inc(len(counts))
         if cross_check:
             self._m_batch_checks.inc()

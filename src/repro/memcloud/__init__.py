@@ -18,25 +18,32 @@ This package implements Section 3 ("The Memory Cloud") and Section 6.1
   backup and failure recovery.
 """
 
-from .locks import SpinLock
+from .locks import SharedSpinLock, SpinLock
 from .hashtable import (
     NumpyTrunkHashTable,
     TrunkHashTable,
     make_trunk_hashtable,
 )
-from .trunk import CELL_HEADER_BYTES, MemoryTrunk, TrunkStats
+from .arena import BytesArena, SharedMemoryArena, shared_arena_factory
+from .trunk import CELL_HEADER_BYTES, MemoryTrunk, TrunkSpans, TrunkStats
 from .addressing import AddressingTable
-from .cloud import BulkPathDivergence, MemoryCloud
+from .cloud import BulkPathDivergence, MemoryCloud, SpanGroup
 
 __all__ = [
     "SpinLock",
+    "SharedSpinLock",
     "TrunkHashTable",
     "NumpyTrunkHashTable",
     "make_trunk_hashtable",
+    "BytesArena",
+    "SharedMemoryArena",
+    "shared_arena_factory",
     "BulkPathDivergence",
     "MemoryTrunk",
+    "TrunkSpans",
     "TrunkStats",
     "CELL_HEADER_BYTES",
     "AddressingTable",
     "MemoryCloud",
+    "SpanGroup",
 ]

@@ -1,0 +1,121 @@
+"""Trunk arena backings: private bytes vs OS shared memory.
+
+A :class:`MemoryTrunk` reserves one contiguous address space and treats
+it as raw bytes; everything it needs from the backing is a writable
+buffer of fixed length.  This module abstracts that backing so the
+shared-memory execution backend (:mod:`repro.compute.shm`) can place the
+arenas in ``multiprocessing.shared_memory`` segments that forked worker
+processes mutate directly, while the default single-process simulation
+keeps its plain ``bytearray``.
+
+Lifecycle of a shared arena: the *coordinator* process creates the
+segment and owns its name; workers inherit the mapping through ``fork``
+(no attach step, no pickling).  ``unlink`` removes the name from the
+OS namespace — on Linux the memory itself survives until the last
+mapping (coordinator or worker) goes away, so views handed out earlier
+stay readable.  Crash cleanup is belt-and-braces: a ``weakref.finalize``
+unlinks the segment when the arena object is garbage collected, and
+CPython's ``resource_tracker`` unlinks anything that outlives the
+creating process anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from multiprocessing import shared_memory
+
+
+class BytesArena:
+    """Default backing: a process-private ``bytearray``."""
+
+    shared = False
+
+    __slots__ = ("buf",)
+
+    def __init__(self, size: int):
+        self.buf = bytearray(size)
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+def _unlink_quietly(shm: shared_memory.SharedMemory,
+                    owner_pid: int) -> None:
+    # Forked workers inherit the finalizer; only the creating process may
+    # remove the name, or a worker's clean exit would yank the segment
+    # out from under the coordinator.
+    if os.getpid() != owner_pid:
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedMemoryArena:
+    """Backing in a named OS shared-memory segment.
+
+    Only the creating (coordinator) process should call :meth:`unlink`;
+    forked workers share the mapping and must leave the name alone.
+    ``close`` is best-effort: while numpy views into the buffer are
+    alive the underlying mmap cannot be closed, which is fine — the OS
+    reclaims it at process exit once the segment is unlinked.
+    """
+
+    shared = True
+
+    __slots__ = ("_shm", "_owner_pid", "_finalizer", "__weakref__")
+
+    def __init__(self, size: int, name: str | None = None,
+                 create: bool = True):
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._owner_pid = os.getpid() if create else None
+        if create:
+            self._finalizer = weakref.finalize(
+                self, _unlink_quietly, self._shm, self._owner_pid
+            )
+        else:
+            self._finalizer = None
+
+    @property
+    def buf(self) -> memoryview:
+        return self._shm.buf
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def __len__(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live views (spans, headers) still reference the mapping;
+            # the OS frees it at process exit after unlink.
+            pass
+
+    def unlink(self) -> None:
+        if self._owner_pid != os.getpid():
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _unlink_quietly(self._shm, self._owner_pid)
+
+
+def shared_arena_factory():
+    """An ``arena_factory`` for :class:`~repro.memcloud.cloud.MemoryCloud`
+    that places every trunk arena in OS shared memory."""
+    return lambda size: SharedMemoryArena(size)

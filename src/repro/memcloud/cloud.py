@@ -17,7 +17,7 @@ import contextlib
 import numpy as np
 
 from ..config import ClusterConfig
-from ..errors import AddressingError
+from ..errors import AddressingError, StaleSpanError
 from ..obs import MetricsRegistry, MetricsReport, get_registry
 from ..utils.arrays import gather_ranges
 from ..utils.hashing import trunk_of, trunk_of_array
@@ -28,6 +28,40 @@ from .trunk import MemoryTrunk, TrunkStats
 
 class BulkPathDivergence(AssertionError):
     """The bulk data path disagreed with the scalar shadow replay."""
+
+
+class SpanGroup:
+    """One trunk's zero-copy spans plus the machinery to detect staleness.
+
+    Iterates as the legacy ``(arena, starts, limits, positions)`` 4-tuple
+    so existing decoders keep unpacking it; additionally carries the trunk
+    and the structural epoch at fetch time so consumers can
+    :meth:`assert_fresh` right before (or after) decoding.
+    """
+
+    __slots__ = ("arena", "starts", "limits", "positions", "trunk", "epoch")
+
+    def __init__(self, arena, starts, limits, positions, trunk, epoch):
+        self.arena = arena
+        self.starts = starts
+        self.limits = limits
+        self.positions = positions
+        self.trunk = trunk
+        self.epoch = epoch
+
+    def __iter__(self):
+        return iter((self.arena, self.starts, self.limits, self.positions))
+
+    @property
+    def stale(self) -> bool:
+        return self.trunk.mutation_epoch != self.epoch
+
+    def assert_fresh(self) -> None:
+        """Raise :class:`~repro.errors.StaleSpanError` if the trunk has
+        structurally changed since these spans were fetched."""
+        current = self.trunk.mutation_epoch
+        if current != self.epoch:
+            raise StaleSpanError(self.trunk.trunk_id, self.epoch, current)
 
 
 class MemoryCloud:
@@ -49,15 +83,23 @@ class MemoryCloud:
 
     def __init__(self, config: ClusterConfig | None = None,
                  registry: MetricsRegistry | None = None,
-                 cross_check: bool = False):
+                 cross_check: bool = False,
+                 arena_factory=None, lock_factory=None):
         self.config = config or ClusterConfig()
         self.obs = registry if registry is not None else get_registry()
         self.addressing = AddressingTable(
             self.config.trunk_bits, range(self.config.machines)
         )
+        trunk_kwargs = {}
+        if lock_factory is not None:
+            trunk_kwargs["lock_factory"] = lock_factory
         self.trunks: dict[int, MemoryTrunk] = {
-            trunk_id: MemoryTrunk(trunk_id, self.config.memory,
-                                  registry=self.obs)
+            trunk_id: MemoryTrunk(
+                trunk_id, self.config.memory, registry=self.obs,
+                arena=(arena_factory(self.config.memory.trunk_size)
+                       if arena_factory is not None else None),
+                **trunk_kwargs,
+            )
             for trunk_id in range(self.config.trunk_count)
         }
         self._m_bulk_put_cells = self.obs.counter("memcloud.bulk.put.cells")
@@ -151,6 +193,35 @@ class MemoryCloud:
             indices = group.tolist()
             yield int(trunks[group[0]]), indices, [uid_list[i]
                                                    for i in indices]
+
+    def trunk_groups(self, cell_ids):
+        """Public routing view: stable ``(trunk_id, indices, uids)``
+        groups for a UID batch, exactly as the bulk operations consume
+        them.  The parallel bulk loader partitions work with this so the
+        worker/coordinator halves agree on every trunk's subsequence."""
+        return self._trunk_groups(cell_ids)
+
+    def bulk_put_adopt(self, cell_ids, trunk_sizes: dict) -> None:
+        """Adopt a parallel bulk load whose bytes workers already wrote.
+
+        ``trunk_sizes`` maps trunk_id -> payload sizes (input order) as
+        returned by :meth:`MemoryTrunk.bulk_write_fresh` in the workers.
+        Replays the accounting of :meth:`bulk_put` on pristine trunks —
+        same counters, same index state, same probe accounting — without
+        touching the payload bytes, which arrived through the shared
+        arenas.
+        """
+        if not len(cell_ids):
+            return
+        with self._h_bulk_put.time():
+            batches = 0
+            for trunk_id, _indices, uids in self._trunk_groups(cell_ids):
+                self.trunks[trunk_id].adopt_fresh_cells(
+                    uids, trunk_sizes[trunk_id]
+                )
+                batches += 1
+        self._m_bulk_put_cells.inc(len(cell_ids))
+        self._m_bulk_put_batches.inc(batches)
 
     def bulk_put(self, cell_ids, values, presize: bool = True) -> None:
         """Insert or overwrite a batch of cells along the batched path.
@@ -254,17 +325,21 @@ class MemoryCloud:
         self._m_bulk_get_batches.inc(batches)
         return packed, out_bounds
 
-    def bulk_get_spans(self, cell_ids) -> list[
-            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    def bulk_get_spans(self, cell_ids) -> list[SpanGroup]:
         """Zero-copy payload spans for a batch, grouped per trunk.
 
-        Returns ``(arena_view, starts, limits, positions)`` tuples — one
-        per trunk touched — where ``arena_view[starts[i]:limits[i]]`` is
-        the payload of ``cell_ids[positions[i]]``.  Nothing is copied:
-        the views alias trunk arenas and are only valid until the next
-        write or defragmentation on those trunks, which is exactly the
-        lifetime a query hop needs (fetch a frontier, decode it, move
-        on).  Lookup and metrics accounting match :meth:`bulk_get`.
+        Returns one :class:`SpanGroup` per trunk touched — unpacking as
+        ``(arena_view, starts, limits, positions)`` — where
+        ``arena_view[starts[i]:limits[i]]`` is the payload of
+        ``cell_ids[positions[i]]``.  Nothing is copied: the views alias
+        trunk arenas and are only valid until the next write or
+        defragmentation on those trunks, which is exactly the lifetime a
+        query hop needs (fetch a frontier, decode it, move on).  Each
+        group records the trunk's structural epoch; decoders call
+        :meth:`SpanGroup.assert_fresh` so an interleaved mutation raises
+        :class:`~repro.errors.StaleSpanError` instead of yielding bytes
+        read from relocated cells.  Lookup and metrics accounting match
+        :meth:`bulk_get`.
         """
         if not len(cell_ids):
             return []
@@ -275,10 +350,12 @@ class MemoryCloud:
             spans = []
             batches = 0
             for trunk_id, indices, uids in self._trunk_groups(cell_ids):
-                arena, starts, limits = \
-                    self.trunks[trunk_id].bulk_get_spans(uids)
-                spans.append((arena, starts, limits,
-                              np.asarray(indices, dtype=np.int64)))
+                trunk = self.trunks[trunk_id]
+                arena, starts, limits, epoch = trunk.bulk_get_spans(uids)
+                spans.append(SpanGroup(
+                    arena, starts, limits,
+                    np.asarray(indices, dtype=np.int64), trunk, epoch,
+                ))
                 batches += 1
         self._m_bulk_get_cells.inc(len(cell_ids))
         self._m_bulk_get_batches.inc(batches)
@@ -324,6 +401,21 @@ class MemoryCloud:
 
     def __len__(self) -> int:
         return sum(len(t) for t in self.trunks.values())
+
+    @property
+    def arenas_shared(self) -> bool:
+        """True when every trunk arena lives in OS shared memory."""
+        return all(t.arena.shared for t in self.trunks.values())
+
+    def release_arenas(self) -> None:
+        """Unlink shared trunk arenas (no-op for private arenas).
+
+        Call from the creating process when the cloud is done; mapped
+        views stay readable until they are garbage collected, but the OS
+        name is gone so nothing leaks past process exit.
+        """
+        for trunk in self.trunks.values():
+            trunk.arena.unlink()
 
     @contextlib.contextmanager
     def pin(self, cell_id: int):

@@ -43,6 +43,7 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -50,6 +51,7 @@ from ..config import MemoryParams
 from ..errors import CellNotFoundError, TrunkFullError
 from ..obs import MetricsRegistry, get_registry
 from ..utils.arrays import gather_ranges
+from .arena import BytesArena
 from .hashtable import make_trunk_hashtable
 from .locks import SpinLock
 
@@ -74,9 +76,9 @@ class _CellEntry:
     # lazy creation cannot race.
     lock: SpinLock | None = None
 
-    def cell_lock(self) -> SpinLock:
+    def cell_lock(self, factory=SpinLock) -> SpinLock:
         if self.lock is None:
-            self.lock = SpinLock()
+            self.lock = factory()
         return self.lock
 
     @property
@@ -109,6 +111,21 @@ class TrunkStats:
         return self.live_bytes / self.committed_bytes
 
 
+class TrunkSpans(NamedTuple):
+    """Zero-copy payload spans plus the structural epoch they belong to.
+
+    ``arena[starts[i]:limits[i]]`` is UID ``i``'s payload.  ``epoch`` is
+    the trunk's mutation epoch at fetch time; consumers compare it against
+    :attr:`MemoryTrunk.mutation_epoch` before trusting the view (see
+    :exc:`~repro.errors.StaleSpanError`).
+    """
+
+    arena: np.ndarray
+    starts: np.ndarray
+    limits: np.ndarray
+    epoch: int
+
+
 class MemoryTrunk:
     """One memory trunk: a circular arena plus its hash table.
 
@@ -121,15 +138,26 @@ class MemoryTrunk:
     """
 
     def __init__(self, trunk_id: int, params: MemoryParams | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 arena=None, lock_factory=SpinLock):
         self.trunk_id = trunk_id
         self.params = params or MemoryParams()
         # Re-entrant: put() may trigger defragment() internally.
         self._mutex = threading.RLock()
-        self._arena = bytearray(self.params.trunk_size)
+        self.arena = arena if arena is not None else BytesArena(
+            self.params.trunk_size
+        )
+        if len(self.arena) != self.params.trunk_size:
+            raise ValueError(
+                f"arena holds {len(self.arena)} bytes, trunk needs "
+                f"{self.params.trunk_size}"
+            )
+        self._arena = self.arena.buf
+        self._lock_factory = lock_factory
         self._index = make_trunk_hashtable(self.params.hashtable_storage)
         self._entries: list[_CellEntry | None] = []
         self._span_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._mutation_epoch = 0
         self._free_slots: list[int] = []
         self._append_head = 0
         self._committed_tail = 0       # oldest live byte (circular start)
@@ -247,7 +275,7 @@ class MemoryTrunk:
             return 0
         if len(self._index) and any(self._index.has_key(u) for u in uids):
             return 0
-        self._span_cache = None
+        self._invalidate_spans()
         if self._wrapped:
             available = self._committed_tail - self._append_head
         else:
@@ -274,15 +302,29 @@ class MemoryTrunk:
         self._arena[start:start + total] = b"".join(parts)
         self._append_head = start + total
         self._commit_range(start, start + total)
+        self._register_fresh(uids[:count], sizes, footprint_ends[:count],
+                             start, presize)
+        return count
+
+    def _register_fresh(self, uids: list[int], sizes: np.ndarray,
+                        footprint_ends: np.ndarray, start: int,
+                        presize: bool) -> None:
+        """Index and account a fresh run already laid out at ``start``.
+
+        Shared between :meth:`_bulk_insert_fresh` (which wrote the bytes
+        itself) and :meth:`adopt_fresh_cells` (bytes written by a worker
+        process through the shared arena); both must produce identical
+        entries, metrics and probe accounting.
+        """
+        count = len(uids)
         self._m_alloc.inc(count)
         # Payload offset of cell i = start + footprint_ends[i] - size_i
         # (its own header sits just below the payload).
-        offsets = (start + (footprint_ends[:count] - sizes)).tolist()
+        offsets = (start + (footprint_ends - sizes)).tolist()
         size_list = sizes.tolist()
         if self._free_slots:
             slots = []
-            for uid, payload_offset, size in zip(uids[:count], offsets,
-                                                 size_list):
+            for uid, payload_offset, size in zip(uids, offsets, size_list):
                 entry = _CellEntry(uid, payload_offset, size, size)
                 if self._free_slots:
                     slot = self._free_slots.pop()
@@ -295,16 +337,101 @@ class MemoryTrunk:
             base = len(self._entries)
             self._entries.extend(
                 _CellEntry(uid, payload_offset, size, size)
-                for uid, payload_offset, size in zip(uids[:count], offsets,
+                for uid, payload_offset, size in zip(uids, offsets,
                                                      size_list)
             )
             slots = list(range(base, base + count))
         index = self._index
         if not (presize and hasattr(index, "bulk_insert_fresh")
-                and index.bulk_insert_fresh(uids[:count], slots)):
-            for uid, slot in zip(uids[:count], slots):
+                and index.bulk_insert_fresh(uids, slots)):
+            for uid, slot in zip(uids, slots):
                 index.insert_fresh(uid, slot)
-        return count
+
+    # -- parallel bulk load (repro.compute.shm) ------------------------------
+
+    def _pristine_locked(self) -> bool:
+        return not (len(self._index) or self._append_head or self._wrapped)
+
+    @property
+    def is_pristine(self) -> bool:
+        """True if nothing was ever stored here — the precondition for
+        the parallel bulk-load path (fresh-run layout from offset 0)."""
+        with self._mutex:
+            return self._pristine_locked()
+
+    def bulk_write_fresh(self, uids, payloads) -> np.ndarray:
+        """Write a fresh batch's headers and payloads into the arena only.
+
+        Worker-process half of the parallel bulk load: the byte layout is
+        identical to :meth:`_bulk_insert_fresh` starting from an empty
+        trunk, but no index entries, metrics, or page accounting are
+        touched — the worker's copies of those are discarded with the
+        fork, and the coordinator re-creates them authoritatively via
+        :meth:`adopt_fresh_cells`.  Returns the payload sizes the
+        coordinator needs for adoption.
+        """
+        with self._mutex:
+            if not self._pristine_locked():
+                raise ValueError(
+                    f"trunk {self.trunk_id}: bulk_write_fresh needs an "
+                    f"empty trunk"
+                )
+            if len(set(uids)) != len(uids):
+                raise ValueError("bulk_write_fresh got duplicate uids")
+            sizes = np.fromiter((len(p) for p in payloads),
+                                dtype=np.int64, count=len(payloads))
+            footprint_ends = np.cumsum(sizes + CELL_HEADER_BYTES)
+            total = int(footprint_ends[-1]) if len(sizes) else 0
+            if total > self.params.trunk_size:
+                raise TrunkFullError(
+                    f"trunk {self.trunk_id}: fresh batch of {total} bytes "
+                    f"exceeds trunk size {self.params.trunk_size}"
+                )
+            count = len(sizes)
+            headers = np.zeros(count, dtype=_HEADER_DTYPE)
+            headers["uid"] = np.array([int(u) for u in uids],
+                                      dtype=np.uint64)
+            headers["size"] = sizes
+            headers["reserved"] = sizes
+            header_bytes = headers.tobytes()
+            parts = [b""] * (2 * count)
+            parts[0::2] = (header_bytes[i * CELL_HEADER_BYTES:
+                                        (i + 1) * CELL_HEADER_BYTES]
+                           for i in range(count))
+            parts[1::2] = payloads
+            self._arena[0:total] = b"".join(parts)
+            self._append_head = total
+            return sizes
+
+    def adopt_fresh_cells(self, uids, sizes,
+                          presize: bool = True) -> None:
+        """Adopt cells a worker laid out through the shared arena.
+
+        Coordinator half of the parallel bulk load: the bytes are already
+        in place (written by :meth:`bulk_write_fresh` in a forked worker
+        sharing this arena), so this replays exactly the accounting side
+        of a ``bulk_put`` on an empty trunk — index presize, epoch bump,
+        page commits, allocation metrics, entries.  After adoption the
+        trunk is indistinguishable from one loaded in-process.
+        """
+        uids = [int(uid) for uid in uids]
+        if not uids:
+            return
+        with self._mutex:
+            if not self._pristine_locked():
+                raise ValueError(
+                    f"trunk {self.trunk_id}: adopt_fresh_cells needs an "
+                    f"empty trunk"
+                )
+            sizes = np.asarray(sizes, dtype=np.int64)
+            if presize:
+                self._index.reserve(len(uids))
+            self._invalidate_spans()
+            footprint_ends = np.cumsum(sizes + CELL_HEADER_BYTES)
+            total = int(footprint_ends[-1])
+            self._append_head = total
+            self._commit_range(0, total)
+            self._register_fresh(uids, sizes, footprint_ends, 0, presize)
 
     def bulk_get(self, uids) -> list[bytes]:
         """Payload copies for a batch of UIDs, one lock acquisition.
@@ -345,19 +472,21 @@ class MemoryTrunk:
             np.cumsum(sizes, out=bounds[1:])
             return gather_ranges(arena, starts, sizes), bounds
 
-    def bulk_get_spans(self, uids
-                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Zero-copy payload spans: ``(arena_view, starts, limits)``.
+    def bulk_get_spans(self, uids) -> TrunkSpans:
+        """Zero-copy payload spans: ``(arena_view, starts, limits, epoch)``.
 
         ``arena_view[starts[i]:limits[i]]`` is UID ``i``'s payload, read
         straight out of the trunk arena — nothing is copied.  The view is
         only valid until the next structural change on this trunk (a put,
         remove, resize, or defragmentation relocates cells); it exists
         for query execution, which decodes a frontier batch immediately
-        after fetching it.  Lookup accounting matches :meth:`bulk_get`.
+        after fetching it.  The returned epoch lets decoders verify the
+        view is still current (:exc:`~repro.errors.StaleSpanError`).
+        Lookup accounting matches :meth:`bulk_get`.
         """
         with self._mutex:
-            return self._spans_locked(uids)
+            arena, starts, limits = self._spans_locked(uids)
+            return TrunkSpans(arena, starts, limits, self._mutation_epoch)
 
     def _spans_locked(self, uids
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -384,6 +513,23 @@ class MemoryTrunk:
             cache = self._span_cache = (offsets, sizes)
         return cache
 
+    def _invalidate_spans(self) -> None:
+        """Drop the span cache and advance the structural epoch.
+
+        Called wherever cells may move, grow, or die.  Outstanding
+        zero-copy spans carry the epoch they were fetched at, so after
+        this bump their consumers refuse to decode (``StaleSpanError``)
+        instead of silently reading relocated bytes.
+        """
+        self._span_cache = None
+        self._mutation_epoch += 1
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Structural-change counter guarding zero-copy spans."""
+        with self._mutex:
+            return self._mutation_epoch
+
     def get_view(self, uid: int) -> memoryview:
         """Zero-copy view of the cell payload.
 
@@ -401,7 +547,7 @@ class MemoryTrunk:
     def lock_of(self, uid: int) -> SpinLock:
         """The spin lock associated with the cell (Section 3)."""
         with self._mutex:
-            return self._require(uid).cell_lock()
+            return self._require(uid).cell_lock(self._lock_factory)
 
     def remove(self, uid: int) -> None:
         """Delete a cell; its region becomes garbage until reclaimed."""
@@ -412,8 +558,8 @@ class MemoryTrunk:
         self._maybe_defrag()
 
     def _remove_locked(self, entry: _CellEntry) -> None:
-        self._span_cache = None
-        with entry.cell_lock():
+        self._invalidate_spans()
+        with entry.cell_lock(self._lock_factory):
             slot = self._index.get(entry.uid)
             assert slot is not None
             self._index.delete(entry.uid)
@@ -440,9 +586,9 @@ class MemoryTrunk:
             raise ValueError("cell size cannot be negative")
         with self._mutex:
             entry = self._require(uid)
-            self._span_cache = None
+            self._invalidate_spans()
             if new_size <= entry.reserved:
-                with entry.cell_lock():
+                with entry.cell_lock(self._lock_factory):
                     if new_size > entry.size:
                         self._arena[
                             entry.offset + entry.size:
@@ -531,7 +677,7 @@ class MemoryTrunk:
         return entry
 
     def _insert(self, uid: int, value: bytes, reserve: bool = False) -> None:
-        self._span_cache = None
+        self._invalidate_spans()
         reserved = len(value)
         if reserve:
             reserved = max(
@@ -550,8 +696,8 @@ class MemoryTrunk:
         self._index.set(uid, slot)
 
     def _update(self, entry: _CellEntry, value: bytes) -> None:
-        self._span_cache = None
-        with entry.cell_lock():
+        self._invalidate_spans()
+        with entry.cell_lock(self._lock_factory):
             if len(value) <= entry.reserved:
                 # In-place update; shrinking only adjusts the live size and
                 # the slack stays reserved (reclaimed at next defrag).
@@ -722,7 +868,7 @@ class MemoryTrunk:
             return self._defragment_locked()
 
     def _defragment_locked(self) -> bool:
-        self._span_cache = None
+        self._invalidate_spans()
         live = [e for e in self._entries if e is not None]
         if any(e.lock is not None and e.lock.held for e in live):
             self._defrag_aborts += 1

@@ -369,3 +369,31 @@ class TestBulkGetSpansAndPacked:
         missing = np.concatenate([uids[:3], [np.int64(2**41 + 5)]])
         with pytest.raises(CellNotFoundError):
             cloud.bulk_get_spans(missing)
+
+    def test_spans_stale_after_defrag(self):
+        """Defrag between span fetch and decode must raise, not garble.
+
+        A defragmentation pass relocates cells inside the arena, so span
+        offsets fetched before the pass may now point at other cells'
+        bytes.  Every span group carries the trunk's structural epoch at
+        fetch time; the post-decode freshness check turns the interleaved
+        relocation into a canonical ``StaleSpanError``.
+        """
+        from repro.errors import StaleSpanError
+        cloud, uids, payloads = self._loaded_cloud()
+        groups = cloud.bulk_get_spans(uids)
+        for group in groups:
+            group.assert_fresh()  # nothing moved yet: decode is safe
+        for trunk in cloud.trunks.values():
+            assert trunk.defragment()
+        stale = [group for group in groups if group.stale]
+        assert stale, "defragment must advance the structural epoch"
+        with pytest.raises(StaleSpanError):
+            for group in groups:
+                group.assert_fresh()
+        # A re-fetch observes the post-defrag layout and decodes cleanly.
+        out = [None] * len(uids)
+        for arena, starts, limits, idx in cloud.bulk_get_spans(uids):
+            for j, i in enumerate(idx.tolist()):
+                out[i] = arena[starts[j]:limits[j]].tobytes()
+        assert out == payloads
