@@ -38,15 +38,9 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from _harness import build_social_graph                    # noqa: E402
 from repro.algorithms.people_search import people_search   # noqa: E402
-from repro.config import ClusterConfig, MemoryParams       # noqa: E402
-from repro.generators import rmat_edges                    # noqa: E402
-from repro.generators.names import sample_names            # noqa: E402
-from repro.graph import GraphBuilder                       # noqa: E402
-from repro.graph.model import social_graph_schema          # noqa: E402
-from repro.memcloud import MemoryCloud                     # noqa: E402
 from repro.net.simnet import SimNetwork                    # noqa: E402
-from repro.obs import MetricsRegistry                      # noqa: E402
 from repro.tql.engine import execute_tql                   # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -62,22 +56,8 @@ TQL_QUERY = ("MATCH (a = 0) -[Friends*1..3]-> (b {Name: 'David'}) "
 
 
 def build_graph(scale: int, avg_degree: float):
-    cloud = MemoryCloud(
-        ClusterConfig(machines=MACHINES, trunk_bits=TRUNK_BITS,
-                      memory=MemoryParams(trunk_size=64 * 1024 * 1024,
-                                          hashtable_storage="numpy")),
-        MetricsRegistry(),
-    )
-    n = 1 << scale
-    # Raw R-MAT edges, same convention as BENCH_load: scale 14 is the
-    # paper-sized ~131k-edge graph.  Duplicates and self-loops are real
-    # traversal work; both paths handle them identically.
-    edges = rmat_edges(scale, avg_degree=avg_degree, seed=SEED)
-    builder = GraphBuilder(cloud, social_graph_schema())
-    for node_id, name in enumerate(sample_names(n, seed=SEED + 1)):
-        builder.add_node(node_id, Name=name)
-    builder.add_edges(edges.tolist())
-    return builder.finalize(), int(len(edges))
+    return build_social_graph(scale, avg_degree, machines=MACHINES,
+                              trunk_bits=TRUNK_BITS, seed=SEED)
 
 
 def time_people_search(graph, batch: bool, repeats: int) -> float:

@@ -1,0 +1,308 @@
+"""Wall-clock benchmark: concurrent query serving vs one-at-a-time.
+
+Drives thousands of interleaved online queries — people search, TQL
+reach, landmark BFS, subgraph match — through ``repro.serve`` and
+measures sustained completed-queries-per-second under a sweep of
+offered load (queries kept in flight), for three server configurations:
+
+* ``no_opt``         — the sequential baseline: one query at a time
+  through the existing library path, same admission/SLO machinery;
+* ``fusion``         — cross-query frontier fusion only: every fusion
+  window issues one bulk read per op shape for *all* in-flight queries;
+* ``fusion_caching`` — fusion plus the epoch-stamped hub-adjacency and
+  query-result caches.
+
+The workload pool repeats queries with a zipf-like skew (as production
+query streams do), which is what the result cache monetizes; frontier
+overlap across concurrent BFS waves is what fusion monetizes.  Before
+timing, a correctness pass serves a mixed sample with
+``cross_check=True`` — every completion is shadow-replayed through the
+sequential path and any divergence raises — including across an
+interleaved mutation.  Results land in
+``benchmarks/results/BENCH_serve.json`` with p50/p99 per query class
+for every configuration and load; the full serve metrics registry of
+the top fused+cached run is dumped alongside as
+``BENCH_serve[_smoke].metrics.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_perf_serve.py            # full run
+    PYTHONPATH=src python benchmarks/_perf_serve.py --smoke    # CI-sized
+
+``--smoke`` also compares against the committed baseline JSON and prints
+a GitHub Actions ``::warning::`` (never a failure) when the measured
+top-load speedup regressed by more than 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np                                          # noqa: E402
+
+from _harness import build_social_graph                     # noqa: E402
+from repro.algorithms.subgraph import generate_query_dfs    # noqa: E402
+from repro.obs import JsonFileSink, MetricsRegistry         # noqa: E402
+from repro.serve import (                                   # noqa: E402
+    LandmarkBfsQuery,
+    PeopleSearchQuery,
+    QueryServer,
+    ServeConfig,
+    SubgraphServeQuery,
+    TqlServeQuery,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_serve.json"
+
+MACHINES = 4
+TRUNK_BITS = 4
+SEED = 42
+
+CONFIGS = {
+    "no_opt": dict(sequential=True, fuse=False, result_cache=False,
+                   hub_cache=False),
+    "fusion": dict(fuse=True, result_cache=False, hub_cache=False),
+    "fusion_caching": dict(fuse=True, result_cache=True, hub_cache=True),
+}
+
+
+def tql_text(anchor: int) -> str:
+    return (f"MATCH (a = {anchor}) -[Friends*1..3]-> "
+            "(b {Name: 'David'}) RETURN b")
+
+
+def build_query_pool(graph, distinct: int, seed: int) -> list:
+    """``distinct`` unique queries: ~1/2 people search, the rest split
+    across TQL reach, landmark BFS and subgraph match."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    server = QueryServer(graph, ServeConfig(),
+                         registry=MetricsRegistry())
+    topology, labels, _index = server.snapshot()
+    pool: list = []
+    for i in range(distinct):
+        which = i % 8
+        start = int(rng.integers(0, n))
+        if which < 4:
+            pool.append(PeopleSearchQuery(start, "David", hops=3))
+        elif which < 6:
+            pool.append(TqlServeQuery(tql_text(start)))
+        elif which < 7:
+            pool.append(LandmarkBfsQuery(start, max_hops=4))
+        else:
+            pool.append(SubgraphServeQuery(
+                generate_query_dfs(topology, labels, size=4,
+                                   seed=int(rng.integers(0, 1 << 16)))))
+    return pool
+
+
+def build_workload(pool: list, total: int, seed: int) -> list:
+    """``total`` submissions drawn zipf-skewed from the distinct pool."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = 1.0 / ranks          # zipf s=1 over pool rank
+    weights /= weights.sum()
+    picks = rng.choice(len(pool), size=total, p=weights)
+    return [pool[int(p)] for p in picks]
+
+
+def fresh_query(query):
+    """Rebuild a pool query so per-instance plan state never leaks
+    between server runs."""
+    if isinstance(query, PeopleSearchQuery):
+        return PeopleSearchQuery(query.start, query.name, query.hops)
+    if isinstance(query, TqlServeQuery):
+        return TqlServeQuery(query.text)
+    if isinstance(query, LandmarkBfsQuery):
+        return LandmarkBfsQuery(query.source, query.max_hops)
+    return SubgraphServeQuery(query.query, query.max_embeddings)
+
+
+def serve_once(graph, config_name: str, workload: list, in_flight: int,
+               registry=None):
+    """One timed serving run; returns (elapsed, server, tickets)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    config = ServeConfig(max_in_flight=in_flight,
+                         queue_limit=len(workload) + 1,
+                         **CONFIGS[config_name])
+    server = QueryServer(graph, config, registry=registry)
+    if any(isinstance(q, SubgraphServeQuery) for q in workload):
+        # Build the topology snapshot outside the timed region — a warm
+        # server that has seen traffic holds it already.
+        server.snapshot()
+    start = time.perf_counter()
+    tickets = [server.submit(fresh_query(q)) for q in workload]
+    server.run()
+    elapsed = time.perf_counter() - start
+    assert all(t.status == "done" for t in tickets)
+    return elapsed, server, tickets
+
+
+def correctness_pass(graph, workload: list) -> dict:
+    """Serve a mixed sample with cross_check=True (every completion is
+    shadow-replayed through the sequential library path), including
+    across an interleaved mutation barrier."""
+    config = ServeConfig(cross_check=True, max_in_flight=16,
+                         queue_limit=len(workload) + 1,
+                         **CONFIGS["fusion_caching"])
+    server = QueryServer(graph, config, registry=MetricsRegistry())
+    sample = workload[:48]
+    tickets = [server.submit(fresh_query(q)) for q in sample]
+    server.run()
+    # Mutate through the barrier, then re-serve the same sample: cached
+    # pre-mutation entries are now stale and must be recomputed — the
+    # shadow replay would raise if one were served.
+    new_node = max(graph.node_ids) + 1
+    server.mutate(lambda g: g.add_edge(graph.node_ids[0], new_node))
+    again = [server.submit(fresh_query(q)) for q in sample]
+    server.run()
+    assert all(t.status == "done" for t in tickets + again)
+    return {
+        "queries_checked": len(tickets) + len(again),
+        "cached_completions": int(sum(t.cached for t in tickets + again)),
+        "interleaved_mutations": 1,
+        "result_cache_invalidated": server.result_cache.invalidated,
+    }
+
+
+def overload_demo(graph, workload: list) -> dict:
+    """Bounded admission under a burst beyond the queue limit."""
+    limit = max(8, len(workload) // 4)
+    config = ServeConfig(queue_limit=limit, max_in_flight=8,
+                         **CONFIGS["fusion_caching"])
+    server = QueryServer(graph, config, registry=MetricsRegistry())
+    tickets = [server.submit(fresh_query(q)) for q in workload]
+    rejected = sum(t.status == "rejected" for t in tickets)
+    server.run()
+    completed = sum(t.status == "done" for t in tickets)
+    return {"offered": len(tickets), "queue_limit": limit,
+            "rejected_queue_full": rejected, "completed": completed}
+
+
+def run_bench(scale: int, avg_degree: float, total: int, distinct: int,
+              loads: list[int], smoke: bool) -> tuple[dict, object]:
+    graph, edge_count = build_social_graph(
+        scale, avg_degree, machines=MACHINES, trunk_bits=TRUNK_BITS,
+        seed=SEED)
+    pool = build_query_pool(graph, distinct, seed=SEED + 2)
+    workload = build_workload(pool, total, seed=SEED + 3)
+    print(f"scale {scale}: {graph.num_nodes} nodes, {edge_count} edges, "
+          f"{total} queries over {distinct} distinct")
+
+    check = correctness_pass(graph, workload)
+    print(f"cross-check pass: {check['queries_checked']} completions "
+          f"shadow-replayed, {check['cached_completions']} from cache")
+
+    bench = {
+        "generator": {"kind": "rmat", "scale": scale,
+                      "avg_degree": avg_degree, "seed": SEED},
+        "machines": MACHINES,
+        "trunk_bits": TRUNK_BITS,
+        "nodes": graph.num_nodes,
+        "edges": edge_count,
+        "workload": {"total": total, "distinct": distinct,
+                     "skew": "zipf-1"},
+        "python": platform.python_version(),
+        "cross_check": check,
+        "results": {},
+    }
+    top_registry = None
+    for load in loads:
+        entry = {}
+        for config_name in CONFIGS:
+            registry = MetricsRegistry()
+            elapsed, server, _tickets = serve_once(
+                graph, config_name, workload, in_flight=load,
+                registry=registry)
+            report = server.report()
+            entry[config_name] = {
+                "seconds": elapsed,
+                "qps": total / elapsed,
+                "classes": report.classes,
+                "admission": report.admission,
+                "caches": report.caches,
+                "fusion": report.fusion,
+            }
+            if load == loads[-1] and config_name == "fusion_caching":
+                top_registry = registry
+            print(f"  load {load:3d}  {config_name:15s} "
+                  f"{elapsed:7.2f}s  {total / elapsed:8.1f} qps")
+        base = entry["no_opt"]["qps"]
+        entry["speedup_fusion"] = entry["fusion"]["qps"] / base
+        entry["speedup_fusion_caching"] = (
+            entry["fusion_caching"]["qps"] / base)
+        bench["results"][f"load_{load}"] = entry
+        print(f"  load {load:3d}  speedup: fusion "
+              f"{entry['speedup_fusion']:.2f}x, +caching "
+              f"{entry['speedup_fusion_caching']:.2f}x")
+
+    bench["overload"] = overload_demo(graph, workload)
+    top = bench["results"][f"load_{loads[-1]}"]
+    bench["top_load"] = {
+        "load": loads[-1],
+        "speedup_fusion_caching": top["speedup_fusion_caching"],
+    }
+    return bench, top_registry
+
+
+def check_regression(bench: dict, baseline_path: pathlib.Path) -> None:
+    """Warn (never fail) when the top-load speedup regressed >2x."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return
+    baseline = json.loads(baseline_path.read_text())
+    committed = baseline.get("top_load", {}).get("speedup_fusion_caching")
+    measured = bench["top_load"]["speedup_fusion_caching"]
+    if committed and measured * 2.0 < committed:
+        print(f"::warning::perf-smoke: serve top-load speedup "
+              f"{measured:.2f}x is more than 2x below the committed "
+              f"baseline {committed:.2f}x")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run; compares against the "
+                             "committed baseline and warns on regression")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="R-MAT scale (2^scale nodes; default 14, "
+                             "smoke 10)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="total submissions (default 2000, smoke 300)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="output JSON path (default BENCH_serve.json; "
+                             "smoke writes BENCH_serve_smoke.json)")
+    args = parser.parse_args()
+
+    scale = args.scale or (10 if args.smoke else 14)
+    total = args.queries or (300 if args.smoke else 2000)
+    distinct = max(8, total // 12)
+    loads = [1, 8] if args.smoke else [1, 8, 32]
+    bench, top_registry = run_bench(scale=scale, avg_degree=8,
+                                    total=total, distinct=distinct,
+                                    loads=loads, smoke=args.smoke)
+
+    out = args.out or (RESULTS_DIR / "BENCH_serve_smoke.json"
+                       if args.smoke else BENCH_PATH)
+    if args.smoke:
+        check_regression(bench, out)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {out}")
+    if top_registry is not None:
+        metrics_path = out.parent / (out.stem + ".metrics.json")
+        JsonFileSink(metrics_path).export(top_registry.snapshot())
+        print(f"wrote {metrics_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

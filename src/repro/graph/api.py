@@ -27,6 +27,7 @@ from ..memcloud.cloud import BulkPathDivergence
 from ..tsl.accessor import use_cell
 from ..tsl.batch import batch_decoder_for
 from ..tsl.types import ListType
+from ..utils.arrays import gather_ranges
 from ..utils.varint import decode_varint
 from .model import GraphSchema
 
@@ -48,6 +49,7 @@ class Graph:
         obs = cloud.obs
         self._m_batch_calls = obs.counter("query.batch.calls")
         self._m_batch_cells = obs.counter("query.batch.cells")
+        self._m_batch_dedup = obs.counter("query.batch.cells_deduped")
         self._m_batch_headers = obs.counter("query.batch.degree_headers")
         self._m_batch_checks = obs.counter("query.batch.cross_checks")
 
@@ -104,13 +106,22 @@ class Graph:
 
     # -- batched adjacency (the online traversal fast path) ----------------
 
-    def _bulk_spans(self, node_ids) -> tuple[int, list]:
+    def _bulk_spans(self, node_ids) -> tuple[int, list, np.ndarray | None]:
         """Zero-copy payload spans for a frontier array.
 
-        Returns ``(n, groups)`` where each group is one trunk's
+        Returns ``(n, groups, inverse)`` where each group is one trunk's
         ``(arena_view, starts, limits, input_indices)`` — the cell bytes
         are never copied; the decoders run directly on the trunk arenas
         and only field payloads materialize.
+
+        Repeated node ids are deduplicated *before* hashing and routing:
+        fused multi-query frontiers overlap heavily, and a duplicate
+        would otherwise pay the full addressing + trunk lookup + decode
+        cost twice.  When duplicates were dropped, the group positions
+        index the unique-id array and ``inverse`` maps every input
+        position to its unique index so callers can expand results back
+        to input order; ``inverse`` is None for duplicate-free input (the
+        common single-query case keeps its original routing order).
         """
         ids = np.asarray(node_ids, dtype=np.int64)
         if ids.ndim != 1:
@@ -119,7 +130,11 @@ class Graph:
             )
         self._m_batch_calls.inc()
         self._m_batch_cells.inc(len(ids))
-        return len(ids), self.cloud.bulk_get_spans(ids)
+        unique, inverse = np.unique(ids, return_inverse=True)
+        if len(unique) == len(ids):
+            return len(ids), self.cloud.bulk_get_spans(ids), None
+        self._m_batch_dedup.inc(len(ids) - len(unique))
+        return len(ids), self.cloud.bulk_get_spans(unique), inverse
 
     @staticmethod
     def _assert_spans_fresh(groups) -> None:
@@ -163,16 +178,17 @@ class Graph:
             raise QueryError(
                 f"field {field_name!r} has no CSR batch decoding"
             )
-        n, groups = self._bulk_spans(node_ids)
+        n, groups, inverse = self._bulk_spans(node_ids)
+        m = n if inverse is None else int(inverse.max()) + 1
         decoded = [
             (idx, self._decoder.decode_list_csr_spans(arena, starts, limits,
                                                       field_name))
             for arena, starts, limits, idx in groups
         ]
-        counts = np.zeros(n, dtype=np.int64)
+        counts = np.zeros(m, dtype=np.int64)
         for idx, (sub_indptr, _) in decoded:
             counts[idx] = np.diff(sub_indptr)
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(m + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         flat = np.empty(int(indptr[-1]),
                         dtype=self._decoder.csr_dtype(field_name))
@@ -185,6 +201,14 @@ class Graph:
                              + np.arange(len(sub_flat)))
                 flat[positions] = sub_flat
         self._assert_spans_fresh(groups)
+        if inverse is not None:
+            # Expand the unique-id CSR back to input order: each
+            # duplicate position gathers its unique id's list.
+            sizes = counts[inverse]
+            unique_starts = indptr[inverse]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            flat = gather_ranges(flat, unique_starts, sizes)
         if cross_check:
             self._m_batch_checks.inc()
             bounds = indptr.tolist()
@@ -204,14 +228,17 @@ class Graph:
         list), through one ``bulk_get`` — the batched twin of
         :meth:`read_field`."""
         self._require_field(field_name)
-        n, groups = self._bulk_spans(node_ids)
-        values: list = [None] * n
+        n, groups, inverse = self._bulk_spans(node_ids)
+        m = n if inverse is None else int(inverse.max()) + 1
+        values: list = [None] * m
         for arena, starts, limits, idx in groups:
             decoded = self._decoder.decode_column_spans(arena, starts,
                                                         limits, field_name)
             for i, value in zip(idx.tolist(), decoded):
                 values[i] = value
         self._assert_spans_fresh(groups)
+        if inverse is not None:
+            values = [values[j] for j in inverse.tolist()]
         if cross_check:
             self._m_batch_checks.inc()
             for node_id, value in zip(np.asarray(node_ids).tolist(), values):
@@ -233,12 +260,15 @@ class Graph:
         built for the rest.
         """
         self._require_field(field_name)
-        n, groups = self._bulk_spans(node_ids)
-        hits = np.zeros(n, dtype=bool)
+        n, groups, inverse = self._bulk_spans(node_ids)
+        m = n if inverse is None else int(inverse.max()) + 1
+        hits = np.zeros(m, dtype=bool)
         for arena, starts, limits, idx in groups:
             hits[idx] = self._decoder.string_eq_spans(arena, starts, limits,
                                                       field_name, value)
         self._assert_spans_fresh(groups)
+        if inverse is not None:
+            hits = hits[inverse]
         if cross_check:
             self._m_batch_checks.inc()
             for node_id, hit in zip(np.asarray(node_ids).tolist(),
@@ -256,8 +286,9 @@ class Graph:
         count headers (no element decode at all)."""
         field_name = self.graph_schema.out_field
         self._require_field(field_name)
-        n, groups = self._bulk_spans(node_ids)
-        counts = np.zeros(n, dtype=np.int64)
+        n, groups, inverse = self._bulk_spans(node_ids)
+        m = n if inverse is None else int(inverse.max()) + 1
+        counts = np.zeros(m, dtype=np.int64)
         header_only = isinstance(self._node_type.field_type(field_name),
                                  ListType)
         for arena, starts, limits, idx in groups:
@@ -269,6 +300,8 @@ class Graph:
                     len(v) for v in self._decoder.decode_column_spans(
                         arena, starts, limits, field_name)]
         self._assert_spans_fresh(groups)
+        if inverse is not None:
+            counts = counts[inverse]
         self._m_batch_headers.inc(len(counts))
         if cross_check:
             self._m_batch_checks.inc()

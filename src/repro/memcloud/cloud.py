@@ -166,6 +166,25 @@ class MemoryCloud:
             self._shadow.contains(cell_id)
         return cell_id in self.trunk_for(cell_id)
 
+    def mutation_epoch(self) -> int:
+        """Cloud-wide mutation version: the sum of every trunk's epoch.
+
+        Strictly increases on *any* mutation anywhere in the cloud —
+        puts, removes, resizes, defrag passes, wraps, and in-place
+        accessor writes (:meth:`note_cell_write`) — so a value cached
+        against this number is provably fresh while it matches.  The
+        serving layer stamps its hub-adjacency and query-result caches
+        with it.
+        """
+        return sum(t.mutation_epoch for t in self.trunks.values())
+
+    def note_cell_write(self, cell_id: int) -> None:
+        """Bump the owning trunk's epoch after an in-place arena write
+        (the cell-accessor fixed-field path, which never calls put)."""
+        self.trunk_for(cell_id).touch()
+        if self._shadow is not None:
+            self._shadow.note_cell_write(cell_id)
+
     __contains__ = contains
 
     def size_of(self, cell_id: int) -> int:

@@ -530,6 +530,19 @@ class MemoryTrunk:
         with self._mutex:
             return self._mutation_epoch
 
+    def touch(self) -> None:
+        """Record an in-place payload mutation that bypassed put().
+
+        Cell accessors write fixed-size fields straight into the arena
+        (no relocation, no put), which leaves offsets valid but changes
+        cell *content*.  Anything caching decoded values keyed on
+        :attr:`mutation_epoch` — the serving layer's hub/result caches,
+        outstanding zero-copy spans — must observe such writes too, so
+        they share the same epoch bump as structural changes.
+        """
+        with self._mutex:
+            self._invalidate_spans()
+
     def get_view(self, uid: int) -> memoryview:
         """Zero-copy view of the cell payload.
 

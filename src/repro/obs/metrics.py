@@ -153,6 +153,17 @@ class Histogram:
                 return self.max if self.max is not None else 0.0
         return self.max if self.max is not None else 0.0
 
+    def summary(self) -> dict:
+        """``{count, mean, p50, p99, max}`` — the one-line view the SLO
+        reports and ``:metrics`` print instead of raw bucket dumps."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "max": self.max if self.max is not None else 0.0,
+        }
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
@@ -168,6 +179,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
             "buckets": {
                 str(bound): n
                 for bound, n in zip(self.bounds, self.bucket_counts)

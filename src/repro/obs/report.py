@@ -76,10 +76,12 @@ class MetricsReport:
             for s in shown:
                 label = _label_str(s["labels"])
                 if kind == "histogram":
+                    # The Histogram.summary() shape: count/mean/p50/p99/max
+                    # (quantiles are bucket-resolution estimates).
                     lines.append(
                         f"  {label or '(all)'}: count={s['count']} "
-                        f"mean={_fmt(s['mean'])} min={_fmt(s['min'])} "
-                        f"max={_fmt(s['max'])} sum={_fmt(s['sum'])}"
+                        f"mean={_fmt(s['mean'])} p50={_fmt(s.get('p50'))} "
+                        f"p99={_fmt(s.get('p99'))} max={_fmt(s['max'])}"
                     )
                 else:
                     lines.append(f"  {label or '(all)'}: {_fmt(s['value'])}")

@@ -1,0 +1,54 @@
+"""Concurrent query serving over the memory cloud (the online front end).
+
+Trinity's defining claim is that one in-memory graph serves *online*
+queries in real time while supporting offline analytics (Section 1).
+``repro.serve`` is the online half at serving concurrency: an
+admission-controlled cooperative scheduler keeps many people-search /
+TQL / subgraph / BFS queries in flight, fuses their per-hop frontiers
+into shared bulk reads against the memory cloud, caches hub adjacency
+and whole query results under mutation-epoch validity, and accounts
+per-class latency SLOs.
+
+Pieces:
+
+* :mod:`~repro.serve.queries` — resumable query plans
+  (:class:`PeopleSearchQuery`, :class:`TqlServeQuery`,
+  :class:`LandmarkBfsQuery`, :class:`SubgraphServeQuery`) yielding
+  :class:`BatchOp` read requests, each with a sequential library oracle.
+* :mod:`~repro.serve.fusion` — :class:`FusedExecutor`, one bulk read per
+  op shape per window plus the hub-vertex cache.
+* :mod:`~repro.serve.caches` — :class:`EpochLruCache`, LRU entries valid
+  for exactly one cloud mutation epoch.
+* :mod:`~repro.serve.scheduler` — :class:`QueryServer`,
+  :class:`ServeConfig`, :class:`ServeReport`: admission, fusion windows,
+  the mutation barrier, cross-check replay and SLO reporting.
+"""
+
+from .caches import EpochLruCache
+from .fusion import FusedExecutor
+from .queries import (
+    BatchOp,
+    LandmarkBfsQuery,
+    PeopleSearchQuery,
+    QueryTicket,
+    ServeQuery,
+    SubgraphServeQuery,
+    TqlServeQuery,
+)
+from .scheduler import LATENCY_BUCKETS, QueryServer, ServeConfig, ServeReport
+
+__all__ = [
+    "BatchOp",
+    "EpochLruCache",
+    "FusedExecutor",
+    "LandmarkBfsQuery",
+    "LATENCY_BUCKETS",
+    "PeopleSearchQuery",
+    "QueryServer",
+    "QueryTicket",
+    "ServeConfig",
+    "ServeQuery",
+    "ServeReport",
+    "SubgraphServeQuery",
+    "TqlServeQuery",
+]

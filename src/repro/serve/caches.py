@@ -1,0 +1,89 @@
+"""Epoch-stamped LRU caches for the query-serving layer.
+
+Both serving caches — the hub-vertex adjacency cache and the keyed
+query-result cache — share one correctness rule: an entry is only valid
+for the exact cloud mutation epoch it was recorded under.  Every
+structural mutation anywhere in the memory cloud (a put, an in-place
+accessor write, a remove, a defragmentation pass, a trunk resize) bumps
+the owning trunk's ``mutation_epoch``; the cloud-wide epoch is the sum
+over trunks (:meth:`repro.memcloud.cloud.MemoryCloud.mutation_epoch`),
+so *any* mutation makes every cached entry unreachable.  Coarse, but it
+makes staleness impossible rather than unlikely — the serving layer's
+``cross_check`` mode then proves it by shadow-replaying cached answers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs import get_registry
+
+
+class EpochLruCache:
+    """LRU mapping of hashable keys to values, valid for one epoch each.
+
+    ``get`` with a current epoch that differs from the entry's stamp
+    counts an invalidation and behaves as a miss (the entry is dropped);
+    ``put`` beyond ``capacity`` evicts the least recently used entry.
+    Hit/miss/invalidation/eviction counters land under
+    ``serve.cache.*`` labelled with the cache's name.
+    """
+
+    def __init__(self, name: str, capacity: int, registry=None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        registry = registry if registry is not None else get_registry()
+        self.name = name
+        self.capacity = capacity
+        self._entries: OrderedDict[object, tuple[int, object]] = OrderedDict()
+        self._m_hits = registry.counter("serve.cache.hits", cache=name)
+        self._m_misses = registry.counter("serve.cache.misses", cache=name)
+        self._m_invalidated = registry.counter(
+            "serve.cache.invalidated", cache=name)
+        self._m_evicted = registry.counter("serve.cache.evicted", cache=name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key, epoch: int):
+        """The cached value, or None on miss / stale entry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._m_misses.inc()
+            return None
+        stamped, value = entry
+        if stamped != epoch:
+            # The cloud mutated since this was recorded: the bytes the
+            # value was decoded from may have changed or moved.
+            del self._entries[key]
+            self._m_invalidated.inc()
+            self._m_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._m_hits.inc()
+        return value
+
+    def put(self, key, epoch: int, value) -> None:
+        self._entries[key] = (epoch, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._m_evicted.inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def invalidated(self) -> int:
+        return self._m_invalidated.value

@@ -1,0 +1,330 @@
+"""Admission-controlled concurrent query serving over the memory cloud.
+
+Trinity serves "online queries ... in real time" against the same
+in-memory graph the offline engines compute on (Section 1); this module
+is the serving front end for the reproduction: a cooperative scheduler
+that keeps many queries in flight so their per-hop frontiers can be
+**fused** into shared bulk reads, caches what power-law workloads repeat
+(hub adjacency, whole query results), and defends latency with bounded
+admission and per-query deadlines.
+
+Execution model — deterministic by construction:
+
+* ``submit`` appends to a bounded admission queue (overflow is rejected
+  immediately with ``queue_full``).
+* ``run`` repeats **fusion windows** until idle.  A window admits
+  queries up to ``max_in_flight`` (expired deadlines reject with
+  ``deadline``; result-cache hits complete on the spot), then steps
+  every in-flight plan exactly once, in admission order, and hands the
+  collected :class:`~repro.serve.queries.BatchOp` set to the
+  :class:`~repro.serve.fusion.FusedExecutor` — one bulk read per op
+  shape per window.
+* Mutations go through :meth:`QueryServer.mutate`, which drains all
+  in-flight work first (a barrier): every query executes against one
+  consistent graph version, and every trunk epoch bump invalidates the
+  epoch-stamped caches for the queries that follow.
+
+``cross_check=True`` shadow-replays **every** completion — fused,
+cached, or inline — through the query's existing one-at-a-time library
+path and raises :class:`~repro.memcloud.cloud.BulkPathDivergence` on any
+difference, which is how the test suite proves the three optimizations
+change the speed and never the answers.
+
+Latency SLOs land in ``serve.latency.seconds{cls=...}`` histograms;
+:meth:`QueryServer.report` renders their ``summary()`` (count / mean /
+p50 / p99 / max) per query class.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..algorithms.subgraph import LabelIndex, assign_labels
+from ..errors import QueryError
+from ..graph.csr import CsrTopology
+from ..obs import get_registry
+from .caches import EpochLruCache
+from .fusion import FusedExecutor
+from .queries import QueryTicket, ServeQuery
+
+#: ~2x-resolution buckets from 10 µs to ~5 min: wall-clock query service
+#: times at simulation scale.
+LATENCY_BUCKETS = tuple(1e-5 * 2.0 ** e for e in range(25))
+
+
+@dataclass
+class ServeConfig:
+    """Serving-layer knobs; the benchmark ablates ``fuse`` and caching."""
+
+    fuse: bool = True                    # cross-query frontier fusion
+    result_cache: bool = True            # keyed whole-result cache
+    hub_cache: bool = True               # high-degree adjacency cache
+    hub_degree_threshold: int = 32
+    hub_cache_capacity: int = 4096
+    result_cache_capacity: int = 1024
+    max_in_flight: int = 64              # plans stepped per window
+    queue_limit: int = 1024              # admission queue bound
+    default_deadline: float | None = None   # seconds in queue before reject
+    sequential: bool = False             # baseline: one query at a time
+    cross_check: bool = False            # shadow-replay every completion
+
+
+class ServeReport:
+    """Per-class SLO summaries plus admission/cache counters."""
+
+    def __init__(self, classes: dict, admission: dict, caches: dict,
+                 fusion: dict):
+        self.classes = classes
+        self.admission = admission
+        self.caches = caches
+        self.fusion = fusion
+
+    def to_dict(self) -> dict:
+        return {"classes": self.classes, "admission": self.admission,
+                "caches": self.caches, "fusion": self.fusion}
+
+    def render(self) -> str:
+        lines = ["query classes:"]
+        for name in sorted(self.classes):
+            s = self.classes[name]
+            lines.append(
+                f"  {name}: count={s['count']} mean={s['mean']:.2e}s "
+                f"p50={s['p50']:.2e}s p99={s['p99']:.2e}s "
+                f"max={s['max']:.2e}s")
+        lines.append(
+            "admission: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.admission.items())))
+        for cache, stats in sorted(self.caches.items()):
+            lines.append(
+                f"cache {cache}: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(stats.items())))
+        lines.append(
+            "fusion: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.fusion.items())))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class QueryServer:
+    """The serving loop: admission queue, fusion windows, caches, SLOs."""
+
+    def __init__(self, graph, config: ServeConfig | None = None,
+                 registry=None):
+        self.graph = graph
+        self.config = config or ServeConfig()
+        self.registry = (registry if registry is not None
+                         else getattr(graph.cloud, "obs", None)
+                         or get_registry())
+        cfg = self.config
+        self.result_cache = (
+            EpochLruCache("result", cfg.result_cache_capacity, self.registry)
+            if cfg.result_cache else None)
+        hub = (EpochLruCache("hub", cfg.hub_cache_capacity, self.registry)
+               if cfg.hub_cache else None)
+        self.executor = FusedExecutor(
+            graph, fuse=cfg.fuse, hub_cache=hub,
+            hub_degree_threshold=cfg.hub_degree_threshold,
+            registry=self.registry)
+        self._queue: deque[QueryTicket] = deque()
+        self._active: list[tuple[QueryTicket, object, object]] = []
+        self._latency: dict[str, object] = {}
+        self._m_submitted = self.registry.counter("serve.admission.submitted")
+        self._m_admitted = self.registry.counter("serve.admission.admitted")
+        self._m_rejected = {
+            reason: self.registry.counter("serve.admission.rejected",
+                                          reason=reason)
+            for reason in ("queue_full", "deadline")
+        }
+        self._m_completed: dict[str, object] = {}
+        self._m_cached = self.registry.counter("serve.completed.from_cache")
+        self._m_windows = self.registry.counter("serve.windows")
+        self._m_mutations = self.registry.counter("serve.mutations")
+        self._m_cross_checks = self.registry.counter("serve.cross_checks")
+        # Snapshot state for inline queries (subgraph matching): rebuilt
+        # lazily whenever the cloud's mutation epoch moves.
+        self._snapshot = None
+        self._snapshot_epoch = None
+        self._label_seed = 0
+        self._num_labels = 20
+
+    # -- ctx surface handed to query plans ---------------------------------
+
+    def snapshot(self):
+        """``(topology, labels, index)`` for the current graph version."""
+        epoch = self.graph.cloud.mutation_epoch()
+        if self._snapshot is None or self._snapshot_epoch != epoch:
+            topology = CsrTopology(self.graph)
+            labels = assign_labels(topology.n, num_labels=self._num_labels,
+                                   seed=self._label_seed)
+            self._snapshot = (topology, labels,
+                              LabelIndex(topology, labels))
+            self._snapshot_epoch = epoch
+        return self._snapshot
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, query: ServeQuery,
+               deadline: float | None = None) -> QueryTicket:
+        """Enqueue a query; returns its ticket (possibly already
+        rejected when the admission queue is full)."""
+        if not isinstance(query, ServeQuery):
+            raise QueryError("submit() takes a ServeQuery")
+        ticket = QueryTicket(
+            query=query,
+            deadline=(deadline if deadline is not None
+                      else self.config.default_deadline),
+            submitted_at=time.perf_counter(),
+        )
+        self._m_submitted.inc()
+        if len(self._queue) >= self.config.queue_limit:
+            self._reject(ticket, "queue_full")
+            return ticket
+        self._queue.append(ticket)
+        return ticket
+
+    def _reject(self, ticket: QueryTicket, reason: str) -> None:
+        ticket.status = "rejected"
+        ticket.reject_reason = reason
+        ticket.finished_at = time.perf_counter()
+        self._m_rejected[reason].inc()
+
+    # -- the serving loop --------------------------------------------------
+
+    def run(self) -> None:
+        """Process fusion windows until queue and in-flight set drain."""
+        while self._queue or self._active:
+            self._window()
+
+    def _window(self) -> None:
+        self._m_windows.inc()
+        self._admit()
+        if not self._active:
+            return
+        if self.config.sequential:
+            # Baseline mode: the window holds exactly one query and it
+            # runs to completion through the library path — the
+            # one-at-a-time server every optimization is measured
+            # against.
+            ticket, _gen, _op = self._active.pop(0)
+            result = ticket.query.run_sequential(self)
+            self._complete(ticket, result)
+            return
+        ops = [op for _ticket, _gen, op in self._active]
+        results = self.executor.run_window(ops)
+        still_active = []
+        for (ticket, gen, _op), result in zip(self._active, results):
+            ticket.windows += 1
+            try:
+                next_op = gen.send(result)
+            except StopIteration as stop:
+                self._complete(ticket, stop.value)
+            else:
+                still_active.append((ticket, gen, next_op))
+        self._active = still_active
+
+    def _admit(self) -> None:
+        limit = 1 if self.config.sequential else self.config.max_in_flight
+        while self._queue and len(self._active) < limit:
+            ticket = self._queue.popleft()
+            now = time.perf_counter()
+            if (ticket.deadline is not None
+                    and now - ticket.submitted_at > ticket.deadline):
+                self._reject(ticket, "deadline")
+                continue
+            self._m_admitted.inc()
+            ticket.status = "running"
+            if self.result_cache is not None:
+                epoch = self.graph.cloud.mutation_epoch()
+                hit = self.result_cache.get(ticket.query.key(), epoch)
+                if hit is not None:
+                    ticket.cached = True
+                    self._m_cached.inc()
+                    self._complete(ticket, hit)
+                    continue
+            if self.config.sequential:
+                self._active.append((ticket, None, None))
+                continue
+            gen = ticket.query.plan(self)
+            try:
+                first_op = gen.send(None)
+            except StopIteration as stop:
+                # Inline queries (subgraph, non-fusible TQL) finish on
+                # their first step.
+                self._complete(ticket, stop.value)
+            else:
+                self._active.append((ticket, gen, first_op))
+
+    # -- completion --------------------------------------------------------
+
+    def _complete(self, ticket: QueryTicket, result) -> None:
+        ticket.result = result
+        ticket.status = "done"
+        ticket.finished_at = time.perf_counter()
+        cls = ticket.query.cls_name
+        if cls not in self._latency:
+            self._latency[cls] = self.registry.histogram(
+                "serve.latency.seconds", buckets=LATENCY_BUCKETS, cls=cls)
+            self._m_completed[cls] = self.registry.counter(
+                "serve.completed", cls=cls)
+        self._latency[cls].observe(ticket.latency)
+        self._m_completed[cls].inc()
+        if self.result_cache is not None and not ticket.cached:
+            self.result_cache.put(ticket.query.key(),
+                                  self.graph.cloud.mutation_epoch(), result)
+        if self.config.cross_check:
+            self._m_cross_checks.inc()
+            reference = ticket.query.run_sequential(self)
+            ticket.query.check(result, reference)
+
+    # -- mutation barrier --------------------------------------------------
+
+    def mutate(self, fn) -> None:
+        """Drain in-flight queries, then apply ``fn(graph)``.
+
+        The barrier gives every query one consistent graph version; the
+        mutation itself bumps trunk epochs through the normal cloud
+        paths, so both caches treat everything recorded before it as
+        stale.
+        """
+        self.run()
+        self._m_mutations.inc()
+        fn(self.graph)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> ServeReport:
+        classes = {cls: hist.summary()
+                   for cls, hist in sorted(self._latency.items())}
+        admission = {
+            "submitted": self._m_submitted.value,
+            "admitted": self._m_admitted.value,
+            "rejected_queue_full": self._m_rejected["queue_full"].value,
+            "rejected_deadline": self._m_rejected["deadline"].value,
+            "completed_from_cache": self._m_cached.value,
+        }
+        caches = {}
+        if self.result_cache is not None:
+            caches["result"] = {
+                "hits": self.result_cache.hits,
+                "misses": self.result_cache.misses,
+                "invalidated": self.result_cache.invalidated,
+                "size": len(self.result_cache),
+            }
+        hub = self.executor.hub_cache
+        if hub is not None:
+            caches["hub"] = {
+                "hits": hub.hits, "misses": hub.misses,
+                "invalidated": hub.invalidated, "size": len(hub),
+            }
+        fusion = {
+            "windows": self._m_windows.value,
+            "ops": self.executor._m_ops.value,
+            "batch_rounds": self.executor._m_rounds.value,
+            "fused_ids": self.executor._m_fused_ids.value,
+            "hub_cells": self.executor._m_hub_served.value,
+        }
+        return ServeReport(classes, admission, caches, fusion)

@@ -30,7 +30,7 @@ from .types import ListType, StructType, TslType
 
 _INTERNALS = frozenset({
     "_cloud", "_cell_id", "_struct", "_lock", "_view", "_buf", "_dirty",
-    "_offsets", "_entered",
+    "_offsets", "_entered", "_wrote_view",
 })
 
 
@@ -52,6 +52,7 @@ class CellAccessor:
         object.__setattr__(self, "_dirty", False)
         object.__setattr__(self, "_offsets", {})
         object.__setattr__(self, "_entered", False)
+        object.__setattr__(self, "_wrote_view", False)
 
     # -- context management ------------------------------------------------
 
@@ -73,6 +74,11 @@ class CellAccessor:
         object.__setattr__(self, "_entered", False)
         if self._dirty and exc_type is None:
             self._cloud.put(self._cell_id, bytes(self._buf))
+        elif self._wrote_view:
+            # Fixed-size fields were written straight into the trunk
+            # arena (no put): the bytes already changed, so advance the
+            # owning trunk's mutation epoch for span/cache consumers.
+            self._cloud.note_cell_write(self._cell_id)
 
     # -- field access --------------------------------------------------------
 
@@ -120,6 +126,8 @@ class CellAccessor:
             )
             if self._buf is not None:
                 object.__setattr__(self, "_dirty", True)
+            else:
+                object.__setattr__(self, "_wrote_view", True)
             return
         self._splice_field(field_name, field_type, field_type.encode(value))
 
@@ -226,6 +234,8 @@ class ListAccessor:
             element.write_fixed(buf, offset, value)
             if self._parent._buf is not None:
                 object.__setattr__(self._parent, "_dirty", True)
+            else:
+                object.__setattr__(self._parent, "_wrote_view", True)
             return
         # Variable-size element: splice just this element's bytes.
         end = element.skip(buf, offset)

@@ -77,6 +77,28 @@ class TestHistogram:
         assert DEFAULT_BUCKETS[0] <= 1e-6
         assert DEFAULT_BUCKETS[-1] >= 10.0
 
+    def test_summary_shape(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0, 100.0))
+        assert h.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                               "p99": 0.0, "max": 0.0}
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(50.0)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx((99 * 0.5 + 50.0) / 100)
+        assert s["p50"] == 1.0       # bucket-resolution estimates
+        assert s["p99"] == 1.0       # 99 of 100 samples sit in bucket one
+        assert s["max"] == 50.0
+
+    def test_snapshot_carries_quantiles(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["p50"] == 1.0
+        assert snap["p99"] == 1.0
+        assert "buckets" in snap  # raw buckets are still exported
+
 
 class TestRegistry:
     def test_get_or_create_same_object(self):

@@ -275,6 +275,178 @@ class TestFieldEqBatch:
                                  for i in ids]
 
 
+class TestBatchDedup:
+    """Repeated node ids are routed once and reassembled in input order."""
+
+    def _dup_ids(self, graph):
+        base = graph.node_ids[:40]
+        return np.asarray(base + base[:17] + base[5:9] + [base[0]] * 6,
+                          dtype=np.int64)
+
+    def test_outlinks_batch_with_duplicates(self, deployment):
+        _, graph = deployment
+        ids = self._dup_ids(graph)
+        indptr, flat = graph.outlinks_batch(ids, cross_check=True)
+        assert len(indptr) == len(ids) + 1
+        for i, node_id in enumerate(ids.tolist()):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == \
+                graph.outlinks(node_id)
+
+    def test_read_field_batch_with_duplicates(self, deployment):
+        _, graph = deployment
+        ids = self._dup_ids(graph)
+        names = graph.read_field_batch(ids, "Name", cross_check=True)
+        assert names == [graph.attribute(int(i), "Name") for i in ids]
+
+    def test_field_eq_batch_with_duplicates(self, deployment):
+        _, graph = deployment
+        ids = self._dup_ids(graph)
+        target = graph.attribute(5, "Name")
+        hits = graph.field_eq_batch(ids, "Name", target, cross_check=True)
+        assert hits.tolist() == [
+            graph.attribute(int(i), "Name") == target for i in ids]
+
+    def test_degree_batch_with_duplicates(self, deployment):
+        _, graph = deployment
+        ids = self._dup_ids(graph)
+        degrees = graph.degree_batch(ids, cross_check=True)
+        assert degrees.tolist() == [len(graph.outlinks(int(i)))
+                                    for i in ids]
+
+    def test_dedup_counter_and_routing_volume(self, deployment):
+        cloud, graph = deployment
+        dedup = cloud.obs.counter("query.batch.cells_deduped")
+        routed = cloud.obs.counter("memcloud.bulk.get.cells")
+        ids = np.asarray([graph.node_ids[0]] * 50 + graph.node_ids[:10],
+                         dtype=np.int64)
+        before_dedup = dedup.value
+        before_routed = routed.value
+        graph.outlinks_batch(ids)
+        dropped = len(ids) - len(np.unique(ids))
+        assert dedup.value == before_dedup + dropped
+        # Only the unique ids reach hashing/routing and the trunks.
+        assert routed.value - before_routed == len(np.unique(ids))
+
+    def test_all_same_id(self, deployment):
+        _, graph = deployment
+        node = graph.node_ids[3]
+        ids = np.asarray([node] * 25, dtype=np.int64)
+        indptr, flat = graph.outlinks_batch(ids, cross_check=True)
+        expected = graph.outlinks(node)
+        assert indptr.tolist() == [len(expected) * i for i in range(26)]
+        assert flat.tolist() == expected * 25
+
+
+class TestMutationEpoch:
+    """Every structural mutation path advances the cloud mutation epoch,
+    so epoch-stamped cache entries can never be served stale."""
+
+    def _fresh(self, machines=3):
+        cloud = MemoryCloud(ClusterConfig(machines=machines, trunk_bits=4),
+                            MetricsRegistry())
+        graph = build_rmat_named_graph(cloud, scale=6)
+        return cloud, graph
+
+    def test_each_mutation_kind_bumps_epoch(self):
+        cloud, graph = self._fresh()
+        node = graph.node_ids[0]
+        peer = graph.node_ids[1]
+
+        def put_blob(g):
+            g.cloud.put(max(g.node_ids) + 1000, b"raw-cell")
+
+        def remove_blob(g):
+            g.cloud.remove(max(g.node_ids) + 1000)
+
+        def in_place_list_write(g):
+            with g.use_node(node) as cell:
+                friends = cell.get("Friends")
+                if len(friends):
+                    friends[0] = friends[0]  # same value, bytes rewritten
+
+        def splice_attribute(g):
+            with g.use_node(peer) as cell:
+                cell.Name = "Renamed"
+
+        def defrag(g):
+            for trunk in g.cloud.trunks.values():
+                trunk.defragment()
+
+        mutations = [
+            ("add_edge", lambda g: g.add_edge(node, max(g.node_ids) + 1)),
+            ("add_node", lambda g: g.add_node(max(g.node_ids) + 1,
+                                              Name="New")),
+            ("put", put_blob),
+            ("remove", remove_blob),
+            ("in_place_list_write", in_place_list_write),
+            ("splice_attribute", splice_attribute),
+            ("defragment", defrag),
+        ]
+        for label, mutate in mutations:
+            before = cloud.mutation_epoch()
+            mutate(graph)
+            after = cloud.mutation_epoch()
+            assert after > before, f"{label} did not bump mutation_epoch"
+
+    def test_random_mutation_sequences_are_monotonic(self):
+        cloud, graph = self._fresh()
+        rng = np.random.default_rng(17)
+        nodes = graph.node_ids[:64]
+        last = cloud.mutation_epoch()
+        for step in range(60):
+            kind = int(rng.integers(0, 4))
+            if kind == 0:
+                graph.add_edge(int(rng.choice(nodes)),
+                               int(rng.choice(nodes)))
+            elif kind == 1:
+                with graph.use_node(int(rng.choice(nodes))) as cell:
+                    friends = cell.get("Friends")
+                    if len(friends):
+                        friends[0] = int(rng.choice(nodes))
+                    else:
+                        cell.Name = f"n{step}"
+            elif kind == 2:
+                graph.cloud.put(int(rng.choice(nodes)),
+                                graph.cloud.get(int(rng.choice(nodes))))
+            else:
+                with graph.use_node(int(rng.choice(nodes))) as cell:
+                    cell.Name = f"renamed-{step}"
+            current = cloud.mutation_epoch()
+            assert current > last
+            last = current
+
+    def test_reads_do_not_bump_epoch(self):
+        cloud, graph = self._fresh()
+        before = cloud.mutation_epoch()
+        graph.outlinks_batch(np.asarray(graph.node_ids[:32],
+                                        dtype=np.int64))
+        graph.read_field_batch(np.asarray(graph.node_ids[:16],
+                                          dtype=np.int64), "Name")
+        with graph.use_node(graph.node_ids[0]) as cell:
+            _ = cell.Name
+            _ = cell.get("Friends").to_list()
+        assert cloud.mutation_epoch() == before
+
+    def test_stale_hub_entry_never_served(self):
+        from repro.serve import EpochLruCache
+        cloud, graph = self._fresh()
+        cache = EpochLruCache("hub", capacity=8, registry=cloud.obs)
+        node = graph.node_ids[0]
+        epoch = cloud.mutation_epoch()
+        cache.put(node, epoch, list(graph.outlinks(node)))
+        assert cache.get(node, cloud.mutation_epoch()) is not None
+        rng = np.random.default_rng(3)
+        for step in range(10):
+            graph.add_edge(node, int(rng.choice(graph.node_ids)))
+            # After ANY mutation the stamped entry must be unreachable.
+            assert cache.get(node, cloud.mutation_epoch()) is None
+            cache.put(node, cloud.mutation_epoch(),
+                      list(graph.outlinks(node)))
+        assert cache.invalidated >= 1
+        served = cache.get(node, cloud.mutation_epoch())
+        assert served == graph.outlinks(node)
+
+
 class TestVisitedTracker:
     def test_mask_grows_and_counts(self):
         from repro.algorithms.people_search import _VisitedTracker

