@@ -87,6 +87,30 @@ def build_social_graph(scale: int, avg_degree: float, machines: int = 4,
     return builder.finalize(), int(len(edges))
 
 
+def build_streamed_social_graph(n: int, avg_degree: float = 13.0,
+                                machines: int = 2, trunk_bits: int = 4,
+                                seed: int = 42, memory: MemoryParams
+                                | None = None, registry=None):
+    """Stream a named social graph into a fresh cloud, batch by batch.
+
+    The external-memory loading fixture: edges come from the chunked
+    Chung-Lu emitter (``repro.generators.stream_social_edges``), so the
+    full edge list never materialises — the shape of workload the paged
+    storage tier (``MemoryParams.storage="paged"``) exists for.
+    Returns ``(cloud, graph, edge_count)``.
+    """
+    from repro.generators import stream_build_social_graph
+    cloud = MemoryCloud(
+        ClusterConfig(machines=machines, trunk_bits=trunk_bits,
+                      memory=memory if memory is not None
+                      else MemoryParams(trunk_size=8 * 1024 * 1024)),
+        registry if registry is not None else MetricsRegistry(),
+    )
+    graph, edge_count = stream_build_social_graph(
+        cloud, n, avg_degree=avg_degree, seed=seed)
+    return cloud, graph, edge_count
+
+
 def format_row(cells, widths) -> str:
     return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
 

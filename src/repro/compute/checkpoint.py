@@ -23,6 +23,7 @@ import json
 import pickle
 
 from ..errors import RecoveryError
+from ..memcloud import persistence as trunk_persistence
 from ..tfs import TrinityFileSystem
 
 
@@ -120,6 +121,45 @@ class CheckpointManager:
         if not tags:
             raise RecoveryError(f"no state images for job {self.job!r}")
         return tags[-1], self.load_state(tags[-1])
+
+    # -- memory-cloud images (page files, not pickles) -----------------------
+
+    def _trunk_path(self, tag: int, trunk_id: int) -> str:
+        return (f"/trinity/checkpoints/{self.job}/{tag:08d}.trunks/"
+                f"{trunk_id:05d}.img")
+
+    def save_cloud(self, tag: int, cloud) -> int:
+        """Checkpoint every trunk of a memory cloud; returns image bytes.
+
+        Each trunk is persisted in its storage tier's native image
+        format (:mod:`repro.memcloud.persistence`): paged trunks write
+        back their dirty pages and persist the page file verbatim (v2),
+        resident trunks keep the portable cell image (v1).  Nothing is
+        pickled — the images are the same format machine recovery uses.
+        """
+        total = 0
+        for trunk_id, trunk in cloud.trunks.items():
+            image = trunk_persistence.trunk_to_bytes(trunk)
+            self.tfs.write(self._trunk_path(tag, trunk_id), image)
+            total += len(image)
+        self.saved += 1
+        return total
+
+    def load_cloud(self, tag: int, cloud) -> int:
+        """Restore every trunk of a cloud from a checkpoint tag.
+
+        Trunks are replaced wholesale through
+        :func:`repro.memcloud.persistence.adopt_trunk_image`, which
+        carries each trunk's mutation epoch forward so outstanding spans
+        and serving-layer caches stamped before the restore can never
+        validate against the restored state.  Returns cells restored.
+        """
+        cells = 0
+        for trunk_id in list(cloud.trunks):
+            image = self.tfs.read(self._trunk_path(tag, trunk_id))
+            cells += trunk_persistence.adopt_trunk_image(
+                cloud, trunk_id, image)
+        return cells
 
     def prune(self, keep: int = 2) -> int:
         """Drop all but the newest ``keep`` checkpoints; returns removed."""

@@ -108,6 +108,29 @@ class MemoryParams:
     linear-probing algorithm with identical probe accounting; the numpy
     backend is denser and supports cheap bulk pre-sizing."""
 
+    storage: str = "resident"
+    """Byte backing per trunk: ``"resident"`` keeps the whole arena in
+    RAM (the default, behaviour-identical to the pre-tier trunk);
+    ``"paged"`` backs the arena with an mmap'd page file and keeps at
+    most ``page_budget`` pages of it resident — graphs bigger than RAM
+    load and serve at the cost of page faults (Section 3's 10^9-node
+    claims need exactly this spill tier)."""
+
+    storage_page_size: int = 4096
+    """Paging granularity of the ``"paged"`` storage tier (bytes).
+    Independent of ``page_size``, which is the *commit* accounting
+    granularity shared by both tiers."""
+
+    page_budget: int = 64
+    """Maximum RAM-resident pages per paged trunk.  Touching more pages
+    evicts the least recently used unpinned one (dirty pages are written
+    back first).  Ignored by resident storage."""
+
+    spill_dir: str | None = None
+    """Directory for paged trunks' page files.  ``None`` lets each
+    owner (the cloud, or a standalone trunk) manage a private temp
+    location that is removed with it."""
+
     def __post_init__(self) -> None:
         if self.trunk_size <= 0:
             raise ConfigError("trunk_size must be positive")
@@ -116,6 +139,20 @@ class MemoryParams:
                 f"hashtable_storage must be 'list' or 'numpy', "
                 f"got {self.hashtable_storage!r}"
             )
+        if self.storage not in ("resident", "paged"):
+            raise ConfigError(
+                f"storage must be 'resident' or 'paged', "
+                f"got {self.storage!r}"
+            )
+        if self.storage_page_size <= 0:
+            raise ConfigError("storage_page_size must be positive")
+        if self.storage == "paged" and self.trunk_size % self.storage_page_size:
+            raise ConfigError(
+                "trunk_size must be a multiple of storage_page_size "
+                "when storage='paged'"
+            )
+        if self.page_budget < 1:
+            raise ConfigError("page_budget must be >= 1")
         if self.page_size <= 0 or self.trunk_size % self.page_size:
             raise ConfigError("trunk_size must be a multiple of page_size")
         if not 0.0 < self.defrag_trigger_ratio <= 1.0:

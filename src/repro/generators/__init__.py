@@ -11,6 +11,7 @@ same generator families at simulation scale.
 from .rmat import rmat_edges
 from .powerlaw import powerlaw_degree_sequence, powerlaw_edges
 from .social import build_social_graph, social_edges
+from .streaming import stream_build_social_graph, stream_social_edges
 from .erdos_renyi import erdos_renyi_edges
 from .names import FIRST_NAMES, sample_names
 
@@ -20,6 +21,8 @@ __all__ = [
     "powerlaw_edges",
     "social_edges",
     "build_social_graph",
+    "stream_social_edges",
+    "stream_build_social_graph",
     "erdos_renyi_edges",
     "FIRST_NAMES",
     "sample_names",

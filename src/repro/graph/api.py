@@ -145,9 +145,17 @@ class Graph:
         defrag, a remove, a resize), the arena views may have read moved
         bytes and the decoded values cannot be trusted —
         :class:`~repro.errors.StaleSpanError` instead of silent garbage.
+
+        Doubles as the end of the span lifetime: each group's page pins
+        are released here so paged trunks stay evictable between
+        batches (resident trunks: no-op).
         """
-        for group in groups:
-            group.assert_fresh()
+        try:
+            for group in groups:
+                group.assert_fresh()
+        finally:
+            for group in groups:
+                group.close()
 
     def outlinks_batch(self, node_ids, cross_check: bool = False
                        ) -> tuple[np.ndarray, np.ndarray]:

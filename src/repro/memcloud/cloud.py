@@ -13,6 +13,9 @@ network layer charges for every access that crosses a machine boundary.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
+import os
+import tempfile
 
 import numpy as np
 
@@ -63,6 +66,14 @@ class SpanGroup:
         if current != self.epoch:
             raise StaleSpanError(self.trunk.trunk_id, self.epoch, current)
 
+    def close(self) -> None:
+        """Release the page pins backing these spans (no-op for resident
+        trunks).  Consumers call this once decoding is done; an epoch
+        bump on the trunk releases the pins anyway, but read-heavy
+        workloads may go many batches between mutations and paged trunks
+        must not accumulate pinned (unevictable) pages across them."""
+        self.trunk.release_span_pins()
+
 
 class MemoryCloud:
     """A distributed in-memory key-value store over 2**p memory trunks.
@@ -93,10 +104,23 @@ class MemoryCloud:
         trunk_kwargs = {}
         if lock_factory is not None:
             trunk_kwargs["lock_factory"] = lock_factory
+        # Paged clouds keep all their trunks' page files under one spill
+        # directory; a private temp dir is removed with release_arenas().
+        self._spill_dir: str | None = None
+        self._owns_spill_dir = False
+        memory = self.config.memory
+        if memory.storage == "paged" and arena_factory is None:
+            if memory.spill_dir is not None:
+                os.makedirs(memory.spill_dir, exist_ok=True)
+                self._spill_dir = memory.spill_dir
+            else:
+                self._spill_dir = tempfile.mkdtemp(prefix="repro-cloud-")
+                self._owns_spill_dir = True
+            trunk_kwargs["spill_dir"] = self._spill_dir
         self.trunks: dict[int, MemoryTrunk] = {
             trunk_id: MemoryTrunk(
-                trunk_id, self.config.memory, registry=self.obs,
-                arena=(arena_factory(self.config.memory.trunk_size)
+                trunk_id, memory, registry=self.obs,
+                arena=(arena_factory(memory.trunk_size)
                        if arena_factory is not None else None),
                 **trunk_kwargs,
             )
@@ -116,7 +140,19 @@ class MemoryCloud:
         self._shadow: MemoryCloud | None = None
         self._shadow_probes_comparable = True
         if cross_check:
-            self._shadow = MemoryCloud(self.config, MetricsRegistry())
+            # The shadow always runs resident storage: on a paged cloud,
+            # cross_check then doubles as a storage-tier equivalence
+            # proof (identical cells, stats, and probe counters across
+            # backing tiers), and the shadow never pays page faults.
+            shadow_config = self.config
+            if memory.storage != "resident":
+                shadow_config = dataclasses.replace(
+                    self.config,
+                    memory=dataclasses.replace(
+                        memory, storage="resident", spill_dir=None
+                    ),
+                )
+            self._shadow = MemoryCloud(shadow_config, MetricsRegistry())
 
     # -- addressing ----------------------------------------------------------
 
@@ -422,19 +458,32 @@ class MemoryCloud:
         return sum(len(t) for t in self.trunks.values())
 
     @property
+    def spill_dir(self) -> str | None:
+        """Directory holding paged trunks' page files (None if resident)."""
+        return self._spill_dir
+
+    @property
     def arenas_shared(self) -> bool:
         """True when every trunk arena lives in OS shared memory."""
         return all(t.arena.shared for t in self.trunks.values())
 
     def release_arenas(self) -> None:
-        """Unlink shared trunk arenas (no-op for private arenas).
+        """Unlink shared trunk arenas and paged trunks' page files.
 
         Call from the creating process when the cloud is done; mapped
         views stay readable until they are garbage collected, but the OS
-        name is gone so nothing leaks past process exit.
+        name (or spill file) is gone so nothing leaks past process exit.
+        No-op for private resident arenas.
         """
         for trunk in self.trunks.values():
             trunk.arena.unlink()
+        if self._owns_spill_dir and self._spill_dir is not None:
+            with contextlib.suppress(OSError):
+                os.rmdir(self._spill_dir)
+            self._spill_dir = None
+            self._owns_spill_dir = False
+        if self._shadow is not None:
+            self._shadow.release_arenas()
 
     @contextlib.contextmanager
     def pin(self, cell_id: int):

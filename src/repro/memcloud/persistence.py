@@ -6,13 +6,29 @@ fails, its trunks are *reloaded from TFS* onto survivors (Section 6.2);
 this module provides the trunk image format and the backup/restore paths
 the recovery protocol in :mod:`repro.cluster.recovery` drives.
 
-Image format (version 1, little-endian):
+Two image formats share the magic, distinguished by version:
+
+Version 1 (cell image — resident trunks, and cross-shape recovery):
 
     magic   4 bytes  b"TRNK"
     version varint   (1)
     trunk_id varint
     count   varint   number of cells
     cells   repeated: uid varint, size varint, payload bytes
+
+Version 2 (page image — paged trunks persist *the page file*, not a
+re-encoded cell list; restoring adopts raw pages plus the allocator
+state verbatim, so layout, garbage accounting, and stats round-trip):
+
+    magic   4 bytes  b"TRNK"
+    version varint   (2)
+    trunk_id varint
+    state   varints  append_head, committed_tail, wrapped, end_gap,
+                     garbage_bytes, defrag counters..., page_size
+                     (see _STATE_FIELDS order)
+    pages   varint count, then one varint page index each
+    cells   varint count, then per cell: uid, offset, size, reserved
+    raw     per page: varint length + raw page bytes
 """
 
 from __future__ import annotations
@@ -25,6 +41,14 @@ from .trunk import MemoryTrunk
 
 _MAGIC = b"TRNK"
 _FORMAT_VERSION = 1
+_PAGE_FORMAT_VERSION = 2
+
+# Serialisation order of the allocator-state varints in a v2 image.
+_STATE_FIELDS = (
+    "append_head", "committed_tail", "wrapped", "end_gap",
+    "garbage_bytes", "defrag_passes", "defrag_aborts", "relocations",
+    "wraps", "tail_advances", "inplace_resizes", "page_size",
+)
 
 
 def trunk_image_path(trunk_id: int) -> str:
@@ -32,8 +56,19 @@ def trunk_image_path(trunk_id: int) -> str:
     return f"/trinity/trunks/{trunk_id:05d}.img"
 
 
-def trunk_to_bytes(trunk: MemoryTrunk) -> bytes:
-    """Serialise a trunk's live cells into a portable image."""
+def trunk_to_bytes(trunk: MemoryTrunk,
+                   page_image: bool | None = None) -> bytes:
+    """Serialise a trunk into a portable image.
+
+    ``page_image=None`` picks the format by storage tier: paged trunks
+    persist their page file (v2 — dirty pages written back first, raw
+    pages plus allocator state), resident trunks keep the v1 cell
+    image, which any trunk shape can restore.
+    """
+    if page_image is None:
+        page_image = not trunk.storage.resident
+    if page_image:
+        return _page_image_to_bytes(trunk)
     parts = [_MAGIC, encode_varint(_FORMAT_VERSION),
              encode_varint(trunk.trunk_id)]
     cells = list(trunk.dump_cells())
@@ -45,16 +80,42 @@ def trunk_to_bytes(trunk: MemoryTrunk) -> bytes:
     return b"".join(parts)
 
 
-def trunk_from_bytes(image: bytes, trunk: MemoryTrunk) -> int:
-    """Load an image's cells into ``trunk``; returns the cell count.
+def _page_image_to_bytes(trunk: MemoryTrunk) -> bytes:
+    state = trunk.freeze_image_state()
+    parts = [_MAGIC, encode_varint(_PAGE_FORMAT_VERSION),
+             encode_varint(trunk.trunk_id)]
+    for field in _STATE_FIELDS:
+        parts.append(encode_varint(int(state[field])))
+    parts.append(encode_varint(len(state["pages"])))
+    for page in state["pages"]:
+        parts.append(encode_varint(page))
+    parts.append(encode_varint(len(state["cells"])))
+    for uid, offset, size, reserved in state["cells"]:
+        parts.append(encode_varint(uid))
+        parts.append(encode_varint(offset))
+        parts.append(encode_varint(size))
+        parts.append(encode_varint(reserved))
+    for raw in state["raw"]:
+        parts.append(encode_varint(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
 
-    The target trunk need not be the original: recovery loads a failed
-    machine's trunk images into fresh trunks on surviving machines.
+
+def trunk_from_bytes(image: bytes, trunk: MemoryTrunk) -> int:
+    """Load an image into ``trunk``; returns the cell count.
+
+    v1 images replay cells through :meth:`MemoryTrunk.put`, so the
+    target trunk need not match the original's shape — recovery loads a
+    failed machine's trunk images into fresh trunks on survivors.  v2
+    page images adopt raw pages and allocator state verbatim and need a
+    pristine trunk with the same commit page size.
     """
     if image[:4] != _MAGIC:
         raise MemoryCloudError("not a trunk image (bad magic)")
     offset = 4
     version, offset = decode_varint(image, offset)
+    if version == _PAGE_FORMAT_VERSION:
+        return _page_image_from_bytes(image, offset, trunk)
     if version != _FORMAT_VERSION:
         raise MemoryCloudError(f"unsupported trunk image version {version}")
     _source_trunk_id, offset = decode_varint(image, offset)
@@ -68,6 +129,40 @@ def trunk_from_bytes(image: bytes, trunk: MemoryTrunk) -> int:
         offset += size
         trunk.put(uid, payload)
     return count
+
+
+def _page_image_from_bytes(image: bytes, offset: int,
+                           trunk: MemoryTrunk) -> int:
+    _source_trunk_id, offset = decode_varint(image, offset)
+    state: dict = {}
+    for field in _STATE_FIELDS:
+        state[field], offset = decode_varint(image, offset)
+    page_count, offset = decode_varint(image, offset)
+    pages = []
+    for _ in range(page_count):
+        page, offset = decode_varint(image, offset)
+        pages.append(page)
+    state["pages"] = pages
+    cell_count, offset = decode_varint(image, offset)
+    cells = []
+    for _ in range(cell_count):
+        uid, offset = decode_varint(image, offset)
+        cell_offset, offset = decode_varint(image, offset)
+        size, offset = decode_varint(image, offset)
+        reserved, offset = decode_varint(image, offset)
+        cells.append((uid, cell_offset, size, reserved))
+    state["cells"] = cells
+    raw = []
+    for _ in range(page_count):
+        length, offset = decode_varint(image, offset)
+        chunk = bytes(image[offset:offset + length])
+        if len(chunk) != length:
+            raise MemoryCloudError("truncated trunk page image")
+        offset += length
+        raw.append(chunk)
+    state["raw"] = raw
+    trunk.adopt_image_state(state)
+    return cell_count
 
 
 def backup_trunk(cloud: MemoryCloud, trunk_id: int,
@@ -93,7 +188,37 @@ def restore_trunk(cloud: MemoryCloud, trunk_id: int,
     incarnation cannot linger.
     """
     image = tfs.read(trunk_image_path(trunk_id))
-    fresh = MemoryTrunk(trunk_id, cloud.config.memory)
+    return adopt_trunk_image(cloud, trunk_id, image)
+
+
+def adopt_trunk_image(cloud: MemoryCloud, trunk_id: int,
+                      image: bytes) -> int:
+    """Replace ``cloud``'s trunk with one rebuilt from ``image``.
+
+    Two replacement hazards are handled here:
+
+    * Outstanding zero-copy span groups hold the *old* trunk object, so
+      replacing it silently would leave their epoch checks forever
+      green against dead state — the old trunk is touched first so they
+      all go stale, and its page file (if paged) is unlinked before the
+      fresh trunk claims the same spill path.
+    * The cloud-wide :meth:`MemoryCloud.mutation_epoch` is a sum over
+      trunks; a fresh trunk restarting at a small epoch could make it
+      go *backwards*, validating serving-layer cache entries stamped
+      before the restore.  The fresh trunk adopts the old epoch as a
+      floor and bumps past it.
+    """
+    old = cloud.trunks.get(trunk_id)
+    old_epoch = 0
+    if old is not None:
+        old.touch()  # outstanding spans on the old incarnation go stale
+        old_epoch = old.mutation_epoch
+        if not old.storage.resident:
+            old.storage.unlink()  # free the spill path for the successor
+    fresh = MemoryTrunk(trunk_id, cloud.config.memory, registry=cloud.obs,
+                        spill_dir=cloud.spill_dir)
     count = trunk_from_bytes(image, fresh)
+    if old is not None:
+        fresh.adopt_epoch(old_epoch)
     cloud.trunks[trunk_id] = fresh
     return count

@@ -51,9 +51,9 @@ from ..config import MemoryParams
 from ..errors import CellNotFoundError, TrunkFullError
 from ..obs import MetricsRegistry, get_registry
 from ..utils.arrays import gather_ranges
-from .arena import BytesArena
 from .hashtable import make_trunk_hashtable
 from .locks import SpinLock
+from .storage import ResidentStorage, TrunkStorage, make_trunk_storage
 
 CELL_HEADER_BYTES = 16
 _HEADER = struct.Struct("<QII")  # uid, live size, reserved size
@@ -139,20 +139,31 @@ class MemoryTrunk:
 
     def __init__(self, trunk_id: int, params: MemoryParams | None = None,
                  registry: MetricsRegistry | None = None,
-                 arena=None, lock_factory=SpinLock):
+                 arena=None, lock_factory=SpinLock,
+                 storage: TrunkStorage | None = None, spill_dir=None):
         self.trunk_id = trunk_id
         self.params = params or MemoryParams()
         # Re-entrant: put() may trigger defragment() internally.
         self._mutex = threading.RLock()
-        self.arena = arena if arena is not None else BytesArena(
-            self.params.trunk_size
-        )
-        if len(self.arena) != self.params.trunk_size:
+        obs = registry if registry is not None else get_registry()
+        self.obs = obs
+        if storage is None:
+            storage = make_trunk_storage(
+                trunk_id, self.params, registry=obs, arena=arena,
+                spill_dir=spill_dir if spill_dir is not None
+                else self.params.spill_dir,
+            )
+        self._storage = storage
+        # Back-compat surface: `.arena` is the resident arena object
+        # (BytesArena / SharedMemoryArena) when there is one, else the
+        # storage itself — both expose `.shared` and `.unlink()`.
+        self.arena = (storage.arena if isinstance(storage, ResidentStorage)
+                      else storage)
+        if len(storage) != self.params.trunk_size:
             raise ValueError(
-                f"arena holds {len(self.arena)} bytes, trunk needs "
+                f"storage holds {len(storage)} bytes, trunk needs "
                 f"{self.params.trunk_size}"
             )
-        self._arena = self.arena.buf
         self._lock_factory = lock_factory
         self._index = make_trunk_hashtable(self.params.hashtable_storage)
         self._entries: list[_CellEntry | None] = []
@@ -171,8 +182,6 @@ class MemoryTrunk:
         self._wraps = 0
         self._tail_advances = 0
         self._inplace_resizes = 0
-        obs = registry if registry is not None else get_registry()
-        self.obs = obs
         label = {"trunk": trunk_id}
         self._m_alloc = obs.counter("trunk.alloc.total", **label)
         self._m_wrap = obs.counter("trunk.wrap.total", **label)
@@ -181,8 +190,15 @@ class MemoryTrunk:
         self._m_defrag_abort = obs.counter("trunk.defrag.aborted", **label)
         self._m_reloc = obs.counter("trunk.relocations.total", **label)
         self._m_inplace = obs.counter("trunk.resize.inplace.total", **label)
+        self._m_span_fallback = obs.counter("trunk.span.copy_fallback.total",
+                                            **label)
         self._g_garbage = obs.gauge("trunk.garbage.bytes", **label)
         self._g_util = obs.gauge("trunk.utilization", **label)
+
+    @property
+    def storage(self) -> TrunkStorage:
+        """The byte backing tier (resident or paged)."""
+        return self._storage
 
     # -- public API ----------------------------------------------------------
 
@@ -212,7 +228,8 @@ class MemoryTrunk:
         """Return a copy of the cell's payload."""
         with self._mutex:
             entry = self._require(uid)
-            return bytes(self._arena[entry.offset:entry.offset + entry.size])
+            return self._storage.read(entry.offset,
+                                      entry.offset + entry.size)
 
     # -- bulk fast path ------------------------------------------------------
 
@@ -299,7 +316,10 @@ class MemoryTrunk:
                        for i in range(count))
         parts[1::2] = payloads[:count]
         start = self._append_head
-        self._arena[start:start + total] = b"".join(parts)
+        # Stream the fresh run through the storage tier in bounded
+        # chunks: a paged backing writes pages sequentially and evicts
+        # behind the cursor instead of joining the whole batch in RAM.
+        self._storage.write_stream(start, parts)
         self._append_head = start + total
         self._commit_range(start, start + total)
         self._register_fresh(uids[:count], sizes, footprint_ends[:count],
@@ -399,7 +419,7 @@ class MemoryTrunk:
                                         (i + 1) * CELL_HEADER_BYTES]
                            for i in range(count))
             parts[1::2] = payloads
-            self._arena[0:total] = b"".join(parts)
+            self._storage.write_stream(0, parts)
             self._append_head = total
             return sizes
 
@@ -447,14 +467,13 @@ class MemoryTrunk:
             if not found.all():
                 missing = int(np.flatnonzero(~found)[0])
                 raise CellNotFoundError(int(uids[missing]))
-            arena = memoryview(self._arena)
             entries = self._entries
+            read = self._storage.read
             out = []
             append = out.append
             for slot in slots.tolist():
                 entry = entries[slot]
-                append(bytes(arena[entry.offset:
-                                   entry.offset + entry.size]))
+                append(read(entry.offset, entry.offset + entry.size))
             return out
 
     def bulk_get_packed(self, uids) -> tuple[np.ndarray, np.ndarray]:
@@ -483,10 +502,32 @@ class MemoryTrunk:
         after fetching it.  The returned epoch lets decoders verify the
         view is still current (:exc:`~repro.errors.StaleSpanError`).
         Lookup accounting matches :meth:`bulk_get`.
+
+        On a paged trunk the pages under the spans are *pinned* against
+        eviction until the next structural epoch bump (or an explicit
+        :meth:`release_span_pins`), so the decode that follows cannot
+        fault its own input back out.  If the batch's page working set
+        exceeds the page budget, pinning refuses and the spans degrade
+        to packed copies — same bytes, same epoch guard, no aliasing.
         """
         with self._mutex:
             arena, starts, limits = self._spans_locked(uids)
+            if not self._storage.pin_spans(starts, limits):
+                self._m_span_fallback.inc()
+                sizes = limits - starts
+                bounds = np.zeros(len(starts) + 1, dtype=np.int64)
+                np.cumsum(sizes, out=bounds[1:])
+                return TrunkSpans(gather_ranges(arena, starts, sizes),
+                                  bounds[:-1], bounds[1:],
+                                  self._mutation_epoch)
             return TrunkSpans(arena, starts, limits, self._mutation_epoch)
+
+    def release_span_pins(self) -> None:
+        """Release page pins taken by :meth:`bulk_get_spans` (no-op on
+        resident storage).  Consumers call this once a span group has
+        been decoded; any structural mutation releases them too."""
+        with self._mutex:
+            self._storage.release_pins()
 
     def _spans_locked(self, uids
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -496,8 +537,9 @@ class MemoryTrunk:
             raise CellNotFoundError(int(uids[missing]))
         offsets, sizes = self._entry_spans()
         starts = offsets[slots]
-        return (np.frombuffer(self._arena, dtype=np.uint8),
-                starts, starts + sizes[slots])
+        limits = starts + sizes[slots]
+        self._storage.touch_spans(starts, limits)
+        return self._storage.as_ndarray(), starts, limits
 
     def _entry_spans(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-slot (offset, size) arrays, rebuilt lazily after writes."""
@@ -519,10 +561,12 @@ class MemoryTrunk:
         Called wherever cells may move, grow, or die.  Outstanding
         zero-copy spans carry the epoch they were fetched at, so after
         this bump their consumers refuse to decode (``StaleSpanError``)
-        instead of silently reading relocated bytes.
+        instead of silently reading relocated bytes.  Span-page pins die
+        with their epoch: whatever mutated may now evict freely.
         """
         self._span_cache = None
         self._mutation_epoch += 1
+        self._storage.release_pins()
 
     @property
     def mutation_epoch(self) -> int:
@@ -553,9 +597,8 @@ class MemoryTrunk:
         """
         with self._mutex:
             entry = self._require(uid)
-            return memoryview(self._arena)[
-                entry.offset:entry.offset + entry.size
-            ]
+            return self._storage.view(entry.offset,
+                                      entry.offset + entry.size)
 
     def lock_of(self, uid: int) -> SpinLock:
         """The spin lock associated with the cell (Section 3)."""
@@ -603,10 +646,10 @@ class MemoryTrunk:
             if new_size <= entry.reserved:
                 with entry.cell_lock(self._lock_factory):
                     if new_size > entry.size:
-                        self._arena[
-                            entry.offset + entry.size:
-                            entry.offset + new_size
-                        ] = bytes([fill]) * (new_size - entry.size)
+                        self._storage.write(
+                            entry.offset + entry.size,
+                            bytes([fill]) * (new_size - entry.size),
+                        )
                     entry.size = new_size
                     self._write_header(
                         entry.offset - CELL_HEADER_BYTES,
@@ -617,7 +660,7 @@ class MemoryTrunk:
                 return
             # Outgrew the reservation: one payload copy, then relocate.
             grown = (
-                bytes(self._arena[entry.offset:entry.offset + entry.size])
+                self._storage.read(entry.offset, entry.offset + entry.size)
                 + bytes([fill]) * (new_size - entry.size)
             )
             self._update(entry, grown)
@@ -662,8 +705,8 @@ class MemoryTrunk:
             for uid, slot in self._index.items():
                 entry = self._entries[slot]
                 assert entry is not None and entry.uid == uid
-                out.append((uid, bytes(
-                    self._arena[entry.offset:entry.offset + entry.size]
+                out.append((uid, self._storage.read(
+                    entry.offset, entry.offset + entry.size
                 )))
             return out
 
@@ -672,6 +715,106 @@ class MemoryTrunk:
         cells = list(cells)
         self.bulk_put([uid for uid, _ in cells],
                       [payload for _, payload in cells])
+
+    def freeze_image_state(self) -> dict:
+        """Full-fidelity allocator snapshot for page-image persistence.
+
+        Returns the raw bytes of every committed page plus all the
+        allocator state needed to adopt them verbatim into a pristine
+        trunk (:meth:`adopt_image_state`).  Dirty pages are written back
+        first — the checkpoint half of the paged tier's writeback
+        contract — so a paged trunk's page file on disk matches the
+        image at return time.
+        """
+        with self._mutex:
+            self._storage.flush()
+            page = self.params.page_size
+            size = self.params.trunk_size
+            pages = sorted(self._committed_pages)
+            cells = []
+            for uid, slot in self._index.items():
+                entry = self._entries[slot]
+                assert entry is not None and entry.uid == uid
+                cells.append((uid, entry.offset, entry.size, entry.reserved))
+            raw = [self._storage.read(p * page, min(size, (p + 1) * page))
+                   for p in pages]
+            return {
+                "append_head": self._append_head,
+                "committed_tail": self._committed_tail,
+                "wrapped": self._wrapped,
+                "end_gap": self._end_gap,
+                "garbage_bytes": self._garbage_bytes,
+                "defrag_passes": self._defrag_passes,
+                "defrag_aborts": self._defrag_aborts,
+                "relocations": self._relocations,
+                "wraps": self._wraps,
+                "tail_advances": self._tail_advances,
+                "inplace_resizes": self._inplace_resizes,
+                "page_size": page,
+                "pages": pages,
+                "cells": cells,
+                "raw": raw,
+            }
+
+    def adopt_image_state(self, state: dict) -> None:
+        """Adopt a :meth:`freeze_image_state` snapshot verbatim.
+
+        The trunk must be pristine and share the image's commit page
+        size.  Stored bytes, allocator accounting, and :meth:`stats`
+        restore exactly; hash-table probe counters restart from zero
+        (the index is rebuilt, not replayed).  Ends with a structural
+        epoch bump, so any span cache or page pins from the pristine
+        incarnation are dropped.
+        """
+        with self._mutex:
+            if not self._pristine_locked():
+                raise ValueError(
+                    f"trunk {self.trunk_id}: adopt_image_state needs an "
+                    f"empty trunk"
+                )
+            page = state["page_size"]
+            if page != self.params.page_size:
+                raise ValueError(
+                    f"trunk {self.trunk_id}: image page size {page} != "
+                    f"configured {self.params.page_size}"
+                )
+            for index, raw in zip(state["pages"], state["raw"]):
+                self._storage.write(index * page, raw)
+            self._committed_pages = set(state["pages"])
+            self._append_head = state["append_head"]
+            self._committed_tail = state["committed_tail"]
+            self._wrapped = bool(state["wrapped"])
+            self._end_gap = state["end_gap"]
+            self._garbage_bytes = state["garbage_bytes"]
+            self._defrag_passes = state["defrag_passes"]
+            self._defrag_aborts = state["defrag_aborts"]
+            self._relocations = state["relocations"]
+            self._wraps = state["wraps"]
+            self._tail_advances = state["tail_advances"]
+            self._inplace_resizes = state["inplace_resizes"]
+            self._g_garbage.set(self._garbage_bytes)
+            cells = state["cells"]
+            self._index.reserve(len(cells))
+            for uid, offset, cell_size, reserved in cells:
+                entry = _CellEntry(uid, offset, cell_size, reserved)
+                slot = len(self._entries)
+                self._entries.append(entry)
+                self._index.set(uid, slot)
+            self._invalidate_spans()
+            self._storage.flush()
+
+    def adopt_epoch(self, floor: int) -> None:
+        """Raise the mutation epoch strictly above ``floor``.
+
+        A restored trunk replaces its previous incarnation wholesale;
+        carrying the old epoch forward keeps the cloud-wide
+        :meth:`MemoryCloud.mutation_epoch` monotonic, so serving-layer
+        caches stamped before the restore can never validate as fresh
+        against the restored data.
+        """
+        with self._mutex:
+            self._mutation_epoch = max(self._mutation_epoch, floor)
+            self._invalidate_spans()
 
     # -- allocation internals --------------------------------------------
 
@@ -714,7 +857,7 @@ class MemoryTrunk:
             if len(value) <= entry.reserved:
                 # In-place update; shrinking only adjusts the live size and
                 # the slack stays reserved (reclaimed at next defrag).
-                self._arena[entry.offset:entry.offset + len(value)] = value
+                self._storage.write(entry.offset, value)
                 entry.size = len(value)
                 self._write_header(
                     entry.offset - CELL_HEADER_BYTES,
@@ -841,12 +984,11 @@ class MemoryTrunk:
     def _write_cell(self, offset: int, uid: int, value: bytes,
                     reserved: int) -> None:
         self._write_header(offset, uid, len(value), reserved)
-        start = offset + CELL_HEADER_BYTES
-        self._arena[start:start + len(value)] = value
+        self._storage.write(offset + CELL_HEADER_BYTES, value)
 
     def _write_header(self, offset: int, uid: int, size: int,
                       reserved: int) -> None:
-        _HEADER.pack_into(self._arena, offset, uid, size, reserved)
+        self._storage.write(offset, _HEADER.pack(uid, size, reserved))
 
     def _commit_range(self, start: int, end: int) -> None:
         page = self.params.page_size
@@ -897,7 +1039,8 @@ class MemoryTrunk:
 
         live.sort(key=circular_key)
         images = [
-            (e, bytes(self._arena[e.offset:e.offset + e.size])) for e in live
+            (e, self._storage.read(e.offset, e.offset + e.size))
+            for e in live
         ]
         cursor = 0
         for entry, payload in images:

@@ -1,15 +1,26 @@
 """Tests for memory trunks: circular allocation, defrag, reservation."""
 
+import numpy as np
 import pytest
 
-from repro.config import MemoryParams
-from repro.errors import CellLockedError, CellNotFoundError, TrunkFullError
+from repro.config import ClusterConfig, MemoryParams
+from repro.errors import (CellLockedError, CellNotFoundError, StaleSpanError,
+                          TrunkFullError)
 from repro.memcloud.trunk import CELL_HEADER_BYTES, MemoryTrunk
+from repro.obs import MetricsRegistry
 
 
 def make_trunk(trunk_size=64 * 1024, **kwargs) -> MemoryTrunk:
     params = MemoryParams(trunk_size=trunk_size, page_size=1024, **kwargs)
     return MemoryTrunk(0, params)
+
+
+def make_paged_trunk(trunk_size=64 * 1024, page_budget=4,
+                     storage_page_size=1024, **kwargs) -> MemoryTrunk:
+    params = MemoryParams(trunk_size=trunk_size, page_size=1024,
+                          storage="paged", page_budget=page_budget,
+                          storage_page_size=storage_page_size, **kwargs)
+    return MemoryTrunk(0, params, registry=MetricsRegistry())
 
 
 class TestBasicOps:
@@ -254,3 +265,155 @@ class TestPersistenceHooks:
         target.load_cells(source.dump_cells())
         for uid in range(10):
             assert target.get(uid) == bytes([uid]) * uid
+
+
+class TestPagedSpanStaleness:
+    """Span staleness under PagedStorage, mirroring the resident-epoch
+    tests: a pinned span whose page is invalidated by defrag/mutation
+    must fail ``assert_fresh`` instead of silently reading moved bytes.
+    """
+
+    def test_defrag_staleness_detected(self):
+        trunk = make_paged_trunk()
+        try:
+            for uid in range(8):
+                trunk.put(uid, bytes([uid]) * 200)
+            for uid in range(0, 8, 2):
+                trunk.remove(uid)
+            uids = np.array([1, 3, 5, 7], dtype=np.uint64)
+            spans = trunk.bulk_get_spans(uids)
+            fetched = spans.epoch
+            assert trunk.defragment()
+            assert trunk.mutation_epoch != fetched
+        finally:
+            trunk.storage.unlink()
+
+    def test_mutation_staleness_detected(self):
+        trunk = make_paged_trunk()
+        try:
+            trunk.put(1, b"a" * 100)
+            spans = trunk.bulk_get_spans(np.array([1], dtype=np.uint64))
+            trunk.put(2, b"b" * 100)  # any structural mutation
+            assert trunk.mutation_epoch != spans.epoch
+        finally:
+            trunk.storage.unlink()
+
+    def test_mutation_releases_span_pins(self):
+        trunk = make_paged_trunk(page_budget=16)
+        try:
+            trunk.put(1, b"a" * 100)
+            trunk.bulk_get_spans(np.array([1], dtype=np.uint64))
+            assert trunk.storage.pinned_pages >= 1
+            trunk.put(2, b"b" * 100)
+            assert trunk.storage.pinned_pages == 0
+        finally:
+            trunk.storage.unlink()
+
+    def test_cloud_span_group_raises_after_paged_defrag(self):
+        from repro.memcloud.cloud import MemoryCloud
+        cfg = ClusterConfig(machines=2, trunk_bits=2, memory=MemoryParams(
+            trunk_size=64 * 1024, storage="paged", storage_page_size=1024,
+            page_budget=4))
+        cloud = MemoryCloud(cfg, MetricsRegistry())
+        try:
+            uids = np.arange(100, dtype=np.uint64)
+            cloud.bulk_put(uids, [bytes([i]) * 150 for i in range(100)],
+                           presize=False)
+            groups = cloud.bulk_get_spans(uids[:20])
+            for uid in uids[:50].tolist():
+                cloud.remove(int(uid))
+            cloud.defragment_all()
+            with pytest.raises(StaleSpanError):
+                for group in groups:
+                    group.assert_fresh()
+        finally:
+            cloud.release_arenas()
+
+
+class TestSpanCacheInvalidation:
+    """Regression: the span cache must drop on *every* path that changes
+    cell layout — not only scalar structural mutations.  Checkpoint
+    restore and the parallel-load adoption path both went around put().
+    """
+
+    def _cached_offsets(self, trunk):
+        # Prime and return the internal (offsets, sizes) cache.
+        trunk.bulk_get_packed(np.array(sorted(trunk.uids()),
+                                       dtype=np.uint64))
+        return trunk._span_cache
+
+    def test_adopt_fresh_cells_drops_span_cache(self):
+        # Worker half: lays the bytes out in its own (forked) trunk.
+        worker = make_trunk()
+        sizes = worker.bulk_write_fresh([1, 2], [b"a" * 10, b"b" * 20])
+        # Coordinator half: bytes arrive via the shared arena (copied
+        # here), the trunk object itself is still pristine.
+        trunk = make_trunk()
+        trunk.storage.write(0, worker.storage.read(0, 2 * 16 + 30))
+        epoch_before = trunk.mutation_epoch
+        trunk.adopt_fresh_cells([1, 2], sizes)
+        assert trunk._span_cache is None
+        assert trunk.mutation_epoch > epoch_before
+        assert trunk.get(1) == b"a" * 10 and trunk.get(2) == b"b" * 20
+
+    def test_adopt_image_state_drops_span_cache_and_bumps_epoch(self):
+        source = make_trunk()
+        for uid in range(5):
+            source.put(uid, bytes([uid]) * 50)
+        state = source.freeze_image_state()
+        target = make_trunk()
+        epoch_before = target.mutation_epoch
+        target.adopt_image_state(state)
+        assert target._span_cache is None
+        assert target.mutation_epoch > epoch_before
+        assert dict(target.dump_cells()) == dict(source.dump_cells())
+
+    def test_restore_trunk_stales_old_spans_and_keeps_epoch_monotonic(self):
+        from repro.compute.checkpoint import CheckpointManager
+        from repro.memcloud.cloud import MemoryCloud
+        from repro.tfs import TrinityFileSystem
+        cfg = ClusterConfig(machines=2, trunk_bits=2)
+        cloud = MemoryCloud(cfg, MetricsRegistry())
+        uids = np.arange(60, dtype=np.uint64)
+        cloud.bulk_put(uids, [bytes([i]) * 40 for i in range(60)],
+                       presize=False)
+        groups = cloud.bulk_get_spans(uids)
+        epoch_before = cloud.mutation_epoch()
+        manager = CheckpointManager(TrinityFileSystem(), job="trunkreg")
+        manager.save_cloud(1, cloud)
+        manager.load_cloud(1, cloud)
+        # The cloud-wide epoch may never go backwards across a restore:
+        # serve-layer caches stamped before it must not validate after.
+        assert cloud.mutation_epoch() > epoch_before
+        # Outstanding span groups hold the *replaced* trunk objects and
+        # must fail freshness rather than silently pass forever.
+        with pytest.raises(StaleSpanError):
+            for group in groups:
+                group.assert_fresh()
+        assert cloud.bulk_get(uids) == [bytes([i]) * 40 for i in range(60)]
+
+    def test_paged_checkpoint_restart_round_trip(self):
+        from repro.compute.checkpoint import CheckpointManager
+        from repro.memcloud.cloud import MemoryCloud
+        from repro.tfs import TrinityFileSystem
+        cfg = ClusterConfig(machines=2, trunk_bits=2, memory=MemoryParams(
+            trunk_size=64 * 1024, storage="paged", storage_page_size=1024,
+            page_budget=4))
+        cloud = MemoryCloud(cfg, MetricsRegistry())
+        try:
+            uids = np.arange(120, dtype=np.uint64)
+            values = [bytes([i]) * (30 + i % 90) for i in range(120)]
+            cloud.bulk_put(uids, values, presize=False)
+            for uid in uids[:30].tolist():
+                cloud.remove(int(uid))
+            cloud.defragment_all()
+            stats_before = {t: cloud.trunks[t].stats() for t in cloud.trunks}
+            manager = CheckpointManager(TrinityFileSystem(), job="pagedck")
+            manager.save_cloud(3, cloud)
+            assert manager.load_cloud(3, cloud) == 90
+            # Page-image restore is exact: bytes *and* allocator stats.
+            assert cloud.bulk_get(uids[30:]) == values[30:]
+            for trunk_id, stats in stats_before.items():
+                assert cloud.trunks[trunk_id].stats() == stats
+        finally:
+            cloud.release_arenas()

@@ -159,6 +159,88 @@ class TestPeopleSearchBatch:
         assert result.visited > 0
 
 
+class TestStorageTiers:
+    """People search and TQL on a paged cloud, bit-identical to resident.
+
+    The page budget is deliberately smaller than the graph's arena
+    bytes, so queries run against a working set that cannot all be
+    resident.  The cloud is built with ``cross_check=True`` — its
+    shadow always runs *resident* storage, so every mutation during
+    graph build is verified cell-for-cell across tiers — and each query
+    runs with ``cross_check=True``, replaying the scalar read path on
+    the paged cloud itself.
+    """
+
+    STORAGES = ["resident", "paged"]
+
+    @pytest.fixture(scope="class", params=STORAGES)
+    def tier_deployment(self, request):
+        memory = MemoryParams(trunk_size=256 * 1024,
+                              storage=request.param,
+                              storage_page_size=512, page_budget=2)
+        cloud = MemoryCloud(ClusterConfig(machines=2, trunk_bits=4,
+                                          memory=memory),
+                            MetricsRegistry(), cross_check=True)
+        graph = build_rmat_named_graph(cloud, scale=9)
+        yield request.param, cloud, graph
+        cloud.release_arenas()
+
+    def test_shadow_agrees_across_tiers(self, tier_deployment):
+        _, cloud, _ = tier_deployment
+        assert cloud._shadow.config.memory.storage == "resident"
+        cloud.verify_shadow()
+
+    def test_graph_exceeds_page_budget(self, tier_deployment):
+        storage, cloud, _ = tier_deployment
+        if storage != "paged":
+            pytest.skip("budget applies to the paged tier only")
+        budget_bytes = sum(
+            t.storage.page_budget * t.storage.page_size
+            for t in cloud.trunks.values()
+        )
+        assert cloud.total_live_bytes() > budget_bytes
+        for trunk in cloud.trunks.values():
+            assert trunk.storage.resident_pages <= trunk.storage.page_budget
+        faults = cloud.obs.snapshot()["trunk.page.fault.total"]["series"]
+        assert sum(s["value"] for s in faults) > 0
+
+    def test_people_search_bit_identical(self, tier_deployment):
+        _, _, graph = tier_deployment
+        batched = people_search(graph, 0, "David", hops=3,
+                                network=SimNetwork(), batch=True,
+                                cross_check=True)
+        scalar = people_search(graph, 0, "David", hops=3,
+                               network=SimNetwork(), batch=False)
+        assert batched.matches == scalar.matches
+        assert batched.visited == scalar.visited
+        assert batched.hop_times == scalar.hop_times
+
+    @pytest.mark.parametrize("tql", [
+        "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) RETURN c",
+        "MATCH (a = 0) -[Friends*1..3]-> (b) "
+        "WHERE b.Name = 'David' RETURN b",
+    ])
+    def test_tql_bit_identical(self, tier_deployment, tql):
+        from repro.tql.engine import execute_tql
+        _, _, graph = tier_deployment
+        batched = execute_tql(graph, tql, network=SimNetwork(),
+                              batch=True, cross_check=True)
+        scalar = execute_tql(graph, tql, network=SimNetwork(), batch=False)
+        assert batched.rows == scalar.rows
+        assert batched.cells_touched == scalar.cells_touched
+
+    def test_batch_surface_cross_checked(self, tier_deployment):
+        _, _, graph = tier_deployment
+        ids = np.asarray(graph.node_ids[:300], dtype=np.int64)
+        indptr, flat = graph.outlinks_batch(ids, cross_check=True)
+        for i, node_id in enumerate(ids.tolist()):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == \
+                graph.outlinks(node_id)
+        names = graph.read_field_batch(ids[:100], "Name", cross_check=True)
+        assert names == [graph.attribute(int(i), "Name")
+                         for i in ids[:100]]
+
+
 class TestDistributedSearchBatch:
     @pytest.fixture(scope="class", params=MACHINE_COUNTS)
     def cluster_deployment(self, request):

@@ -42,9 +42,11 @@ INLINE_TQL = ("MATCH (a = 0) -[Friends*1..2]-> (b) "
               "WHERE b.Name = 'David' RETURN b")
 
 
-def build_graph(machines, scale=8, seed=11):
-    cloud = MemoryCloud(ClusterConfig(machines=machines, trunk_bits=5),
-                        MetricsRegistry())
+def build_graph(machines, scale=8, seed=11, memory=None):
+    config = (ClusterConfig(machines=machines, trunk_bits=5)
+              if memory is None else
+              ClusterConfig(machines=machines, trunk_bits=5, memory=memory))
+    cloud = MemoryCloud(config, MetricsRegistry())
     n = 1 << scale
     edges = rmat_edges(scale, avg_degree=6.0, seed=seed, dedup=True)
     edges = edges[edges[:, 0] != edges[:, 1]]
@@ -342,3 +344,65 @@ class TestTqlFusibility:
         server.run()
         assert ticket.status == "done"
         assert ticket.result == []
+
+
+class TestStorageTiers:
+    """Serve windows on a paged cloud, identical to resident serving.
+
+    The paged deployment's page budget is smaller than the graph, so
+    fused windows constantly fault and evict; ``cross_check=True``
+    shadow-replays every completion through the sequential library
+    path, proving the storage tier never changes an answer.
+    """
+
+    @pytest.fixture(scope="class", params=["resident", "paged"])
+    def tier_deployment(self, request):
+        from repro.config import MemoryParams
+        memory = MemoryParams(trunk_size=256 * 1024,
+                              storage=request.param,
+                              storage_page_size=512, page_budget=2)
+        cloud, graph = build_graph(machines=2, memory=memory)
+        yield request.param, cloud, graph
+        cloud.release_arenas()
+
+    def test_mixed_window_cross_checked(self, tier_deployment):
+        _, _, graph = tier_deployment
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        tickets = [server.submit(q) for q in mixed_queries(server)]
+        server.run()
+        assert all(t.status == "done" for t in tickets)
+
+    def test_paged_and_resident_results_identical(self, tier_deployment):
+        storage, _, graph = tier_deployment
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        tickets = [server.submit(PeopleSearchQuery(s, "David", hops=3))
+                   for s in (0, 1, 2)]
+        server.run()
+        results = [t.result for t in tickets]
+        # Same graph, same queries: the answers must not depend on the
+        # storage tier at all, so pin them against the library path.
+        from repro.algorithms.people_search import people_search
+        from repro.net.simnet import SimNetwork
+        for seed, result in zip((0, 1, 2), results):
+            expected = people_search(graph, seed, "David", hops=3,
+                                     network=SimNetwork(), batch=True)
+            assert result == {"matches": sorted(expected.matches),
+                              "visited": expected.visited}
+
+    def test_mutation_barrier_on_paged_cloud(self, tier_deployment):
+        storage, cloud, graph = tier_deployment
+        if storage != "paged":
+            pytest.skip("exercises the paged tier")
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        before = server.submit(PeopleSearchQuery(0, "David", hops=2))
+        server.run()
+        epoch_before = cloud.mutation_epoch()
+        server.mutate(lambda g: g.add_edge(int(g.node_ids[0]),
+                                           int(g.node_ids[-1])))
+        assert cloud.mutation_epoch() > epoch_before
+        after = server.submit(PeopleSearchQuery(0, "David", hops=1))
+        server.run()
+        assert before.status == after.status == "done"
