@@ -131,6 +131,15 @@ class MemoryParams:
     owner (the cloud, or a standalone trunk) manage a private temp
     location that is removed with it."""
 
+    layout_policy: object = None
+    """Adjacency layout selection for schemas bound to this cloud:
+    ``None`` (keep each schema's own policy — the adaptive default),
+    ``"adaptive"``, ``"raw"`` (pre-layout fixed-width wire format), or a
+    :class:`~repro.tsl.layout.LayoutPolicy` with custom thresholds.
+    Installed onto a schema's edge-annotated ``List<long>`` fields when a
+    :class:`~repro.graph.GraphBuilder` or :class:`~repro.graph.Graph`
+    binds that schema to a cloud built with these params."""
+
     def __post_init__(self) -> None:
         if self.trunk_size <= 0:
             raise ConfigError("trunk_size must be positive")
@@ -159,6 +168,15 @@ class MemoryParams:
             raise ConfigError("defrag_trigger_ratio must be in (0, 1]")
         if self.reservation_factor < 1.0:
             raise ConfigError("reservation_factor must be >= 1.0")
+        try:
+            self.resolved_layout_policy()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+
+    def resolved_layout_policy(self):
+        """The ``layout_policy`` knob as a LayoutPolicy (or None)."""
+        from .tsl.layout import resolve_layout_policy
+        return resolve_layout_policy(self.layout_policy)
 
 
 @dataclass(frozen=True)

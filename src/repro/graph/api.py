@@ -26,9 +26,9 @@ from ..memcloud import MemoryCloud
 from ..memcloud.cloud import BulkPathDivergence
 from ..tsl.accessor import use_cell
 from ..tsl.batch import batch_decoder_for
+from ..tsl.layout import install_layout_policy
 from ..tsl.types import ListType
 from ..utils.arrays import gather_ranges
-from ..utils.varint import decode_varint
 from .model import GraphSchema
 
 
@@ -43,6 +43,8 @@ class Graph:
                  node_ids: list[int]):
         self.cloud = cloud
         self.graph_schema = graph_schema
+        install_layout_policy(graph_schema.node_type,
+                              cloud.config.memory.resolved_layout_policy())
         self.node_ids = list(node_ids)
         self._node_type = graph_schema.node_type
         self._decoder = batch_decoder_for(self._node_type)
@@ -97,12 +99,12 @@ class Graph:
         """Out-degree, decoded from the adjacency list's count header
         only — the elements are never touched."""
         field_name = self.graph_schema.out_field
-        if not isinstance(self._node_type.field_type(field_name), ListType):
+        field_type = self._node_type.field_type(field_name)
+        if not isinstance(field_type, ListType):
             return len(self.outlinks(node_id))
         blob = self.cloud.get(node_id)
         offset = self._node_type.field_offset(blob, field_name)
-        count, _ = decode_varint(blob, offset)
-        return count
+        return field_type.decode_count(blob, offset)[0]
 
     # -- batched adjacency (the online traversal fast path) ----------------
 

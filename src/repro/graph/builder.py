@@ -35,7 +35,8 @@ import numpy as np
 from ..errors import QueryError, TrunkFullError
 from ..memcloud import MemoryCloud
 from ..tsl.batch import batch_encoder_for, encode_varint_small
-from ..tsl.types import LONG, ListType
+from ..tsl.layout import encode_adjacency_segments, install_layout_policy
+from ..tsl.types import AdjacencyListType, LONG, ListType
 from ..utils.sorting import stable_argsort
 from .api import Graph
 from .model import GraphSchema
@@ -105,6 +106,9 @@ class GraphBuilder:
     def __init__(self, cloud: MemoryCloud, graph_schema: GraphSchema):
         self.cloud = cloud
         self.graph_schema = graph_schema
+        install_layout_policy(
+            graph_schema.node_type,
+            cloud.config.memory.resolved_layout_policy())
         self._chunks: list[np.ndarray] = []   # (m, 2) int64, arrival order
         self._loose: list[tuple[int, int]] = []  # add_edge buffer
         self._attributes: dict[int, dict] = defaultdict(dict)
@@ -310,24 +314,38 @@ class GraphBuilder:
         return True
 
     @staticmethod
-    def _adjacency_column(group, ids_arr: np.ndarray,
-                          empty: bytes) -> list[bytes]:
+    def _adjacency_column(group, ids_arr: np.ndarray, empty: bytes,
+                          tsl_type: ListType) -> list[bytes]:
         """Encoded ``List<long>`` blobs, one per node in ``ids_arr`` order.
 
-        One ``tobytes`` conversion of the sorted value array; each key's
-        encoding is a varint count plus a slice of that blob —
-        byte-identical to encoding its Python list elementwise.  Nodes
-        with no neighbors in this direction get the empty-list encoding.
+        Adjacency-typed fields route through the vectorized segment
+        encoder — the same chooser and payload generator the scalar TSL
+        encoder delegates to, so bulk and scalar blobs are bit-identical
+        across every layout mix by construction.  Plain ``List<long>``
+        fields keep the original one-``tobytes`` slicing.  Nodes with no
+        neighbors in this direction get the empty-list encoding either
+        way (``b"\\x00"`` is both formats' empty header).
         """
         keys, starts, ends, sorted_values = group
         column = [empty] * len(ids_arr)
-        if keys:
-            blob = sorted_values.astype(_INT64, copy=False).tobytes()
-            positions = np.searchsorted(
-                ids_arr, np.asarray(keys, dtype=np.int64)).tolist()
-            for position, start, end in zip(positions, starts, ends):
-                column[position] = (encode_varint_small(end - start)
-                                    + blob[8 * start:8 * end])
+        if not keys:
+            return column
+        positions = np.searchsorted(
+            ids_arr, np.asarray(keys, dtype=np.int64)).tolist()
+        if isinstance(tsl_type, AdjacencyListType):
+            encoded = encode_adjacency_segments(
+                sorted_values.astype(_INT64, copy=False),
+                np.asarray(starts, dtype=np.int64),
+                np.asarray(ends, dtype=np.int64),
+                tsl_type.policy,
+            )
+            for position, blob in zip(positions, encoded):
+                column[position] = blob
+            return column
+        blob = sorted_values.astype(_INT64, copy=False).tobytes()
+        for position, start, end in zip(positions, starts, ends):
+            column[position] = (encode_varint_small(end - start)
+                                + blob[8 * start:8 * end])
         return column
 
     def _bulk_blobs(self, node_ids, out_group, in_group) -> list[bytes]:
@@ -341,10 +359,12 @@ class GraphBuilder:
         for name, tsl_type in schema.node_type.fields:
             if name == schema.out_field:
                 columns.append(
-                    self._adjacency_column(out_group, ids_arr, empty))
+                    self._adjacency_column(out_group, ids_arr, empty,
+                                           tsl_type))
             elif name == schema.in_field:
                 columns.append(
-                    self._adjacency_column(in_group, ids_arr, empty))
+                    self._adjacency_column(in_group, ids_arr, empty,
+                                           tsl_type))
             else:
                 encode = tsl_type.encode
                 default_blob = encode(tsl_type.default())

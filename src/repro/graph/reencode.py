@@ -1,0 +1,213 @@
+"""The background layout re-encoder: repairing adjacency layout drift.
+
+The bulk loader picks each adjacency list's layout once, at encode time.
+Online mutation then preserves whatever layout a cell already has (the
+accessor never re-runs the policy), so a vertex that grows from 3
+friends to 3,000 keeps paying raw fixed-width freight long after the
+:class:`~repro.tsl.layout.LayoutPolicy` would have chosen a codec — and
+a bitmap neighborhood that takes one out-of-order append falls back to
+raw forever.  This module is the repair loop for that drift, modeled on
+the defragmentation daemon of Section 6.1: a maintenance pass that walks
+live cells, re-encodes the ones whose stored layout no longer matches
+the policy's choice, and swaps the new bytes in through the trunk's
+compare-and-swap (:meth:`~repro.memcloud.trunk.MemoryTrunk.reencode_cell`).
+
+Correctness leans entirely on the normal mutation path: the CAS applies
+only when the cell is unlocked and byte-unchanged since it was read, and
+it goes through ``_update`` — so the trunk's mutation epoch bumps,
+outstanding zero-copy spans go stale (``StaleSpanError`` instead of
+silently decoding moved bytes), and every epoch-keyed serve cache
+invalidates.  A migration can therefore never surface a stale answer; a
+lost race just leaves the cell for the next pass.
+
+Use it inline::
+
+    reencoder = LayoutReencoder(graph)
+    report = reencoder.run_pass()
+
+or as a background daemon thread::
+
+    reencoder.start(interval=0.1)
+    ...
+    reencoder.stop()
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CellNotFoundError
+from ..tsl.layout import encode_adjacency
+from ..tsl.types import AdjacencyListType
+
+
+@dataclass
+class ReencodeReport:
+    """Outcome of one re-encoder pass (or accumulated daemon passes)."""
+
+    scanned: int = 0
+    candidates: int = 0
+    migrated: int = 0
+    skipped: int = 0
+    """Candidates whose CAS did not apply: the cell mutated or was
+    locked between read and swap.  They stay candidates for later."""
+
+    bytes_before: int = 0
+    bytes_after: int = 0
+    retagged: dict = field(default_factory=dict)
+    """``(from_layout, to_layout) -> count`` over migrated fields."""
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+    def merge(self, other: "ReencodeReport") -> None:
+        self.scanned += other.scanned
+        self.candidates += other.candidates
+        self.migrated += other.migrated
+        self.skipped += other.skipped
+        self.bytes_before += other.bytes_before
+        self.bytes_after += other.bytes_after
+        for key, count in other.retagged.items():
+            self.retagged[key] = self.retagged.get(key, 0) + count
+
+
+class LayoutReencoder:
+    """Migrates live cells whose layout drifted from the policy's choice.
+
+    ``policy`` defaults to whatever is installed on the graph schema's
+    adjacency types (i.e. the policy the loader encoded with); passing a
+    different one migrates the whole graph toward it — including
+    ``RAW_ONLY_POLICY``, which rolls every codec back to fixed-width.
+    """
+
+    def __init__(self, graph, policy=None):
+        self.graph = graph
+        self.cloud = graph.cloud
+        self._node_type = graph.graph_schema.node_type
+        self._adjacency_fields = [
+            (name, tsl_type)
+            for name, tsl_type in self._node_type.fields
+            if isinstance(tsl_type, AdjacencyListType)
+        ]
+        if policy is None and self._adjacency_fields:
+            policy = self._adjacency_fields[0][1].policy
+        self.policy = policy
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._daemon_report = ReencodeReport()
+        self._report_lock = threading.Lock()
+
+    # -- scanning ------------------------------------------------------------
+
+    def drifted_fields(self, blob) -> list[tuple[str, int, int]]:
+        """``(field, stored_layout, chosen_layout)`` per drifted field."""
+        drifted = []
+        for name, tsl_type in self._adjacency_fields:
+            offset = self._node_type.field_offset(blob, name)
+            stored = tsl_type.stored_layout(blob, offset)
+            values, _ = tsl_type.decode(blob, offset)
+            chosen = self.policy.choose(values)
+            if stored != chosen:
+                drifted.append((name, stored, chosen))
+        return drifted
+
+    def scan(self, node_ids=None) -> list[int]:
+        """Node ids whose stored layout differs from the policy's choice."""
+        candidates = []
+        for uid in (self.graph.node_ids if node_ids is None else node_ids):
+            try:
+                blob = self.cloud.get(uid)
+            except CellNotFoundError:
+                continue
+            if self.drifted_fields(blob):
+                candidates.append(uid)
+        return candidates
+
+    # -- migration -----------------------------------------------------------
+
+    def migrate(self, uid: int) -> ReencodeReport:
+        """Re-encode one cell under the policy and CAS the bytes in."""
+        report = ReencodeReport(scanned=1)
+        try:
+            expected = self.cloud.get(uid)
+        except CellNotFoundError:
+            return report
+        drifted = self.drifted_fields(expected)
+        if not drifted:
+            return report
+        report.candidates = 1
+        replacement = self._rebuild(expected)
+        if self.cloud.reencode_cell(uid, expected, replacement):
+            report.migrated = 1
+            report.bytes_before = len(expected)
+            report.bytes_after = len(replacement)
+            for _, stored, chosen in drifted:
+                key = (stored, chosen)
+                report.retagged[key] = report.retagged.get(key, 0) + 1
+        else:
+            report.skipped = 1
+        return report
+
+    def _rebuild(self, blob) -> bytes:
+        """The cell's bytes with every adjacency field re-encoded under
+        this re-encoder's policy; all other fields copied verbatim.
+
+        Splicing fields (rather than decode-and-re-encode of the whole
+        record with temporarily swapped type policies) keeps the shared
+        type instances untouched, so a daemon migrating toward a
+        different policy never perturbs concurrent scalar encodes.
+        """
+        adjacency = dict(self._adjacency_fields)
+        parts = []
+        pos = 0
+        for name, tsl_type in self._node_type.fields:
+            end = tsl_type.skip(blob, pos)
+            field_type = adjacency.get(name)
+            if field_type is None:
+                parts.append(bytes(blob[pos:end]))
+            else:
+                values, _ = field_type.decode(blob, pos)
+                parts.append(encode_adjacency(
+                    np.asarray(values, dtype=np.int64), self.policy))
+            pos = end
+        return b"".join(parts)
+
+    def run_pass(self, node_ids=None) -> ReencodeReport:
+        """Scan and migrate every drifted cell once; returns the report."""
+        report = ReencodeReport()
+        for uid in (self.graph.node_ids if node_ids is None else node_ids):
+            report.merge(self.migrate(uid))
+        return report
+
+    # -- background daemon ---------------------------------------------------
+
+    def start(self, interval: float = 0.05) -> None:
+        """Run :meth:`run_pass` repeatedly on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("layout re-encoder already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                pass_report = self.run_pass()
+                with self._report_lock:
+                    self._daemon_report.merge(pass_report)
+                self._stop.wait(interval)
+
+        self._thread = threading.Thread(
+            target=loop, name="layout-reencoder", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> ReencodeReport:
+        """Stop the daemon and return its accumulated report."""
+        if self._thread is None:
+            return self._daemon_report
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        with self._report_lock:
+            return self._daemon_report

@@ -197,6 +197,21 @@ class MemoryCloud:
         if self._shadow is not None:
             self._shadow.remove(cell_id)
 
+    def reencode_cell(self, cell_id: int, expected: bytes,
+                      replacement: bytes) -> bool:
+        """Compare-and-swap a cell's bytes through its trunk's CAS.
+
+        The layout re-encoder's write primitive: applied only if the cell
+        still byte-equals ``expected`` and is not locked by an accessor.
+        A shadow replica (if any) mirrors the swap only when the primary
+        applied it, so both stay byte-identical.
+        """
+        applied = self.trunk_for(cell_id).reencode_cell(
+            cell_id, expected, replacement)
+        if applied and self._shadow is not None:
+            self._shadow.put(cell_id, replacement)
+        return applied
+
     def contains(self, cell_id: int) -> bool:
         if self._shadow is not None:
             self._shadow.contains(cell_id)

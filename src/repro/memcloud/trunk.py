@@ -192,6 +192,13 @@ class MemoryTrunk:
         self._m_inplace = obs.counter("trunk.resize.inplace.total", **label)
         self._m_span_fallback = obs.counter("trunk.span.copy_fallback.total",
                                             **label)
+        self._m_layout_migrated = obs.counter("trunk.layout.migrated",
+                                              **label)
+        self._m_layout_skipped = obs.counter("trunk.layout.skipped", **label)
+        self._m_layout_before = obs.counter("trunk.layout.bytes_before",
+                                            **label)
+        self._m_layout_after = obs.counter("trunk.layout.bytes_after",
+                                           **label)
         self._g_garbage = obs.gauge("trunk.garbage.bytes", **label)
         self._g_util = obs.gauge("trunk.utilization", **label)
 
@@ -230,6 +237,46 @@ class MemoryTrunk:
             entry = self._require(uid)
             return self._storage.read(entry.offset,
                                       entry.offset + entry.size)
+
+    def reencode_cell(self, uid: int, expected: bytes,
+                      replacement: bytes) -> bool:
+        """Compare-and-swap a cell's bytes (the layout re-encoder's CAS).
+
+        Replaces the cell's payload with ``replacement`` only if it still
+        byte-equals ``expected`` *and* no accessor currently holds its
+        spin lock.  The swap goes through the normal :meth:`_update`
+        mutation path, so the mutation epoch bumps, outstanding zero-copy
+        spans go stale, and epoch-keyed serve caches invalidate — a
+        migrated cell can never serve a stale answer.  Returns whether
+        the swap was applied; a ``False`` means the cell changed (or is
+        busy) since the caller encoded ``replacement``, and the caller
+        simply retries on a later pass.
+        """
+        with self._mutex:
+            entry = self._lookup(uid)
+            if entry is None:
+                self._m_layout_skipped.inc()
+                return False
+            lock = entry.cell_lock(self._lock_factory)
+            if not lock.try_acquire():
+                # An accessor is mid-mutation on this cell: its exit
+                # write supersedes whatever we encoded.  Skip, don't spin.
+                self._m_layout_skipped.inc()
+                return False
+            # Safe to release before _update re-acquires: handing out a
+            # cell lock requires this mutex (lock_of), which we hold.
+            lock.release()
+            current = self._storage.read(entry.offset,
+                                         entry.offset + entry.size)
+            if bytes(current) != bytes(expected):
+                self._m_layout_skipped.inc()
+                return False
+            size_before = entry.size
+            self._update(entry, replacement)
+            self._m_layout_migrated.inc()
+            self._m_layout_before.inc(size_before)
+            self._m_layout_after.inc(len(replacement))
+            return True
 
     # -- bulk fast path ------------------------------------------------------
 

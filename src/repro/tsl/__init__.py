@@ -40,6 +40,13 @@ from .parser import parse_tsl
 from .compiler import CompiledSchema, ProtocolSpec, compile_tsl
 from .accessor import CellAccessor
 from .batch import BatchStructEncoder, batch_encoder_for
+from .layout import (
+    LAYOUT_BITMAP,
+    LAYOUT_DELTA_VARINT,
+    LAYOUT_NAMES,
+    LAYOUT_RAW,
+    LayoutPolicy,
+)
 from .types import (
     BOOL,
     BYTE,
@@ -49,6 +56,7 @@ from .types import (
     LONG,
     SHORT,
     STRING,
+    AdjacencyListType,
     BitArrayType,
     ListType,
     StructType,
@@ -74,7 +82,13 @@ __all__ = [
     "TslType",
     "StructType",
     "ListType",
+    "AdjacencyListType",
     "BitArrayType",
+    "LayoutPolicy",
+    "LAYOUT_RAW",
+    "LAYOUT_DELTA_VARINT",
+    "LAYOUT_BITMAP",
+    "LAYOUT_NAMES",
     "BYTE",
     "BOOL",
     "SHORT",

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from ..errors import CellNotFoundError, TslTypeError
 from ..utils.varint import decode_varint, encode_varint
-from .types import ListType, StructType, TslType
+from .layout import LAYOUT_RAW
+from .types import AdjacencyListType, ListType, StructType, TslType
 
 _INTERNALS = frozenset({
     "_cloud", "_cell_id", "_struct", "_lock", "_view", "_buf", "_dirty",
@@ -185,6 +186,15 @@ class ListAccessor:
     Fixed-size elements support in-place ``list[i] = x``; size-changing
     operations (append, assignment of variable-size elements) go through
     the parent accessor's rebuild path.
+
+    Adjacency fields add a layout dimension: a cell stored under
+    ``LAYOUT_RAW`` keeps every in-place fast path below, while a cell
+    whose list is delta- or bitmap-encoded decodes through the codec and
+    rewrites the whole field on mutation — *preserving* its stored
+    layout when the new contents remain eligible (falling back to raw
+    otherwise), never re-running the policy.  Observed degree therefore
+    drifts across policy boundaries without the bytes following; the
+    layout re-encoder daemon is what migrates such cells later.
     """
 
     def __init__(self, parent: CellAccessor, field_name: str,
@@ -194,24 +204,31 @@ class ListAccessor:
         self._type = list_type
 
     def _bounds(self):
-        """(buffer, count, elements_start_offset)."""
+        """(buffer, count, payload_start_offset, layout_tag)."""
         buf = self._parent._buffer()
         start = self._parent._offset_of(self._field)
-        count, data_start = decode_varint(buf, start)
-        return buf, count, data_start
+        header, data_start = decode_varint(buf, start)
+        if isinstance(self._type, AdjacencyListType):
+            return buf, header >> 2, data_start, header & 3
+        return buf, header, data_start, LAYOUT_RAW
 
     def __len__(self) -> int:
-        _, count, _ = self._bounds()
+        _, count, _, _ = self._bounds()
         return count
 
-    def _element_offset(self, buf, index: int, count: int,
-                        data_start: int) -> int:
+    @staticmethod
+    def _normalize_index(index: int, count: int) -> int:
         if index < 0:
             index += count
         if not 0 <= index < count:
             raise IndexError(
                 f"index {index} out of range for List of {count}"
             )
+        return index
+
+    def _element_offset(self, buf, index: int, count: int,
+                        data_start: int) -> int:
+        index = self._normalize_index(index, count)
         element_size = self._type.element.fixed_size
         if element_size is not None:
             return data_start + index * element_size
@@ -220,14 +237,39 @@ class ListAccessor:
             offset = self._type.element.skip(buf, offset)
         return offset
 
+    def _decoded(self) -> list:
+        """Whole-list decode (non-raw layouts have no element addresses)."""
+        buf = self._parent._buffer()
+        start = self._parent._offset_of(self._field)
+        values, _ = self._type.decode(buf, start)
+        return values
+
+    def _rewrite(self, values: list, tag: int) -> None:
+        """Re-encode the whole field, keeping ``tag`` while eligible."""
+        encoded = self._type.encode_with_layout(values, tag)
+        if encoded is None:
+            encoded = self._type.encode_with_layout(values, LAYOUT_RAW)
+        self._parent._splice_field(self._field, self._type, encoded)
+
     def __getitem__(self, index: int):
-        buf, count, data_start = self._bounds()
+        buf, count, data_start, tag = self._bounds()
+        if tag != LAYOUT_RAW:
+            return self._decoded()[self._normalize_index(index, count)]
         offset = self._element_offset(buf, index, count, data_start)
         value, _ = self._type.element.decode(buf, offset)
         return value
 
     def __setitem__(self, index: int, value) -> None:
-        buf, count, data_start = self._bounds()
+        buf, count, data_start, tag = self._bounds()
+        if tag != LAYOUT_RAW:
+            # Encode first so type errors surface exactly as they would on
+            # the raw path, then round-trip to the canonical Python value.
+            encoded_element = self._type.element.encode(value)
+            values = self._decoded()
+            values[self._normalize_index(index, count)] = (
+                self._type.element.decode(encoded_element, 0)[0])
+            self._rewrite(values, tag)
+            return
         offset = self._element_offset(buf, index, count, data_start)
         element = self._type.element
         if element.fixed_size is not None:
@@ -244,7 +286,10 @@ class ListAccessor:
         self._parent._adopt(rebuilt, invalidate_after=self._field)
 
     def __iter__(self):
-        buf, count, offset = self._bounds()
+        buf, count, offset, tag = self._bounds()
+        if tag != LAYOUT_RAW:
+            yield from self._decoded()
+            return
         for _ in range(count):
             value, offset = self._type.element.decode(buf, offset)
             yield value
@@ -253,12 +298,20 @@ class ListAccessor:
         return list(self)
 
     def append(self, value) -> None:
-        buf, count, data_start = self._bounds()
+        buf, count, data_start, tag = self._bounds()
+        encoded_element = self._type.element.encode(value)
+        if tag != LAYOUT_RAW:
+            values = self._decoded()
+            values.append(self._type.element.decode(encoded_element, 0)[0])
+            self._rewrite(values, tag)
+            return
         start = self._parent._offset_of(self._field)
         end = self._type.skip(buf, start)
-        encoded = (encode_varint(count + 1)
-                   + bytes(buf[data_start:end])
-                   + self._type.element.encode(value))
+        if isinstance(self._type, AdjacencyListType):
+            header = encode_varint((count + 1) << 2)
+        else:
+            header = encode_varint(count + 1)
+        encoded = header + bytes(buf[data_start:end]) + encoded_element
         rebuilt = bytearray(bytes(buf[:start]) + encoded + bytes(buf[end:]))
         self._parent._adopt(rebuilt, invalidate_after=self._field)
 

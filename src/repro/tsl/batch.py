@@ -31,8 +31,19 @@ from itertools import chain
 import numpy as np
 
 from ..errors import SchemaMismatchError
-from ..utils.arrays import gather_ranges
-from ..utils.varint import decode_varint, encode_varint
+from ..utils.arrays import gather_ranges, range_indices
+from ..utils.varint import (
+    VarintBatchError,
+    decode_varint,
+    encode_varint,
+    read_varints,
+)
+from .layout import (
+    LAYOUT_BITMAP,
+    LAYOUT_DELTA_VARINT,
+    LAYOUT_RAW,
+    encode_adjacency_segments,
+)
 from .types import (
     BOOL,
     BYTE,
@@ -42,6 +53,7 @@ from .types import (
     LONG,
     SHORT,
     STRING,
+    AdjacencyListType,
     ListType,
     StructType,
     TslType,
@@ -78,10 +90,13 @@ class _FieldPlan:
         self.name = name
         self.tsl_type = tsl_type
         self._dtype = None
-        if isinstance(tsl_type, ListType):
+        self._adjacency = isinstance(tsl_type, AdjacencyListType)
+        if isinstance(tsl_type, ListType) and not self._adjacency:
             self._dtype = _NUMPY_DTYPES.get(id(tsl_type.element))
 
     def encode_column(self, values: list) -> list[bytes]:
+        if self._adjacency:
+            return self._encode_adjacency_column(values)
         if self._dtype is None:
             encode = self.tsl_type.encode
             return [encode(value) for value in values]
@@ -142,6 +157,30 @@ class _FieldPlan:
             out.append(prefix + blob[position:position + nbytes])
             position += nbytes
         return out
+
+    def _encode_adjacency_column(self, values: list) -> list[bytes]:
+        """Whole-column adjacency encode through the segment codec.
+
+        One numpy cast + one :func:`encode_adjacency_segments` call for
+        the column; anything irregular falls back per column to the
+        scalar type encoder, which applies the same policy bit for bit
+        (both run the same single chooser) or raises the canonical error.
+        """
+        scalar_encode = self.tsl_type.encode
+        if not all(type(value) in (list, tuple) for value in values):
+            return [scalar_encode(value) for value in values]
+        lengths = [len(value) for value in values]
+        try:
+            flat = np.asarray(list(chain.from_iterable(values)),
+                              dtype=np.dtype("<i8"))
+        except (ValueError, TypeError, OverflowError):
+            return [scalar_encode(value) for value in values]
+        if flat.ndim != 1 or len(flat) != sum(lengths):
+            return [scalar_encode(value) for value in values]
+        indptr = np.zeros(len(values) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
+        return encode_adjacency_segments(flat, indptr[:-1], indptr[1:],
+                                         self.tsl_type.policy)
 
 
 class BatchStructEncoder:
@@ -235,30 +274,167 @@ def _pack_blobs(blobs) -> tuple[np.ndarray, np.ndarray]:
 
 def _read_varints(buf: np.ndarray, pos: np.ndarray, limits: np.ndarray
                   ) -> tuple[np.ndarray, np.ndarray]:
-    """Decode one LEB128 varint per position, all positions per round.
+    """One LEB128 varint per position via the shared vectorized codec.
 
-    Mirrors :func:`~repro.utils.varint.decode_varint` bit for bit for
-    every value below 2**63; anything suspicious (a read past its blob's
-    limit, a varint needing the 10th byte) raises :class:`_ScalarFallback`
-    so the scalar path can produce the canonical result or error.
+    Thin wrapper over :func:`repro.utils.varint.read_varints` (the single
+    LEB128 implementation in the tree) that maps its
+    :class:`VarintBatchError` onto :class:`_ScalarFallback` so the scalar
+    path can produce the canonical result or error.
     """
-    n = len(pos)
-    values = np.zeros(n, dtype=np.int64)
-    out_pos = pos.astype(np.int64, copy=True)
-    active = np.arange(n)
-    shift = 0
-    while len(active):
-        if shift > 56:  # 10-byte varints can exceed int64; let scalar decide
+    try:
+        return read_varints(buf, pos, limits)
+    except VarintBatchError:
+        raise _ScalarFallback from None
+
+
+def _read_adjacency_headers(buf: np.ndarray, pos: np.ndarray,
+                            limits: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(counts, tags, payload_positions)`` for an adjacency column.
+
+    Reserved tag 3 drops to the scalar path, which raises the canonical
+    :class:`SchemaMismatchError` for it.
+    """
+    headers, payload = _read_varints(buf, pos, limits)
+    tags = headers & 3
+    if np.any(tags == 3):
+        raise _ScalarFallback
+    return headers >> 2, tags, payload
+
+
+def _skip_adjacency_vec(buf: np.ndarray, pos: np.ndarray,
+                        limits: np.ndarray) -> np.ndarray:
+    """Vectorized ``AdjacencyListType.skip`` across one blob column."""
+    counts, tags, payload = _read_adjacency_headers(buf, pos, limits)
+    out = np.empty_like(payload)
+    raw = tags == LAYOUT_RAW
+    out[raw] = payload[raw] + counts[raw] * 8
+    delta = np.flatnonzero(tags == LAYOUT_DELTA_VARINT)
+    if len(delta):
+        nbytes, after = _read_varints(buf, payload[delta], limits[delta])
+        out[delta] = after + nbytes
+    bitmap = np.flatnonzero(tags == LAYOUT_BITMAP)
+    if len(bitmap):
+        _, after = _read_varints(buf, payload[bitmap], limits[bitmap])
+        nbytes, after = _read_varints(buf, after, limits[bitmap])
+        out[bitmap] = after + nbytes
+    if np.any(out > limits):
+        raise _ScalarFallback  # scalar skip/decode raises the canonical error
+    return out
+
+
+def _decode_delta_group(buf: np.ndarray, pos: np.ndarray,
+                        limits: np.ndarray, counts: np.ndarray
+                        ) -> np.ndarray:
+    """Vectorized ``LAYOUT_DELTA_VARINT`` decode for one column group.
+
+    One gather for every list's payload bytes, then the whole varint
+    stream is segmented by its continuation bits in one pass: per-byte
+    shift-accumulate builds the zigzag codes, and a wrap-safe segmented
+    prefix sum (uint64 cumsum minus each list's basis) undoes the
+    deltas.  Anything that does not look like our own encoder's output —
+    boundary-crossing varints, 11-byte codes, a negative reconstructed
+    id (the encoder only delta-encodes non-negative lists) — drops to
+    the scalar reference decoder.
+    """
+    nbytes, payload_start = _read_varints(buf, pos, limits)
+    if (payload_start + nbytes > limits).any():
+        raise _ScalarFallback
+    if ((counts == 0) & (nbytes > 0)).any():
+        raise _ScalarFallback
+    payload = gather_ranges(buf, payload_start, nbytes)
+    total_values = int(counts.sum())
+    if not len(payload):
+        if total_values:
             raise _ScalarFallback
-        cursor = out_pos[active]
-        if np.any(cursor >= limits[active]):
-            raise _ScalarFallback  # truncated varint
-        byte = buf[cursor].astype(np.int64)
-        values[active] |= (byte & 0x7F) << shift
-        out_pos[active] = cursor + 1
-        active = active[(byte & 0x80) != 0]
-        shift += 7
-    return values, out_pos
+        return np.empty(0, dtype=np.int64)
+    ends = (payload & 0x80) == 0
+    byte_cuts = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(nbytes, out=byte_cuts[1:])
+    # Every nonempty list's last byte must be an end byte: together with
+    # the per-range start counts below this rules out any varint
+    # straddling two lists' payloads (a straddler would leave a
+    # continuation bit set on some list's tail byte).  It also pins the
+    # final payload byte as an end byte, so dropping the last entry of
+    # ``end_positions`` below yields exactly the inner varint starts.
+    tails = byte_cuts[1:][nbytes > 0] - 1
+    if not ends[tails].all():
+        raise _ScalarFallback
+    end_positions = np.flatnonzero(ends)
+    if len(end_positions) != total_values:
+        raise _ScalarFallback
+    varint_starts = np.empty(total_values, dtype=np.int64)
+    varint_starts[0] = 0
+    varint_starts[1:] = end_positions[:-1] + 1
+    # Every list's byte range must hold exactly its count of varints:
+    # count the varint starts inside each range with one binary search
+    # (varint_starts is sorted) instead of a payload-length prefix sum.
+    if (np.diff(np.searchsorted(varint_starts, byte_cuts))
+            != counts).any():
+        raise _ScalarFallback
+    # Shift-accumulate by byte *position* instead of per byte: pass r
+    # gathers the r-th byte of every varint long enough to have one, so
+    # the work is O(max_varint_len) vectorized passes (2-3 for graph
+    # ids) rather than per-payload-byte scatter.
+    lengths = np.diff(varint_starts, append=len(payload))
+    max_len = int(lengths.max())
+    if max_len > 10:
+        raise _ScalarFallback
+    codes = (payload[varint_starts] & 0x7F).astype(np.uint64)
+    for r in range(1, max_len):
+        idx = np.flatnonzero(lengths > r)
+        chunk = (payload[varint_starts[idx] + r] & 0x7F).astype(np.uint64)
+        if r == 9 and (chunk != 1).any():
+            # A 10th byte may only contribute bit 63; anything else
+            # exceeds uint64 and the scalar decoder owns the error.
+            raise _ScalarFallback
+        codes[idx] |= chunk << np.uint64(7 * r)
+    deltas = ((codes >> np.uint64(1)).astype(np.int64)
+              ^ -(codes & np.uint64(1)).astype(np.int64))
+    # Segmented prefix sum, wrap-safe: uint64 cumulates mod 2**64 and the
+    # per-list basis subtraction recovers the exact value whenever it
+    # fits in int64 (guaranteed for encoder output: ids are >= 0).
+    running = np.cumsum(deltas.view(np.uint64))
+    basis = np.concatenate((np.zeros(1, dtype=np.uint64), running))
+    value_cuts = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=value_cuts[1:])
+    values = (running - np.repeat(basis[value_cuts[:-1]], counts)
+              ).astype(np.int64)
+    if int(values.min()) < 0:
+        raise _ScalarFallback
+    return values
+
+
+def _decode_bitmap_group(buf: np.ndarray, pos: np.ndarray,
+                         limits: np.ndarray, counts: np.ndarray
+                         ) -> np.ndarray:
+    """Vectorized ``LAYOUT_BITMAP`` decode for one column group.
+
+    One gather for all bitmap bytes, one ``np.unpackbits``, and one
+    ``searchsorted`` to map every set bit back to its list; ids come out
+    ascending per list, which is the stored order for any
+    bitmap-eligible list.  Popcount mismatches drop to the scalar
+    reference decoder for the canonical error.
+    """
+    bases, after = _read_varints(buf, pos, limits)
+    nbytes, payload_start = _read_varints(buf, after, limits)
+    if np.any(payload_start + nbytes > limits):
+        raise _ScalarFallback
+    payload = gather_ranges(buf, payload_start, nbytes)
+    bits = np.unpackbits(payload, bitorder="little")
+    set_positions = np.flatnonzero(bits)
+    if len(set_positions) != int(counts.sum()):
+        raise _ScalarFallback
+    bit_cuts = 8 * np.cumsum(nbytes)
+    owner = np.searchsorted(bit_cuts, set_positions, side="right")
+    if np.any(np.bincount(owner, minlength=len(counts)) != counts):
+        raise _ScalarFallback
+    bit_starts = np.concatenate((np.zeros(1, dtype=np.int64),
+                                 bit_cuts))[owner]
+    values = bases[owner] + (set_positions - bit_starts)
+    if np.any(values < bases[owner]):
+        raise _ScalarFallback  # int64 wrap: scalar owns the error
+    return values
 
 
 def _slice_blobs(buf: np.ndarray, starts: np.ndarray, limits: np.ndarray
@@ -330,6 +506,8 @@ class BatchStructDecoder:
             elif tsl_type is STRING:
                 lengths, pos = _read_varints(buf, pos, limits)
                 pos = pos + lengths
+            elif isinstance(tsl_type, AdjacencyListType):
+                pos = _skip_adjacency_vec(buf, pos, limits)
             elif (isinstance(tsl_type, ListType)
                   and tsl_type.element.fixed_size is not None):
                 counts, pos = _read_varints(buf, pos, limits)
@@ -361,8 +539,9 @@ class BatchStructDecoder:
                 pass
         counts = np.empty(len(blobs), dtype=np.int64)
         offset_in = self._offset_in
+        decode_count = self.field_type(field_name).decode_count
         for i, blob in enumerate(blobs):
-            counts[i], _ = decode_varint(blob, offset_in(blob, field_name))
+            counts[i], _ = decode_count(blob, offset_in(blob, field_name))
         return counts
 
     def field_counts_packed(self, buf: np.ndarray, bounds: np.ndarray,
@@ -394,6 +573,9 @@ class BatchStructDecoder:
     def _field_counts_vec(self, buf, starts, limits,
                           field_name: str) -> np.ndarray:
         pos = self._field_positions(buf, starts, limits, field_name)
+        if isinstance(self.field_type(field_name), AdjacencyListType):
+            counts, _, _ = _read_adjacency_headers(buf, pos, limits)
+            return counts
         counts, _ = _read_varints(buf, pos, limits)
         return counts
 
@@ -423,9 +605,25 @@ class BatchStructDecoder:
                                                  dtype)
             except _ScalarFallback:
                 pass
+        tsl_type = self.field_type(field_name)
+        offset_in = self._offset_in
+        if isinstance(tsl_type, AdjacencyListType):
+            # Per-blob scalar decode (the canonical reference): each
+            # layout's payload codec materialises the same int64 values.
+            indptr = np.zeros(len(blobs) + 1, dtype=np.int64)
+            lists = []
+            total = 0
+            for i, blob in enumerate(blobs):
+                values, _ = tsl_type.decode(blob,
+                                            offset_in(blob, field_name))
+                total += len(values)
+                indptr[i + 1] = total
+                lists.append(values)
+            flat = np.fromiter(chain.from_iterable(lists), dtype=np.int64,
+                               count=total)
+            return indptr, flat
         indptr = np.zeros(len(blobs) + 1, dtype=np.int64)
         parts = []
-        offset_in = self._offset_in
         total = 0
         for i, blob in enumerate(blobs):
             count, start = decode_varint(blob, offset_in(blob, field_name))
@@ -472,6 +670,9 @@ class BatchStructDecoder:
     def _decode_list_csr_vec(self, buf, starts, limits, field_name: str,
                              dtype: np.dtype
                              ) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.field_type(field_name), AdjacencyListType):
+            return self._decode_adjacency_csr_vec(buf, starts, limits,
+                                                  field_name)
         itemsize = dtype.itemsize
         pos = self._field_positions(buf, starts, limits, field_name)
         counts, data_start = _read_varints(buf, pos, limits)
@@ -486,6 +687,59 @@ class BatchStructDecoder:
         indptr = np.zeros(len(starts) + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         return indptr, gather_ranges(buf, data_start, nbytes).view(dtype)
+
+    def _decode_adjacency_csr_vec(self, buf, starts, limits,
+                                  field_name: str
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar adjacency decode, dispatched per layout group.
+
+        The column is partitioned by header tag; each group decodes with
+        its own vectorized codec and scatters into one flat CSR output,
+        so a frontier mixing raw tails, delta hubs and bitmap hubs still
+        costs O(groups) numpy passes.  Any structural anomaly drops to
+        :class:`_ScalarFallback` — the per-blob scalar decoders are the
+        canonical reference for both values and errors.
+        """
+        pos = self._field_positions(buf, starts, limits, field_name)
+        counts, tags, payload = _read_adjacency_headers(buf, pos, limits)
+        indptr = np.zeros(len(starts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Single-tag fast paths: a homogeneous column needs no per-group
+        # scatter — the group decoder's output already is the flat CSR.
+        first = int(tags[0])
+        if (tags == first).all():
+            if first == LAYOUT_RAW:
+                nbytes = counts * 8
+                if (payload + nbytes > limits).any():
+                    raise _ScalarFallback
+                return indptr, gather_ranges(buf, payload,
+                                             nbytes).view(np.int64)
+            if first == LAYOUT_DELTA_VARINT:
+                return indptr, _decode_delta_group(buf, payload, limits,
+                                                   counts)
+            if first == LAYOUT_BITMAP:
+                return indptr, _decode_bitmap_group(buf, payload, limits,
+                                                    counts)
+            raise _ScalarFallback  # reserved tag: scalar owns the error
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        raw = np.flatnonzero(tags == LAYOUT_RAW)
+        if len(raw):
+            nbytes = counts[raw] * 8
+            if np.any(payload[raw] + nbytes > limits[raw]):
+                raise _ScalarFallback
+            values = gather_ranges(buf, payload[raw], nbytes).view(np.int64)
+            flat[range_indices(indptr[raw], counts[raw])] = values
+        delta = np.flatnonzero(tags == LAYOUT_DELTA_VARINT)
+        if len(delta):
+            values = _decode_delta_group(buf, payload[delta], limits[delta],
+                                         counts[delta])
+            flat[range_indices(indptr[delta], counts[delta])] = values
+        bitmap = np.flatnonzero(tags == LAYOUT_BITMAP)
+        if len(bitmap):
+            values = _decode_bitmap_group(buf, payload[bitmap],
+                                          limits[bitmap], counts[bitmap])
+            flat[range_indices(indptr[bitmap], counts[bitmap])] = values
+        return indptr, flat
 
     def decode_column(self, blobs, field_name: str) -> list:
         """Per-blob Python values for any field, CSR-accelerated when

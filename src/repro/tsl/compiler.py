@@ -14,7 +14,15 @@ from dataclasses import dataclass
 from ..errors import TslTypeError
 from .ast import FieldDecl, Script, StructDecl, TypeExpr
 from .parser import parse_tsl
-from .types import BitArrayType, ListType, PRIMITIVES, StructType, TslType
+from .types import (
+    AdjacencyListType,
+    BitArrayType,
+    ListType,
+    LONG,
+    PRIMITIVES,
+    StructType,
+    TslType,
+)
 
 
 @dataclass(frozen=True)
@@ -105,11 +113,20 @@ class CompiledSchema:
                 "(long) instead of embedding them"
             )
         decl = declarations[name]
-        fields = [
-            (f.name, self._resolve_type(f.type_expr, declarations,
-                                        stack + (name,), f))
-            for f in decl.fields
-        ]
+        fields = []
+        for f in decl.fields:
+            tsl_type = self._resolve_type(f.type_expr, declarations,
+                                          stack + (name,), f)
+            # Edge-annotated List<long> fields get the adaptive adjacency
+            # wire format; plain lists (protocol messages, embedded
+            # structs) keep the original varint-count layout.  Each field
+            # gets its own type instance so per-schema layout policies
+            # never leak across schemas.
+            if (f.edge_type is not None and isinstance(tsl_type, ListType)
+                    and not isinstance(tsl_type, AdjacencyListType)
+                    and tsl_type.element is LONG):
+                tsl_type = AdjacencyListType(tsl_type.element)
+            fields.append((f.name, tsl_type))
         struct_type = StructType(name, fields)
         self.structs[name] = struct_type
         return struct_type

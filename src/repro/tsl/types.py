@@ -166,8 +166,106 @@ class ListType(TslType):
             offset = self.element.skip(buf, offset)
         return offset
 
+    def decode_count(self, buf, offset: int) -> tuple[int, int]:
+        """``(element_count, payload_offset)`` from the header alone."""
+        return decode_varint(buf, offset)
+
     def default(self) -> list:
         return []
+
+
+class AdjacencyListType(ListType):
+    """``List<long>`` adjacency with a per-cell layout dimension.
+
+    The wire format replaces the plain varint count header with
+    ``varint((count << 2) | tag)`` — two tag bits select the payload
+    codec (see :mod:`repro.tsl.layout`) and the count rides in the upper
+    bits, so an empty list still costs exactly one zero byte.  The TSL
+    compiler applies this type only to ``[EdgeType: ...]``-annotated
+    ``List<long>`` fields; protocol messages and other plain lists keep
+    the original format.
+
+    ``policy`` is mutable on purpose: ``MemoryParams.layout_policy``
+    is installed onto a schema's adjacency types when a builder or graph
+    binds that schema to a cloud.
+    """
+
+    def __init__(self, element: TslType = LONG, policy=None):
+        if element is not LONG:
+            raise TslTypeError(
+                "adjacency lists require long elements, "
+                f"got {element.name}"
+            )
+        super().__init__(element)
+        if policy is None:
+            from .layout import DEFAULT_LAYOUT_POLICY
+            policy = DEFAULT_LAYOUT_POLICY
+        self.policy = policy
+
+    def encode(self, value) -> bytes:
+        from . import layout
+        if not isinstance(value, (list, tuple)):
+            raise SchemaMismatchError(
+                f"expected list for {self.name}, got {type(value).__name__}"
+            )
+        # Validate elementwise through the scalar LONG encoder first so
+        # bad values raise the canonical error; its output bytes are the
+        # canonical int64 images the codecs run on.
+        parts = [self.element.encode(item) for item in value]
+        if not parts:
+            return encode_varint(0)  # (0 << 2) | LAYOUT_RAW
+        import numpy as np
+        ints = np.frombuffer(b"".join(parts), dtype="<i8")
+        return layout.encode_adjacency(ints, self.policy)
+
+    def decode(self, buf, offset: int):
+        from . import layout
+        header, offset = decode_varint(buf, offset)
+        tag = header & 3
+        count = header >> 2
+        if tag == layout.LAYOUT_RAW:
+            items = []
+            for _ in range(count):
+                item, offset = self.element.decode(buf, offset)
+                items.append(item)
+            return items, offset
+        if tag == layout.LAYOUT_DELTA_VARINT:
+            return layout.decode_delta_payload(buf, offset, count)
+        if tag == layout.LAYOUT_BITMAP:
+            return layout.decode_bitmap_payload(buf, offset, count)
+        raise SchemaMismatchError(
+            f"unknown adjacency layout tag {tag} in {self.name}"
+        )
+
+    def skip(self, buf, offset: int) -> int:
+        header, offset = decode_varint(buf, offset)
+        tag = header & 3
+        if tag == 0:
+            return offset + (header >> 2) * 8
+        if tag == 1:
+            nbytes, offset = decode_varint(buf, offset)
+            return offset + nbytes
+        if tag == 2:
+            _, offset = decode_varint(buf, offset)
+            nbytes, offset = decode_varint(buf, offset)
+            return offset + nbytes
+        raise SchemaMismatchError(
+            f"unknown adjacency layout tag {tag} in {self.name}"
+        )
+
+    def decode_count(self, buf, offset: int) -> tuple[int, int]:
+        header, offset = decode_varint(buf, offset)
+        return header >> 2, offset
+
+    def stored_layout(self, buf, offset: int) -> int:
+        """The layout tag a stored adjacency field currently uses."""
+        header, _ = decode_varint(buf, offset)
+        return header & 3
+
+    def encode_with_layout(self, value, tag: int) -> bytes | None:
+        """Re-encode under a forced tag; ``None`` when ineligible."""
+        from . import layout
+        return layout.encode_adjacency_with_tag(value, tag)
 
 
 class BitArrayType(TslType):

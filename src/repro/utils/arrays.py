@@ -5,19 +5,30 @@ from __future__ import annotations
 import numpy as np
 
 
+def range_indices(starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(starts[i], starts[i] + sizes[i])`` per range.
+
+    The index form of :func:`gather_ranges` — used directly when the
+    caller scatters *into* positions instead of gathering from them.
+    Ranges may overlap, repeat, and appear in any order; empty ranges
+    contribute nothing.
+    """
+    total = int(sizes.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    shifts = np.zeros(len(sizes), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=shifts[1:])
+    return np.repeat(starts - shifts, sizes) + np.arange(total)
+
+
 def gather_ranges(buf: np.ndarray, starts: np.ndarray, sizes: np.ndarray
                   ) -> np.ndarray:
     """One contiguous copy of ``buf[starts[i]:starts[i] + sizes[i]]`` each.
 
     The workhorse of the packed bulk-read path: a single fancy-index
-    gather replaces one Python-level slice per range.  Ranges may
-    overlap, repeat, and appear in any order; empty ranges contribute
-    nothing.
+    gather replaces one Python-level slice per range.
     """
-    total = int(sizes.sum())
-    if not total:
+    positions = range_indices(starts, sizes)
+    if not len(positions):
         return np.empty(0, dtype=buf.dtype)
-    shifts = np.zeros(len(sizes), dtype=np.int64)
-    np.cumsum(sizes[:-1], out=shifts[1:])
-    positions = np.repeat(starts - shifts, sizes) + np.arange(total)
     return buf[positions]

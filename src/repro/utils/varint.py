@@ -1,11 +1,32 @@
-"""LEB128-style unsigned varint codec.
+"""LEB128-style unsigned varint codec — scalar and vectorized.
 
 TSL-generated blob layouts use varints for container lengths so that small
 lists (the common case on power-law graphs: most nodes have few edges) cost
 one byte of framing instead of four.
+
+This module is the *single* LEB128 implementation in the tree: the scalar
+codec below and the vectorized batch forms (:func:`read_varints`,
+:func:`encode_varints`) share it, and a pinned cross-test asserts they
+agree byte for byte.  ``tsl/batch.py`` wraps :func:`read_varints` and maps
+:class:`VarintBatchError` onto its internal scalar-fallback signal.
+
+Zigzag helpers live here too: the delta-varint adjacency layout stores
+signed neighbor-id deltas as ``(d << 1) ^ (d >> 63)`` so small magnitudes
+of either sign stay short.
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+
+class VarintBatchError(ValueError):
+    """The vectorized decoder cannot mirror the scalar codec here.
+
+    Raised on a truncated varint or one needing a 10th byte (which can
+    exceed ``int64``); callers rerun the scalar path, which produces the
+    canonical value or the canonical error.
+    """
 
 
 def encode_varint(value: int) -> bytes:
@@ -43,3 +64,85 @@ def decode_varint(buf, offset: int = 0) -> tuple[int, int]:
         if not byte & 0x80:
             return result, pos
         shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed 64-bit integer onto an unsigned zigzag code."""
+    return ((value << 1) ^ (value >> 63)) & 0xFFFFFFFFFFFFFFFF
+
+
+def zigzag_decode(code: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (code >> 1) ^ -(code & 1)
+
+
+def read_varints(buf: np.ndarray, pos: np.ndarray, limits: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Decode one LEB128 varint per position, all positions per round.
+
+    ``buf`` is a ``uint8`` array; ``pos[i]`` is where varint ``i`` starts
+    and ``limits[i]`` is the first byte it must not read.  Returns
+    ``(values, next_positions)`` as int64 arrays, mirroring
+    :func:`decode_varint` bit for bit for every value below ``2**63``;
+    anything suspicious (a read past its limit, a varint needing the 10th
+    byte) raises :class:`VarintBatchError` so the scalar path can produce
+    the canonical result or error.
+    """
+    # Fast path: decode every first byte in one shot — on power-law
+    # graphs most headers and deltas are single-byte varints, so the
+    # loop below frequently never runs.
+    if (pos >= limits).any():
+        raise VarintBatchError("truncated varint")
+    byte = buf[pos].astype(np.int64)
+    values = byte & 0x7F
+    out_pos = pos + 1
+    active = np.flatnonzero(byte & 0x80)
+    shift = 7
+    while len(active):
+        if shift > 56:  # 10-byte varints can exceed int64; let scalar decide
+            raise VarintBatchError("varint needs a 10th byte")
+        cursor = out_pos[active]
+        if (cursor >= limits[active]).any():
+            raise VarintBatchError("truncated varint")
+        byte = buf[cursor].astype(np.int64)
+        values[active] |= (byte & 0x7F) << shift
+        out_pos[active] = cursor + 1
+        active = active[(byte & 0x80) != 0]
+        shift += 7
+    return values, out_pos
+
+
+# Byte-length breakpoints: a value needs its k+1-th byte iff it is >= 2**(7k).
+_LENGTH_STEPS = (2 ** (7 * np.arange(1, 10, dtype=np.uint64))).astype(np.uint64)
+
+
+def varint_lengths(values: np.ndarray) -> np.ndarray:
+    """Encoded byte length per value of a ``uint64`` array."""
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    lengths = np.ones(len(values), dtype=np.int64)
+    for step in _LENGTH_STEPS:
+        lengths += values >= step
+    return lengths
+
+
+def encode_varints(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized LEB128 encode of a ``uint64`` array.
+
+    Returns ``(stream, lengths)``: the concatenated varint bytes and the
+    per-value byte counts.  Byte-identical to ``b"".join(encode_varint(v)
+    for v in values)`` for every representable value (the full uint64
+    range, ten bytes max) — pinned by the varint cross-test.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    lengths = varint_lengths(values)
+    total = int(lengths.sum())
+    if not total:
+        return np.empty(0, dtype=np.uint8), lengths
+    starts = np.zeros(len(values), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    owner = np.repeat(np.arange(len(values)), lengths)
+    rank = np.arange(total, dtype=np.int64) - starts[owner]
+    chunk = (values[owner] >> (rank.astype(np.uint64) * np.uint64(7)))
+    stream = (chunk & np.uint64(0x7F)).astype(np.uint8)
+    stream[rank < lengths[owner] - 1] |= 0x80
+    return stream, lengths

@@ -144,3 +144,182 @@ class TestBoundaries:
                               "Friends": [1, 2, 3], "Scores": []})
         with pytest.raises(SchemaMismatchError):
             decoder.decode_list_csr([blob[:-5]], "Friends")
+
+
+# ---------------------------------------------------------------------------
+# Adjacency layouts: the batch decoders over mixed raw / delta-varint /
+# bitmap cells must match the scalar path byte for byte.
+# ---------------------------------------------------------------------------
+
+from repro.config import ClusterConfig, MemoryParams  # noqa: E402
+from repro.graph import GraphBuilder, plain_graph_schema  # noqa: E402
+from repro.memcloud import MemoryCloud  # noqa: E402
+from repro.tsl import (  # noqa: E402
+    LAYOUT_BITMAP,
+    LAYOUT_DELTA_VARINT,
+    LAYOUT_RAW,
+    AdjacencyListType,
+    LayoutPolicy,
+)
+from repro.utils.varint import decode_varint  # noqa: E402
+
+# Thresholds low enough that hypothesis-sized lists actually exercise the
+# codecs instead of short-circuiting to raw.
+LOW_POLICY = LayoutPolicy(delta_min_degree=2, bitmap_min_degree=2)
+
+ADJ = StructType("Node", [
+    ("Name", STRING),
+    ("Out", AdjacencyListType(policy=LOW_POLICY)),
+])
+
+# Three shapes that steer the chooser toward each codec: arbitrary i64
+# (raw), non-negative arrival order (delta-eligible), strictly increasing
+# (bitmap-eligible).  Mixed per record inside one batch.
+_ARBITRARY = st.lists(I64, max_size=24)
+_ARRIVAL = st.lists(st.integers(min_value=0, max_value=2 ** 40), max_size=24)
+_ASCENDING = st.lists(
+    st.integers(min_value=0, max_value=5000),
+    max_size=24, unique=True).map(sorted)
+
+ADJ_RECORDS = st.lists(
+    st.fixed_dictionaries({
+        "Name": st.text(max_size=8),
+        "Out": st.one_of(_ARBITRARY, _ARRIVAL, _ASCENDING),
+    }),
+    min_size=1, max_size=25,
+)
+
+
+def stored_tags(blobs):
+    tags = set()
+    for blob in blobs:
+        offset = ADJ.field_offset(blob, "Out")
+        header, _ = decode_varint(blob, offset)
+        tags.add(header & 3)
+    return tags
+
+
+class TestAdjacencyColumnRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(ADJ_RECORDS)
+    def test_csr_matches_scalar_across_layouts(self, records):
+        decoder = batch_decoder_for(ADJ)
+        blobs = [ADJ.encode(r) for r in records]
+        indptr, flat = decoder.decode_list_csr(blobs, "Out")
+        assert indptr[0] == 0 and indptr[-1] == len(flat)
+        for i, blob in enumerate(blobs):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == \
+                scalar_decode(ADJ, blob, "Out")
+
+    @settings(max_examples=80, deadline=None)
+    @given(ADJ_RECORDS)
+    def test_counts_and_column_match_scalar(self, records):
+        decoder = batch_decoder_for(ADJ)
+        blobs = [ADJ.encode(r) for r in records]
+        assert decoder.field_counts(blobs, "Out").tolist() == \
+            [len(scalar_decode(ADJ, b, "Out")) for b in blobs]
+        assert decoder.decode_column(blobs, "Out") == \
+            [scalar_decode(ADJ, b, "Out") for b in blobs]
+
+    def test_one_batch_really_mixes_all_three_layouts(self):
+        """Guard the test itself: a hand-built batch holds all 3 tags
+        and still decodes identically through the columnar path."""
+        records = [
+            {"Name": "raw", "Out": [-5, 3]},
+            {"Name": "delta", "Out": [900, 14, 900, 2 ** 40]},
+            {"Name": "bitmap", "Out": list(range(64, 96))},
+            {"Name": "empty", "Out": []},
+        ]
+        blobs = [ADJ.encode(r) for r in records]
+        assert stored_tags(blobs) == {LAYOUT_RAW, LAYOUT_DELTA_VARINT,
+                                      LAYOUT_BITMAP}
+        decoder = batch_decoder_for(ADJ)
+        indptr, flat = decoder.decode_list_csr(blobs, "Out")
+        for i, record in enumerate(records):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == record["Out"]
+        assert decoder.field_counts(blobs, "Out").tolist() == \
+            [len(r["Out"]) for r in records]
+
+
+class TestAdjacencyCanonicalErrors:
+    """Corrupt codec payloads raise the same SchemaMismatchError from the
+    batch path as from the scalar path — never a wrong answer."""
+
+    def _corrupt_cases(self):
+        adj = ADJ.field_type("Out")
+        delta = adj.encode_with_layout(list(range(16)), LAYOUT_DELTA_VARINT)
+        bitmap = adj.encode_with_layout(list(range(8, 72)), LAYOUT_BITMAP)
+        cleared = bytearray(bitmap)
+        cleared[-1] &= 0x7F  # popcount no longer matches the count header
+        return [
+            delta[:-2],                         # truncated delta stream
+            bitmap[:-1],                        # truncated bitset
+            bytes(cleared),                     # popcount mismatch
+            bytes([(1 << 2) | 3]) + b"\x00" * 8,  # reserved tag 3
+        ]
+
+    def _blob_with_out(self, out_bytes):
+        good = ADJ.encode({"Name": "x", "Out": []})
+        offset = ADJ.field_offset(good, "Out")
+        return good[:offset] + out_bytes
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_batch_and_scalar_agree_on_corruption(self, case):
+        bad = self._blob_with_out(self._corrupt_cases()[case])
+        with pytest.raises(SchemaMismatchError):
+            scalar_decode(ADJ, bad, "Out")
+        decoder = batch_decoder_for(ADJ)
+        with pytest.raises(SchemaMismatchError):
+            decoder.decode_list_csr([bad], "Out")
+
+
+class TestAdjacencyThroughStorageTiers:
+    """End to end: bulk-load under an adaptive policy, then read through
+    the Graph batch surface with cross_check on, per storage tier."""
+
+    @pytest.mark.parametrize("storage", ["resident", "paged"])
+    @pytest.mark.parametrize("policy", ["adaptive", "raw"])
+    def test_cross_checked_reads(self, storage, policy):
+        rng = np.random.default_rng(17)
+        cloud = MemoryCloud(ClusterConfig(machines=2, memory=MemoryParams(
+            storage=storage, layout_policy=policy)))
+        builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+        expected = {}
+        for src in range(40):
+            if src % 3 == 0:
+                out = sorted(set(rng.integers(0, 400, 60).tolist()))
+            elif src % 3 == 1:
+                out = rng.integers(0, 2 ** 40, 20).tolist()
+            else:
+                out = rng.integers(0, 40, 3).tolist()
+            expected[src] = [int(v) for v in out]
+            for dst in expected[src]:
+                builder.add_edge(src, dst)
+        graph = builder.finalize(cross_check=True)
+        node_ids = sorted(expected)
+        indptr, flat = graph.read_field_csr(node_ids, "Outlinks",
+                                            cross_check=True)
+        for i, uid in enumerate(node_ids):
+            assert flat[indptr[i]:indptr[i + 1]].tolist() == expected[uid]
+        assert graph.degree_batch(node_ids, cross_check=True).tolist() == \
+            [len(expected[uid]) for uid in node_ids]
+
+    @pytest.mark.parametrize("storage", ["resident", "paged"])
+    def test_adaptive_and_raw_clouds_agree(self, storage):
+        """Same edges, both policies, both tiers: identical answers."""
+        rng = np.random.default_rng(23)
+        edges = [(int(s), int(d)) for s, d in
+                 zip(rng.integers(0, 30, 400), rng.integers(0, 3000, 400))]
+        results = []
+        for policy in ("adaptive", "raw"):
+            cloud = MemoryCloud(ClusterConfig(machines=2, memory=MemoryParams(
+                storage=storage, layout_policy=policy)))
+            builder = GraphBuilder(cloud, plain_graph_schema(directed=True))
+            for src, dst in edges:
+                builder.add_edge(src, dst)
+            graph = builder.finalize(cross_check=True)
+            node_ids = sorted(graph.node_ids)
+            indptr, flat = graph.read_field_csr(node_ids, "Outlinks",
+                                                cross_check=True)
+            results.append((node_ids, indptr.tolist(), flat.tolist()))
+        assert results[0] == results[1]

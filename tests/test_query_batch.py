@@ -454,6 +454,18 @@ class TestMutationEpoch:
             for trunk in g.cloud.trunks.values():
                 trunk.defragment()
 
+        def layout_migration(g):
+            from repro.graph import LayoutReencoder
+            from repro.tsl.layout import DEFAULT_LAYOUT_POLICY, \
+                RAW_ONLY_POLICY
+            # Roll codec cells back to raw (the adaptive-built graph has
+            # some); if a previous run already did, migrate forward again.
+            report = LayoutReencoder(g, policy=RAW_ONLY_POLICY).run_pass()
+            if not report.migrated:
+                report = LayoutReencoder(
+                    g, policy=DEFAULT_LAYOUT_POLICY).run_pass()
+            assert report.migrated >= 1, "no cell had layout drift"
+
         mutations = [
             ("add_edge", lambda g: g.add_edge(node, max(g.node_ids) + 1)),
             ("add_node", lambda g: g.add_node(max(g.node_ids) + 1,
@@ -462,6 +474,7 @@ class TestMutationEpoch:
             ("remove", remove_blob),
             ("in_place_list_write", in_place_list_write),
             ("splice_attribute", splice_attribute),
+            ("layout_migration", layout_migration),
             ("defragment", defrag),
         ]
         for label, mutate in mutations:
@@ -471,12 +484,15 @@ class TestMutationEpoch:
             assert after > before, f"{label} did not bump mutation_epoch"
 
     def test_random_mutation_sequences_are_monotonic(self):
+        from repro.graph import LayoutReencoder
+        from repro.tsl.layout import DEFAULT_LAYOUT_POLICY, RAW_ONLY_POLICY
         cloud, graph = self._fresh()
         rng = np.random.default_rng(17)
         nodes = graph.node_ids[:64]
         last = cloud.mutation_epoch()
+        toward_raw = True
         for step in range(60):
-            kind = int(rng.integers(0, 4))
+            kind = int(rng.integers(0, 5))
             if kind == 0:
                 graph.add_edge(int(rng.choice(nodes)),
                                int(rng.choice(nodes)))
@@ -490,6 +506,18 @@ class TestMutationEpoch:
             elif kind == 2:
                 graph.cloud.put(int(rng.choice(nodes)),
                                 graph.cloud.get(int(rng.choice(nodes))))
+            elif kind == 3:
+                # Layout migration as a mutation kind: swing the whole
+                # graph between raw and adaptive so each pass has work.
+                policy = RAW_ONLY_POLICY if toward_raw \
+                    else DEFAULT_LAYOUT_POLICY
+                toward_raw = not toward_raw
+                report = LayoutReencoder(graph, policy=policy).run_pass()
+                if not report.migrated:
+                    # Nothing drifted this direction: epoch must still
+                    # advance for the assertion, via a plain rewrite.
+                    node = int(rng.choice(nodes))
+                    graph.cloud.put(node, graph.cloud.get(node))
             else:
                 with graph.use_node(int(rng.choice(nodes))) as cell:
                     cell.Name = f"renamed-{step}"

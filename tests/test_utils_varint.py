@@ -1,9 +1,46 @@
-"""Tests for repro.utils.varint."""
+"""Tests for repro.utils.varint — including the pinned cross-test.
 
+``utils/varint.py`` is the single LEB128 implementation in the tree:
+the vectorized batch forms (``read_varints``/``encode_varints``) and
+the scalar codec must agree byte for byte, and ``tsl/batch.py``'s
+``_read_varints`` must be a thin wrapper that maps
+:class:`VarintBatchError` onto its scalar-fallback signal rather than a
+second implementation.
+"""
+
+import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.utils.varint import decode_varint, encode_varint
+from repro.tsl import batch as tsl_batch
+from repro.utils.varint import (
+    VarintBatchError,
+    decode_varint,
+    encode_varint,
+    encode_varints,
+    read_varints,
+    varint_lengths,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+U64 = st.integers(min_value=0, max_value=2 ** 64 - 1)
+I64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+# Known-answer vectors: value -> LEB128 bytes.  These pin the wire
+# format itself, not just scalar/vector agreement.
+PINNED = [
+    (0, b"\x00"),
+    (1, b"\x01"),
+    (127, b"\x7f"),
+    (128, b"\x80\x01"),
+    (300, b"\xac\x02"),
+    (16383, b"\xff\x7f"),
+    (16384, b"\x80\x80\x01"),
+    (2 ** 32 - 1, b"\xff\xff\xff\xff\x0f"),
+    (2 ** 63 - 1, b"\xff\xff\xff\xff\xff\xff\xff\xff\x7f"),
+    (2 ** 64 - 1, b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"),
+]
 
 
 class TestEncode:
@@ -68,3 +105,118 @@ class TestDecode:
         encoded = bytearray(encode_varint(77))
         assert decode_varint(encoded)[0] == 77
         assert decode_varint(memoryview(encoded))[0] == 77
+
+
+class TestPinnedVectors:
+    @pytest.mark.parametrize("value,expected", PINNED)
+    def test_scalar_encode(self, value, expected):
+        assert encode_varint(value) == expected
+
+    @pytest.mark.parametrize("value,expected", PINNED)
+    def test_scalar_decode(self, value, expected):
+        assert decode_varint(expected, 0) == (value, len(expected))
+
+    def test_vector_encode_matches_pins(self):
+        values = np.array([v for v, _ in PINNED], dtype=np.uint64)
+        stream, lengths = encode_varints(values)
+        assert stream.tobytes() == b"".join(e for _, e in PINNED)
+        assert lengths.tolist() == [len(e) for _, e in PINNED]
+
+    def test_vector_decode_matches_pins(self):
+        """read_varints agrees with the pins for values below 2**63
+        (int64-representable; larger ones defer to the scalar path)."""
+        small = [(v, e) for v, e in PINNED if v < 2 ** 63]
+        blob = b"".join(e for _, e in small)
+        buf = np.frombuffer(blob, dtype=np.uint8)
+        starts = np.cumsum([0] + [len(e) for _, e in small[:-1]])
+        limits = np.full(len(small), len(blob), dtype=np.int64)
+        values, out = read_varints(buf, np.asarray(starts, dtype=np.int64),
+                                   limits)
+        assert values.tolist() == [v for v, _ in small]
+        assert out.tolist() == np.cumsum(
+            [len(e) for _, e in small]).tolist()
+
+
+class TestScalarVectorAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(U64, min_size=1, max_size=64))
+    def test_encode_agreement(self, values):
+        stream, lengths = encode_varints(np.asarray(values, dtype=np.uint64))
+        assert stream.tobytes() == b"".join(
+            encode_varint(v) for v in values)
+        assert lengths.tolist() == [len(encode_varint(v)) for v in values]
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 63 - 1),
+                    min_size=1, max_size=64))
+    def test_decode_agreement(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        buf = np.frombuffer(blob, dtype=np.uint8)
+        starts = np.zeros(len(values), dtype=np.int64)
+        sizes = [len(encode_varint(v)) for v in values]
+        np.cumsum(sizes[:-1], out=starts[1:])
+        limits = np.full(len(values), len(blob), dtype=np.int64)
+        decoded, out = read_varints(buf, starts, limits)
+        assert decoded.tolist() == values
+        scalar = []
+        pos = 0
+        while pos < len(blob):
+            value, pos = decode_varint(blob, pos)
+            scalar.append(value)
+        assert decoded.tolist() == scalar
+
+    def test_lengths_match_scalar(self):
+        values = np.array([0, 1, 127, 128, 2 ** 62, 2 ** 64 - 1],
+                          dtype=np.uint64)
+        assert varint_lengths(values).tolist() == \
+            [len(encode_varint(int(v))) for v in values]
+
+
+class TestBatchWrapperDelegates:
+    """tsl/batch._read_varints is a wrapper, not a reimplementation."""
+
+    def test_same_values_on_valid_input(self):
+        blob = b"".join(encode_varint(v) for v in [5, 300, 0, 2 ** 40])
+        buf = np.frombuffer(blob, dtype=np.uint8)
+        starts = np.array([0, 1, 3, 4], dtype=np.int64)
+        limits = np.full(4, len(blob), dtype=np.int64)
+        via_utils = read_varints(buf, starts, limits)
+        via_batch = tsl_batch._read_varints(buf, starts, limits)
+        assert via_batch[0].tolist() == via_utils[0].tolist()
+        assert via_batch[1].tolist() == via_utils[1].tolist()
+
+    def test_truncated_maps_to_scalar_fallback(self):
+        buf = np.frombuffer(b"\x80", dtype=np.uint8)  # continuation, no end
+        starts = np.array([0], dtype=np.int64)
+        limits = np.array([1], dtype=np.int64)
+        with pytest.raises(VarintBatchError):
+            read_varints(buf, starts, limits)
+        with pytest.raises(tsl_batch._ScalarFallback):
+            tsl_batch._read_varints(buf, starts, limits)
+
+    def test_tenth_byte_maps_to_scalar_fallback(self):
+        blob = encode_varint(2 ** 64 - 1)  # ten bytes
+        buf = np.frombuffer(blob, dtype=np.uint8)
+        starts = np.array([0], dtype=np.int64)
+        limits = np.array([len(blob)], dtype=np.int64)
+        with pytest.raises(VarintBatchError):
+            read_varints(buf, starts, limits)
+        with pytest.raises(tsl_batch._ScalarFallback):
+            tsl_batch._read_varints(buf, starts, limits)
+
+
+class TestZigzag:
+    @settings(max_examples=80, deadline=None)
+    @given(I64)
+    def test_round_trip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        # The property the delta layout relies on: |d| <= 63 fits one byte.
+        for delta in range(-63, 64):
+            assert len(encode_varint(zigzag_encode(delta))) == 1
+
+    def test_pinned_codes(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == \
+            [0, 1, 2, 3, 4]
+        assert zigzag_encode(-(2 ** 63)) == 2 ** 64 - 1
