@@ -24,6 +24,26 @@ for every configuration and load; the full serve metrics registry of
 the top fused+cached run is dumped alongside as
 ``BENCH_serve[_smoke].metrics.json``.
 
+A second sweep measures **sustained mixed read/write serving**: chunks
+of ``chunk`` queries, then one single-edge write through the mutation
+barrier, sweeping the chunk size *down* (fewer queries between writes =
+a higher write rate), across three cache-repair schemes — ``no_opt``
+(sequential baseline), ``global_epoch`` (fusion + caches stamped with
+the coarse cloud-global epoch: every write nukes every entry), and
+``trunk_epoch`` (fusion + caches stamped with per-trunk epoch
+footprints: a write only kills entries that read the written trunk).
+In-flight concurrency is capped by the chunk, so at chunk 1 fusion has
+nothing to fuse and the schemes differ *only* in how they repair their
+caches — the regime the sweep exists to expose.  Each (chunk, scheme)
+cell rebuilds the same seeded graph and replays the same query/write
+script, so the three schemes' answers are asserted identical
+element-by-element, and a dedicated ``cross_check=True`` pass
+shadow-replays a mixed read/write sample for both epoch schemes.  The
+paper's serving claim lives or dies here: with incremental repair the
+fused+cached server must *hold* a >=2x throughput edge over no_opt at
+a write rate where the global-epoch scheme has already collapsed to
+~parity.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/_perf_serve.py            # full run
@@ -73,6 +93,32 @@ CONFIGS = {
     "fusion_caching": dict(fuse=True, result_cache=True, hub_cache=True),
 }
 
+# -- mixed read/write sweep -------------------------------------------------
+
+#: The cache-repair ablation: same fused+cached server, different epoch
+#: granularity; no_opt is the sequential oracle all answers are pinned to.
+RW_CONFIGS = {
+    "no_opt": dict(sequential=True, fuse=False, result_cache=False,
+                   hub_cache=False),
+    "global_epoch": dict(fuse=True, result_cache=True, hub_cache=True,
+                         epoch_granularity="global"),
+    "trunk_epoch": dict(fuse=True, result_cache=True, hub_cache=True,
+                        epoch_granularity="trunk"),
+}
+
+#: Many small trunks: footprints stay narrow relative to the trunk count,
+#: which is exactly the regime incremental repair exists for.  A write
+#: touches the two endpoint cells (~2-3 trunks of 512), so a cached
+#: entry with a ~10-trunk footprint survives each write with p ~ 0.95
+#: under trunk epochs — and with p = 0 under the global epoch.
+RW_TRUNK_BITS = 9
+RW_TRUNK_SIZE = 128 * 1024
+RW_BURST = 8            # in-flight cap; actual in-flight = min(chunk, this)
+RW_DEGREE = 4.0         # sparser than the read-only sweep: 1-2 hop
+                        # frontiers stay narrow, so result footprints do too
+RW_ZIPF_S = 2.0         # production read streams are head-heavy; repeats
+                        # are what a repaired cache can monetize
+
 
 def tql_text(anchor: int) -> str:
     return (f"MATCH (a = {anchor}) -[Friends*1..3]-> "
@@ -104,11 +150,12 @@ def build_query_pool(graph, distinct: int, seed: int) -> list:
     return pool
 
 
-def build_workload(pool: list, total: int, seed: int) -> list:
-    """``total`` submissions drawn zipf-skewed from the distinct pool."""
+def build_workload(pool: list, total: int, seed: int,
+                   s: float = 1.0) -> list:
+    """``total`` submissions drawn zipf(``s``)-skewed from the pool."""
     rng = np.random.default_rng(seed)
     ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
-    weights = 1.0 / ranks          # zipf s=1 over pool rank
+    weights = 1.0 / ranks ** s
     weights /= weights.sum()
     picks = rng.choice(len(pool), size=total, p=weights)
     return [pool[int(p)] for p in picks]
@@ -187,6 +234,204 @@ def overload_demo(graph, workload: list) -> dict:
             "rejected_queue_full": rejected, "completed": completed}
 
 
+def build_rw_graph(scale: int):
+    """A fresh, identically-seeded graph for one (chunk, scheme) cell.
+
+    Rebuilt per cell because the writes mutate it: every scheme must see
+    the same graph and the same write script, so their answers can be
+    compared element-by-element."""
+    return build_social_graph(scale, RW_DEGREE, machines=MACHINES,
+                              trunk_bits=RW_TRUNK_BITS,
+                              trunk_size=RW_TRUNK_SIZE, seed=SEED)
+
+
+def build_rw_pool(graph, distinct: int, seed: int) -> list:
+    """Cheap fusible shapes with narrow trunk footprints: 1-2 hop people
+    search, forward/reverse TQL chains and WHERE residuals."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    pool: list = []
+    for i in range(distinct):
+        which = i % 8
+        start = int(rng.integers(0, n))
+        if which < 3:
+            pool.append(PeopleSearchQuery(start, "David", hops=1))
+        elif which < 5:
+            pool.append(TqlServeQuery(
+                f"MATCH (a = {start}) -[Friends*1..2]-> "
+                "(b {Name: 'David'}) RETURN b"))
+        elif which < 6:
+            pool.append(TqlServeQuery(
+                f"MATCH (a = {start}) -[Friends*1..2]-> (b) "
+                "WHERE b.Name != 'David' RETURN b"))
+        elif which < 7:
+            pool.append(TqlServeQuery(
+                f"MATCH (a = {start}) <-[Friends*1..2]- (b) RETURN b"))
+        else:
+            pool.append(LandmarkBfsQuery(start, max_hops=1))
+    return pool
+
+
+def build_rw_writes(graph, count: int, seed: int) -> list[tuple[int, int]]:
+    """A pre-drawn write script: ``count`` edges between existing nodes,
+    identical for every scheme at a given rate."""
+    rng = np.random.default_rng(seed)
+    nodes = np.asarray(graph.node_ids, dtype=np.int64)
+    pairs = []
+    for _ in range(count):
+        u, v = rng.choice(len(nodes), size=2, replace=False)
+        pairs.append((int(nodes[u]), int(nodes[v])))
+    return pairs
+
+
+def serve_mixed_rw(graph, config_name: str, workload: list,
+                   writes: list[tuple[int, int]], chunk: int,
+                   registry=None):
+    """``chunk`` queries, one edge write, repeat; returns (elapsed,
+    results, server).
+
+    In-flight concurrency is ``min(chunk, RW_BURST)``: a server cannot
+    fuse across a mutation barrier, so the chunk bounds what can be in
+    flight together.  Only the serving time counts — applying a write
+    costs the same under every scheme (same cells, same barrier), so
+    folding it in would just dilute the repair-policy signal."""
+    registry = registry if registry is not None else MetricsRegistry()
+    config = ServeConfig(max_in_flight=min(chunk, RW_BURST),
+                         queue_limit=len(workload) + 1,
+                         **RW_CONFIGS[config_name])
+    server = QueryServer(graph, config, registry=registry)
+    results: list = []
+    write_index = 0
+    elapsed = 0.0
+    for lo in range(0, len(workload), chunk):
+        burst = workload[lo:lo + chunk]
+        start = time.perf_counter()
+        tickets = [server.submit(fresh_query(q)) for q in burst]
+        server.run()
+        elapsed += time.perf_counter() - start
+        results.extend(t.result for t in tickets)
+        if write_index < len(writes):
+            u, v = writes[write_index]
+            write_index += 1
+            server.mutate(lambda g, a=u, b=v: g.add_edge(a, b))
+    return elapsed, results, server
+
+
+def rw_correctness_pass(scale: int, total: int, chunk: int = 2) -> dict:
+    """Mixed read/write serving with ``cross_check=True`` for both epoch
+    schemes: every completion — fused, cached, or inline — is shadow-
+    replayed through the sequential library path across interleaved
+    writes; any stale or divergent answer raises."""
+    checked = {}
+    for scheme in ("global_epoch", "trunk_epoch"):
+        graph, _edges = build_rw_graph(scale)
+        pool = build_rw_pool(graph, max(8, total // 6), seed=SEED + 7)
+        workload = build_workload(pool, total, seed=SEED + 8, s=RW_ZIPF_S)
+        writes = build_rw_writes(graph, len(workload) // chunk + 1,
+                                 seed=SEED + 9)
+        config = ServeConfig(cross_check=True,
+                             max_in_flight=min(chunk, RW_BURST),
+                             queue_limit=len(workload) + 1,
+                             **RW_CONFIGS[scheme])
+        server = QueryServer(graph, config, registry=MetricsRegistry())
+        write_index = 0
+        done = cached = 0
+        for lo in range(0, len(workload), chunk):
+            tickets = [server.submit(fresh_query(q))
+                       for q in workload[lo:lo + chunk]]
+            server.run()
+            assert all(t.status == "done" for t in tickets)
+            done += len(tickets)
+            cached += sum(t.cached for t in tickets)
+            if write_index < len(writes):
+                u, v = writes[write_index]
+                write_index += 1
+                server.mutate(lambda g, a=u, b=v: g.add_edge(a, b))
+        checked[scheme] = {
+            "queries_checked": done,
+            "cached_completions": cached,
+            "interleaved_writes": write_index,
+            "result_cache_invalidated": server.result_cache.invalidated,
+        }
+    return checked
+
+
+def run_rw_bench(scale: int, total: int, distinct: int,
+                 chunks: list[int], warn_acceptance: bool = True) -> dict:
+    """The mixed read/write sweep over RW_CONFIGS x chunk sizes.
+
+    ``chunks`` descends: each step doubles the write rate (one write per
+    ``chunk`` queries), so the sweep walks the server from a fusion-
+    friendly regime into the write-dominated one where only incremental
+    cache repair keeps any entries alive."""
+    print(f"mixed r/w sweep: scale {scale}, degree {RW_DEGREE}, {total} "
+          f"queries over {distinct} distinct (zipf {RW_ZIPF_S}), one "
+          f"write per {chunks} queries, {1 << RW_TRUNK_BITS} trunks")
+    check = rw_correctness_pass(scale, total=min(total, 160))
+    for scheme, stats in check.items():
+        print(f"  r/w cross-check [{scheme}]: "
+              f"{stats['queries_checked']} shadow-replayed, "
+              f"{stats['cached_completions']} from cache, "
+              f"{stats['interleaved_writes']} writes")
+
+    sweep = {"burst": RW_BURST, "trunk_bits": RW_TRUNK_BITS,
+             "degree": RW_DEGREE, "zipf_s": RW_ZIPF_S,
+             "cross_check": check, "chunks": {}}
+    acceptance = None
+    for chunk in chunks:
+        entry = {}
+        reference = None
+        for scheme in RW_CONFIGS:
+            graph, _edges = build_rw_graph(scale)
+            pool = build_rw_pool(graph, distinct, seed=SEED + 4)
+            workload = build_workload(pool, total, seed=SEED + 5,
+                                      s=RW_ZIPF_S)
+            writes = build_rw_writes(graph, len(workload) // chunk + 1,
+                                     seed=SEED + 6)
+            elapsed, results, server = serve_mixed_rw(
+                graph, scheme, workload, writes, chunk=chunk)
+            if reference is None:
+                reference = results          # no_opt runs first: oracle
+            else:
+                assert results == reference, (
+                    f"{scheme} diverged from the sequential oracle at "
+                    f"chunk {chunk}")
+            report = server.report()
+            entry[scheme] = {
+                "seconds": elapsed,
+                "qps": total / elapsed,
+                "caches": report.caches,
+                "fusion": report.fusion,
+            }
+            print(f"  chunk {chunk:2d}  {scheme:13s} "
+                  f"{elapsed:7.2f}s  {total / elapsed:8.1f} qps")
+        base = entry["no_opt"]["qps"]
+        entry["retained_global"] = entry["global_epoch"]["qps"] / base
+        entry["retained_trunk"] = entry["trunk_epoch"]["qps"] / base
+        sweep["chunks"][f"chunk_{chunk}"] = entry
+        print(f"  chunk {chunk:2d}  retained vs no_opt: global "
+              f"{entry['retained_global']:.2f}x, trunk "
+              f"{entry['retained_trunk']:.2f}x")
+        # Acceptance: at some write rate the coarse scheme has fallen to
+        # ~parity with no_opt while incremental repair holds >= 2x.
+        # Chunks descend, so the last qualifying cell (kept below) is
+        # the highest write rate that still clears the bar.
+        if (entry["retained_global"] < 1.3
+                and entry["retained_trunk"] >= 2.0):
+            acceptance = {"chunk": chunk,
+                          "retained_global": entry["retained_global"],
+                          "retained_trunk": entry["retained_trunk"]}
+    sweep["acceptance"] = acceptance
+    if acceptance:
+        print(f"  acceptance met at chunk {acceptance['chunk']}: "
+              f"trunk {acceptance['retained_trunk']:.2f}x vs global "
+              f"{acceptance['retained_global']:.2f}x")
+    elif warn_acceptance:
+        print("  ::warning::mixed r/w sweep: no chunk met the "
+              "trunk>=2x-while-global<1.3x acceptance bar")
+    return sweep
+
+
 def run_bench(scale: int, avg_degree: float, total: int, distinct: int,
               loads: list[int], smoke: bool) -> tuple[dict, object]:
     graph, edge_count = build_social_graph(
@@ -254,7 +499,8 @@ def run_bench(scale: int, avg_degree: float, total: int, distinct: int,
 
 
 def check_regression(bench: dict, baseline_path: pathlib.Path) -> None:
-    """Warn (never fail) when the top-load speedup regressed >2x."""
+    """Warn (never fail) when the top-load speedup or the mixed r/w
+    trunk-epoch retention regressed >2x against the committed baseline."""
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping regression check")
         return
@@ -265,6 +511,20 @@ def check_regression(bench: dict, baseline_path: pathlib.Path) -> None:
         print(f"::warning::perf-smoke: serve top-load speedup "
               f"{measured:.2f}x is more than 2x below the committed "
               f"baseline {committed:.2f}x")
+    # The fusion+caching row of the new sweep: trunk-epoch retention at
+    # the highest measured write rate (the smallest chunk).
+    def top_rate_retention(doc):
+        cells = doc.get("mixed_rw", {}).get("chunks", {})
+        if not cells:
+            return None
+        top = min(cells, key=lambda k: int(k.rsplit("_", 1)[1]))
+        return cells[top].get("retained_trunk")
+    committed_rw = top_rate_retention(baseline)
+    measured_rw = top_rate_retention(bench)
+    if committed_rw and measured_rw and measured_rw * 2.0 < committed_rw:
+        print(f"::warning::perf-smoke: mixed r/w trunk-epoch retention "
+              f"{measured_rw:.2f}x is more than 2x below the committed "
+              f"baseline {committed_rw:.2f}x")
 
 
 def main() -> int:
@@ -289,6 +549,15 @@ def main() -> int:
     bench, top_registry = run_bench(scale=scale, avg_degree=8,
                                     total=total, distinct=distinct,
                                     loads=loads, smoke=args.smoke)
+
+    rw_scale = 9 if args.smoke else 12
+    rw_total = 120 if args.smoke else 480
+    rw_chunks = [4, 1] if args.smoke else [8, 4, 2, 1]
+    # The acceptance bar is calibrated at full scale; smoke cells are too
+    # small for a miss to mean anything, so only full runs warn on it.
+    bench["mixed_rw"] = run_rw_bench(
+        scale=rw_scale, total=rw_total, distinct=12, chunks=rw_chunks,
+        warn_acceptance=not args.smoke)
 
     out = args.out or (RESULTS_DIR / "BENCH_serve_smoke.json"
                        if args.smoke else BENCH_PATH)

@@ -84,9 +84,30 @@ def plain_graph_schema(directed: bool = True) -> GraphSchema:
     return GraphSchema(compile_tsl(source), "Node", "Neighbors", None)
 
 
-def social_graph_schema() -> GraphSchema:
-    """Undirected friendship graph with a Name attribute — the schema for
-    the paper's people-search ("David problem") workload (Section 5.1)."""
+def social_graph_schema(directed: bool = False) -> GraphSchema:
+    """Friendship graph with a Name attribute — the schema for the
+    paper's people-search ("David problem") workload (Section 5.1).
+
+    Undirected by default; ``directed=True`` splits the neighbor list
+    into ``Friends`` (outgoing) and ``FriendOf`` (incoming), which is
+    what reverse-edge TQL chains traverse through the fused inlinks
+    path.
+    """
+    if directed:
+        source = """
+        [CellType: NodeCell]
+        cell struct Person {
+            string Name;
+            [EdgeType: SimpleEdge, ReferencedCell: Person]
+            List<long> Friends;
+            [EdgeType: SimpleEdge, ReferencedCell: Person]
+            List<long> FriendOf;
+        }
+        """
+        return GraphSchema(
+            compile_tsl(source), "Person", "Friends", "FriendOf",
+            attribute_fields=("Name",),
+        )
     source = """
     [CellType: NodeCell]
     cell struct Person {

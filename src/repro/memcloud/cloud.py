@@ -224,10 +224,35 @@ class MemoryCloud:
         puts, removes, resizes, defrag passes, wraps, and in-place
         accessor writes (:meth:`note_cell_write`) — so a value cached
         against this number is provably fresh while it matches.  The
-        serving layer stamps its hub-adjacency and query-result caches
-        with it.
+        coarse validity token: snapshot consumers (the serving layer's
+        CSR snapshot) stamp with it; caches that know which trunks they
+        read use :meth:`epoch_vector` instead.
         """
         return sum(t.mutation_epoch for t in self.trunks.values())
+
+    def epoch_vector(self) -> tuple[int, ...]:
+        """Per-trunk mutation epochs, indexed by trunk id.
+
+        The fine-grained validity token: a cached value that recorded
+        which trunks it was decoded from only needs those components to
+        still match — a write to trunk 7 leaves entries that never read
+        trunk 7 provably fresh.  Each component is the same counter that
+        guards zero-copy spans (:attr:`MemoryTrunk.mutation_epoch`), so
+        every mutation path that bumps the scalar epoch moves exactly
+        its owning trunk's component here.
+        """
+        return tuple(self.trunks[t].mutation_epoch
+                     for t in range(self.config.trunk_count))
+
+    def trunks_of_array(self, cell_ids) -> np.ndarray:
+        """Owning trunk id per UID — one vectorized first-hash pass.
+
+        The serving layer uses this to record the trunk *footprint* of a
+        batched read, so cache entries can be stamped with exactly the
+        :meth:`epoch_vector` components they depend on.
+        """
+        ids = np.asarray(cell_ids, dtype=np.int64)
+        return trunk_of_array(ids, self.config.trunk_bits).astype(np.int64)
 
     def note_cell_write(self, cell_id: int) -> None:
         """Bump the owning trunk's epoch after an in-place arena write

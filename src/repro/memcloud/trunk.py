@@ -617,9 +617,14 @@ class MemoryTrunk:
 
     @property
     def mutation_epoch(self) -> int:
-        """Structural-change counter guarding zero-copy spans."""
-        with self._mutex:
-            return self._mutation_epoch
+        """Structural-change counter guarding zero-copy spans.
+
+        Read without the mutex: a single int load is atomic under the
+        GIL, and the lock could not make the value any less stale — it
+        may advance the instant after release either way.  Keeping this
+        lock-free matters because :meth:`MemoryCloud.epoch_vector` reads
+        it once per trunk on every serving drain."""
+        return self._mutation_epoch
 
     def touch(self) -> None:
         """Record an in-place payload mutation that bypassed put().

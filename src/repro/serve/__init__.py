@@ -18,9 +18,11 @@ Pieces:
 * :mod:`~repro.serve.fusion` — :class:`FusedExecutor`, one bulk read per
   op shape per window plus the hub-vertex cache.
 * :mod:`~repro.serve.caches` — :class:`EpochLruCache`, LRU entries valid
-  for exactly one cloud mutation epoch.
+  while the per-trunk epochs they were stamped with are unchanged
+  (full-vector stamps or exact trunk footprints).
 * :mod:`~repro.serve.scheduler` — :class:`QueryServer`,
-  :class:`ServeConfig`, :class:`ServeReport`: admission, fusion windows,
+  :class:`ServeConfig`, :class:`ServeReport`,
+  :class:`WeightedFairQueue`: weighted fair admission, fusion windows,
   the mutation barrier, cross-check replay and SLO reporting.
 """
 
@@ -35,7 +37,13 @@ from .queries import (
     SubgraphServeQuery,
     TqlServeQuery,
 )
-from .scheduler import LATENCY_BUCKETS, QueryServer, ServeConfig, ServeReport
+from .scheduler import (
+    LATENCY_BUCKETS,
+    QueryServer,
+    ServeConfig,
+    ServeReport,
+    WeightedFairQueue,
+)
 
 __all__ = [
     "BatchOp",
@@ -51,4 +59,5 @@ __all__ = [
     "ServeReport",
     "SubgraphServeQuery",
     "TqlServeQuery",
+    "WeightedFairQueue",
 ]

@@ -2,14 +2,29 @@
 
 Both serving caches — the hub-vertex adjacency cache and the keyed
 query-result cache — share one correctness rule: an entry is only valid
-for the exact cloud mutation epoch it was recorded under.  Every
+while every trunk epoch it was recorded against is unchanged.  Every
 structural mutation anywhere in the memory cloud (a put, an in-place
 accessor write, a remove, a defragmentation pass, a trunk resize) bumps
-the owning trunk's ``mutation_epoch``; the cloud-wide epoch is the sum
-over trunks (:meth:`repro.memcloud.cloud.MemoryCloud.mutation_epoch`),
-so *any* mutation makes every cached entry unreachable.  Coarse, but it
-makes staleness impossible rather than unlikely — the serving layer's
-``cross_check`` mode then proves it by shadow-replaying cached answers.
+the owning trunk's ``mutation_epoch``; the cloud exposes those counters
+as a per-trunk vector (:meth:`repro.memcloud.cloud.MemoryCloud.
+epoch_vector`).
+
+Entries come in two validity granularities:
+
+* **footprint-stamped** — ``put(..., footprint=trunk_ids)`` records the
+  epoch of exactly the trunks the value was decoded from.  A write to
+  trunk 7 only invalidates entries whose footprint includes trunk 7;
+  everything else stays provably fresh.  Hub-adjacency entries stamp
+  their one owning trunk; query-result entries stamp the trunk set their
+  plan's batch reads resolved through.
+* **full-stamped** — no footprint: the entry records the entire epoch
+  token (the whole vector, or a scalar cloud-global epoch for callers
+  still on the coarse scheme).  *Any* mutation anywhere invalidates it —
+  the only safe rule for inline plans whose reads are not footprintable
+  (subgraph matching over a snapshot, inline TQL backtracking).
+
+Staleness stays impossible rather than unlikely — the serving layer's
+``cross_check`` mode proves it by shadow-replaying cached answers.
 """
 
 from __future__ import annotations
@@ -18,15 +33,26 @@ from collections import OrderedDict
 
 from ..obs import get_registry
 
+#: Stamp tags: a full stamp compares its whole token for equality, a
+#: partial (footprint) stamp compares only its recorded trunk components.
+_FULL = 0
+_PART = 1
+
 
 class EpochLruCache:
-    """LRU mapping of hashable keys to values, valid for one epoch each.
+    """LRU mapping of hashable keys to values with per-trunk validity.
 
-    ``get`` with a current epoch that differs from the entry's stamp
-    counts an invalidation and behaves as a miss (the entry is dropped);
-    ``put`` beyond ``capacity`` evicts the least recently used entry.
-    Hit/miss/invalidation/eviction counters land under
-    ``serve.cache.*`` labelled with the cache's name.
+    ``get`` with a current epoch token under which the entry's stamp no
+    longer validates counts an invalidation and behaves as a miss (the
+    entry is dropped); ``put`` beyond ``capacity`` evicts the least
+    recently used entry.  Hit/miss/invalidation/eviction/clear counters
+    land under ``serve.cache.*`` labelled with the cache's name.
+
+    The epoch token passed to ``get``/``put`` is either the cloud's
+    per-trunk epoch vector (a sequence indexed by trunk id) or a scalar
+    cloud-global epoch; ``footprint`` (an iterable of trunk ids) is only
+    meaningful with a vector token and restricts the entry's validity to
+    those components.
     """
 
     def __init__(self, name: str, capacity: int, registry=None):
@@ -35,12 +61,14 @@ class EpochLruCache:
         registry = registry if registry is not None else get_registry()
         self.name = name
         self.capacity = capacity
-        self._entries: OrderedDict[object, tuple[int, object]] = OrderedDict()
+        self._entries: OrderedDict[object, tuple[tuple, object]] = (
+            OrderedDict())
         self._m_hits = registry.counter("serve.cache.hits", cache=name)
         self._m_misses = registry.counter("serve.cache.misses", cache=name)
         self._m_invalidated = registry.counter(
             "serve.cache.invalidated", cache=name)
         self._m_evicted = registry.counter("serve.cache.evicted", cache=name)
+        self._m_cleared = registry.counter("serve.cache.cleared", cache=name)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,16 +76,39 @@ class EpochLruCache:
     def __contains__(self, key) -> bool:
         return key in self._entries
 
-    def get(self, key, epoch: int):
-        """The cached value, or None on miss / stale entry."""
+    @staticmethod
+    def _stamp(epochs, footprint) -> tuple:
+        if footprint is None or isinstance(epochs, int):
+            token = (epochs if isinstance(epochs, int) else tuple(epochs))
+            return (_FULL, token)
+        return (_PART, tuple(sorted(
+            (int(t), int(epochs[int(t)])) for t in set(footprint))))
+
+    @staticmethod
+    def _valid(stamp: tuple, epochs) -> bool:
+        tag, recorded = stamp
+        if tag == _FULL:
+            current = (epochs if isinstance(epochs, int) else tuple(epochs))
+            return recorded == current
+        if isinstance(epochs, int):
+            # A footprint stamp cannot validate against a scalar token.
+            return False
+        return all(epochs[trunk] == epoch for trunk, epoch in recorded)
+
+    def get(self, key, epochs):
+        """The cached value, or None on miss / stale entry.
+
+        ``epochs`` is the *current* epoch token — the cloud's per-trunk
+        vector or a scalar global epoch.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self._m_misses.inc()
             return None
-        stamped, value = entry
-        if stamped != epoch:
-            # The cloud mutated since this was recorded: the bytes the
-            # value was decoded from may have changed or moved.
+        stamp, value = entry
+        if not self._valid(stamp, epochs):
+            # A trunk this value was decoded from mutated since it was
+            # recorded: the bytes may have changed or moved.
             del self._entries[key]
             self._m_invalidated.inc()
             self._m_misses.inc()
@@ -66,14 +117,36 @@ class EpochLruCache:
         self._m_hits.inc()
         return value
 
-    def put(self, key, epoch: int, value) -> None:
-        self._entries[key] = (epoch, value)
+    def put(self, key, epochs, value, footprint=None) -> None:
+        """Record ``value`` as valid for the given epoch token.
+
+        ``footprint`` — trunk ids the value depends on — narrows the
+        stamp to those vector components; without it (or with a scalar
+        token) the entry is invalidated by any mutation anywhere.
+        """
+        self._entries[key] = (self._stamp(epochs, footprint), value)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self._m_evicted.inc()
 
+    def footprint_of(self, key) -> frozenset | None:
+        """The trunk footprint an entry was stamped with (None when the
+        entry is full-stamped or absent) — introspection for tests and
+        invalidation-storm debugging."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        tag, recorded = entry[0]
+        if tag != _PART:
+            return None
+        return frozenset(trunk for trunk, _epoch in recorded)
+
     def clear(self) -> None:
+        """Drop every entry, recording the count under
+        ``serve.cache.cleared`` so invalidation storms show up in
+        ``:metrics`` instead of passing silently."""
+        self._m_cleared.inc(len(self._entries))
         self._entries.clear()
 
     @property
@@ -87,3 +160,7 @@ class EpochLruCache:
     @property
     def invalidated(self) -> int:
         return self._m_invalidated.value
+
+    @property
+    def cleared(self) -> int:
+        return self._m_cleared.value

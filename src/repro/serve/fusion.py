@@ -5,18 +5,26 @@ Per fusion window the scheduler hands this executor the pending
 deterministic admission order.  Ops are grouped by ``(kind, field,
 value)``; each group concatenates its id arrays and issues **one**
 batched read against the memory cloud — ``outlinks_batch`` /
-``field_eq_batch`` / ``read_field_batch`` — then scatters the answer
-back to each op by its slice of the concatenation.  Ten concurrent BFS
-queries whose hop-3 frontiers overlap on the same celebrity vertices
-thus pay one addressing pass, one trunk lookup and one columnar decode
-for the union, not ten; :meth:`repro.graph.api.Graph._bulk_spans`
-deduplicates the repeated ids before hashing and routing.
+``inlinks_batch`` / ``field_eq_batch`` / ``read_field_batch`` — then
+scatters the answer back to each op by its slice of the concatenation.
+Ten concurrent BFS queries whose hop-3 frontiers overlap on the same
+celebrity vertices thus pay one addressing pass, one trunk lookup and
+one columnar decode for the union, not ten;
+:meth:`repro.graph.api.Graph._bulk_spans` deduplicates the repeated ids
+before hashing and routing.
 
-The adjacency path additionally consults the **hub cache**: vertices
-whose decoded out-list met the degree threshold are kept (epoch-stamped)
-so later windows skip the cloud entirely for them.  Power-law frontiers
-concentrate on exactly those vertices, which is why a small LRU absorbs
-a large share of the decode volume.
+The adjacency paths additionally consult the **hub cache**: vertices
+whose decoded neighbor list met the degree threshold are kept — keyed by
+``(kind, uid)`` so out-lists and in-lists of the same vertex never
+collide — so later windows skip the cloud entirely for them.  Power-law
+frontiers concentrate on exactly those vertices, which is why a small
+LRU absorbs a large share of the decode volume.
+
+When the scheduler runs on the per-trunk epoch vector, hub entries are
+footprint-stamped with their one owning trunk, and ``run_window`` can
+additionally report each op's *trunk footprint* — the set of trunks its
+ids resolved through — which the scheduler folds into the query's
+result-cache stamp.
 """
 
 from __future__ import annotations
@@ -49,37 +57,52 @@ class FusedExecutor:
         self._m_fused_ids = registry.counter("serve.fusion.ids")
         self._m_hub_served = registry.counter("serve.fusion.hub_cells")
 
-    def run_window(self, ops: list[BatchOp]) -> list:
-        """Results aligned one-to-one with ``ops``."""
+    def run_window(self, ops: list[BatchOp], epochs=None,
+                   footprints: bool = False):
+        """Results aligned one-to-one with ``ops``.
+
+        ``epochs`` is the epoch token the scheduler pinned for this
+        window (scalar or per-trunk vector; defaults to the cloud-global
+        scalar).  With ``footprints=True`` returns ``(results, foots)``
+        where ``foots[i]`` is the frozenset of trunk ids op *i*'s reads
+        resolved through.
+        """
+        if epochs is None:
+            epochs = self.graph.cloud.mutation_epoch()
         self._m_windows.inc()
         self._m_ops.inc(len(ops))
         results: list = [None] * len(ops)
+        foots: list = [None] * len(ops)
         if self.fuse:
             groups: dict[tuple, list[int]] = {}
             for position, op in enumerate(ops):
                 groups.setdefault(op.group_key(), []).append(position)
             for positions in groups.values():
                 self._run_group([ops[p] for p in positions], positions,
-                                results)
+                                results, epochs, foots if footprints
+                                else None)
         else:
             # Fusion off: every op is its own bulk round (the query
             # still batches internally — this isolates the *cross-query*
             # sharing for the benchmark's ablation).
             for position, op in enumerate(ops):
-                self._run_group([op], [position], results)
+                self._run_group([op], [position], results, epochs,
+                                foots if footprints else None)
+        if footprints:
+            return results, foots
         return results
 
     # -- group execution ---------------------------------------------------
 
     def _run_group(self, group_ops: list[BatchOp], positions: list[int],
-                   results: list) -> None:
+                   results: list, epochs, foots: list | None) -> None:
         kind = group_ops[0].kind
         ids = np.concatenate([op.ids for op in group_ops])
         offsets = np.cumsum([0] + [len(op.ids) for op in group_ops])
         self._m_rounds.inc()
         self._m_fused_ids.inc(len(ids))
-        if kind == "outlinks":
-            indptr, flat = self._outlinks(ids)
+        if kind in ("outlinks", "inlinks"):
+            indptr, flat = self._adjacency(ids, kind, epochs)
             for op_index, position in enumerate(positions):
                 lo, hi = offsets[op_index], offsets[op_index + 1]
                 base = indptr[lo]
@@ -98,17 +121,29 @@ class FusedExecutor:
                                            offsets[op_index + 1]]
         else:  # pragma: no cover — BatchOp validates kinds
             raise QueryError(f"unknown batch op kind {kind!r}")
+        if foots is not None:
+            # One vectorized owner pass for the whole group, sliced back
+            # per op — every kind's dependency set is exactly the trunks
+            # owning the ids it read.
+            trunks = self.graph.cloud.trunks_of_array(ids)
+            for op_index, position in enumerate(positions):
+                lo, hi = offsets[op_index], offsets[op_index + 1]
+                foots[position] = frozenset(
+                    np.unique(trunks[lo:hi]).tolist())
 
-    def _outlinks(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _adjacency(self, ids: np.ndarray, kind: str,
+                   epochs) -> tuple[np.ndarray, np.ndarray]:
         """CSR adjacency for ``ids``, serving hubs from the cache."""
+        reader = (self.graph.outlinks_batch if kind == "outlinks"
+                  else self.graph.inlinks_batch)
         if self.hub_cache is None:
-            return self.graph.outlinks_batch(ids)
-        epoch = self.graph.cloud.mutation_epoch()
+            return reader(ids)
+        vector = not isinstance(epochs, int)
         unique, inverse = np.unique(ids, return_inverse=True)
         rows: list = [None] * len(unique)
         missing: list[int] = []
         for j, uid in enumerate(unique.tolist()):
-            cached = self.hub_cache.get(uid, epoch)
+            cached = self.hub_cache.get((kind, uid), epochs)
             if cached is None:
                 missing.append(j)
             else:
@@ -116,12 +151,19 @@ class FusedExecutor:
         self._m_hub_served.inc(len(unique) - len(missing))
         if missing:
             miss_ids = unique[missing]
-            miss_indptr, miss_flat = self.graph.outlinks_batch(miss_ids)
+            miss_indptr, miss_flat = reader(miss_ids)
+            owners = (self.graph.cloud.trunks_of_array(miss_ids)
+                      if vector else None)
             for k, j in enumerate(missing):
                 row = miss_flat[miss_indptr[k]:miss_indptr[k + 1]]
                 rows[j] = row
                 if len(row) >= self.hub_degree_threshold:
-                    self.hub_cache.put(int(unique[j]), epoch, row)
+                    # A hub row depends only on the trunk owning the
+                    # vertex — stamp just that component so unrelated
+                    # writes leave it valid.
+                    footprint = ((int(owners[k]),) if vector else None)
+                    self.hub_cache.put((kind, int(unique[j])), epochs, row,
+                                       footprint=footprint)
         counts = np.fromiter((len(row) for row in rows), dtype=np.int64,
                              count=len(rows))
         unique_indptr = np.zeros(len(unique) + 1, dtype=np.int64)

@@ -31,13 +31,13 @@ from ..algorithms.subgraph import match_subgraph
 from ..errors import QueryError
 from ..memcloud.cloud import BulkPathDivergence
 from ..net.simnet import SimNetwork
-from ..tql.engine import execute_tql
+from ..tql.engine import _OPS, execute_tql
 from ..tql.parser import TqlQuery, parse_tql
 
-#: Batch-read kinds a plan may yield.  ``outlinks`` answers with a CSR
-#: ``(indptr, flat)`` pair over the op's ids; ``field_eq`` with a bool
-#: array; ``field_read`` with a list of decoded values.
-OP_KINDS = ("outlinks", "field_eq", "field_read")
+#: Batch-read kinds a plan may yield.  ``outlinks``/``inlinks`` answer
+#: with a CSR ``(indptr, flat)`` pair over the op's ids; ``field_eq``
+#: with a bool array; ``field_read`` with a list of decoded values.
+OP_KINDS = ("outlinks", "inlinks", "field_eq", "field_read")
 
 
 @dataclass
@@ -199,12 +199,18 @@ class LandmarkBfsQuery(ServeQuery):
 class TqlServeQuery(ServeQuery):
     """A TQL query; fuses when it is an anchored single-chain reach.
 
-    ``MATCH (a = X) -[Field*m..n]-> (b {attr: 'v', ...}) RETURN b`` is
-    exactly the bounded-BFS-plus-filter shape the fusion window speaks
-    natively (outlinks + field_eq ops); anything else — WHERE clauses,
-    reverse edges, longer chains, LIMIT, projections through fields —
-    executes inline through :func:`repro.tql.engine.execute_tql` when
-    the plan is first stepped.  Canonical result: sorted distinct rows.
+    ``MATCH (a = X) -[Field*m..n]-> (b {attr: 'v', ...}) WHERE <residual
+    on b> RETURN b`` is the bounded-BFS-plus-filter shape the fusion
+    window speaks natively: the chain expands through ``outlinks`` ops
+    (or ``inlinks`` ops for reverse edges — ``<-[Field]-`` — and for
+    forward traversal of the schema's in-field), node filters ride
+    ``field_eq`` ops, and WHERE conditions whose variable operands all
+    name the *target* node are applied post-expansion from ``field_read``
+    columns with the inline engine's operator semantics.  Anything else —
+    conditions on the anchor, longer chains, LIMIT, projections through
+    fields, unanchored scans — executes inline through
+    :func:`repro.tql.engine.execute_tql` when the plan is first stepped.
+    Canonical result: sorted distinct rows.
     """
 
     cls_name = "tql"
@@ -214,37 +220,86 @@ class TqlServeQuery(ServeQuery):
         self.query: TqlQuery = parse_tql(text)
 
     def key(self) -> tuple:
-        return (self.cls_name, self.text)
+        # Whitespace-normalized so trivially-reformatted identical
+        # queries share one result-cache entry.
+        return (self.cls_name, " ".join(self.text.split()))
 
     # -- fusibility --------------------------------------------------------
 
-    def fusible(self, graph) -> bool:
+    def _fusion_shape(self, graph) -> str | None:
+        """The fused adjacency op kind (``outlinks``/``inlinks``) that
+        executes this query's chain, or None when it must run inline."""
         q = self.query
-        if len(q.nodes) != 2 or len(q.edges) != 1 or q.conditions:
-            return False
-        if q.limit is not None:
-            return False
+        if len(q.nodes) != 2 or len(q.edges) != 1 or q.limit is not None:
+            return None
         anchor_node, target = q.nodes
+        if anchor_node.var == target.var:
+            # Re-mentioning a variable joins back to it (engine
+            # semantics), not a fresh BFS target.
+            return None
         if anchor_node.anchor is None or anchor_node.filters:
-            return False
+            return None
         if target.anchor is not None:
-            return False
+            return None
         edge = q.edges[0]
-        if edge.reverse or edge.field != graph.graph_schema.out_field:
-            return False
         if edge.min_hops < 1:
-            return False
+            return None
         if len(q.returns) != 1:
-            return False
+            return None
         ret = q.returns[0]
         if ret.is_literal or ret.var != target.var or ret.field is not None:
-            return False
+            return None
+        declared = set(graph.graph_schema.node_type.field_names())
+        if any(field not in declared for field, _v in target.filters):
+            return None
         # field_eq fusion compares raw utf-8 bytes — strings only.
-        return all(isinstance(value, str) for _f, value in target.filters)
+        if not all(isinstance(value, str) for _f, value in target.filters):
+            return None
+        for condition in q.conditions:
+            for operand in (condition.left, condition.right):
+                if operand.var is not None and operand.var != target.var:
+                    # Anchor-side (or unrelated) conditions prune before
+                    # expansion in the engine; keep those inline.
+                    return None
+                if (operand.field is not None
+                        and operand.field not in declared):
+                    return None
+            if condition.left.is_literal and condition.right.is_literal:
+                return None
+        # Map the edge direction onto a batched adjacency read with the
+        # exact semantics of the engine's single_expand.
+        schema = graph.graph_schema
+        if not edge.reverse:
+            if edge.field == schema.out_field:
+                return "outlinks"
+            if schema.in_field is not None and edge.field == schema.in_field:
+                return "inlinks"
+            return None
+        if edge.field == schema.out_field:
+            # <-[out]- walks the in-lists on a directed schema; on an
+            # undirected one the single list is symmetric already.
+            return "inlinks" if schema.in_field is not None else "outlinks"
+        if schema.in_field is not None and edge.field == schema.in_field:
+            return "outlinks"
+        return None
+
+    def fusible(self, graph) -> bool:
+        return self._fusion_shape(graph) is not None
+
+    def _operand_column(self, operand, alive: np.ndarray):
+        """Per-candidate values of one WHERE operand (a sub-plan:
+        ``yield from`` it inside :meth:`plan`)."""
+        if operand.is_literal:
+            return [operand.literal] * len(alive)
+        if operand.field is None:
+            return [int(node) for node in alive.tolist()]
+        values = yield BatchOp("field_read", alive, field=operand.field)
+        return list(values)
 
     def plan(self, ctx):
         graph = ctx.graph
-        if not self.fusible(graph):
+        op_kind = self._fusion_shape(graph)
+        if op_kind is None:
             result = execute_tql(graph, self.query, network=SimNetwork())
             return sorted(result.rows)
         anchor = self.query.nodes[0].anchor
@@ -259,7 +314,7 @@ class TqlServeQuery(ServeQuery):
         for depth in range(1, edge.max_hops + 1):
             if not len(frontier):
                 break
-            _indptr, flat = yield BatchOp("outlinks", frontier)
+            _indptr, flat = yield BatchOp(op_kind, frontier)
             fresh = flat[visited.unseen(flat)]
             _, first_seen = np.unique(fresh, return_index=True)
             new = fresh[np.sort(first_seen)]
@@ -277,6 +332,26 @@ class TqlServeQuery(ServeQuery):
             hits = yield BatchOp("field_eq", found[keep], field=field_name,
                                  value=value)
             keep[np.flatnonzero(keep)] = hits
+        # WHERE residuals: filters over the target variable, applied
+        # post-expansion with the inline engine's operators (including
+        # its canonical error on uncomparable operands).
+        for condition in self.query.conditions:
+            alive = found[keep]
+            if not len(alive):
+                break
+            left = yield from self._operand_column(condition.left, alive)
+            right = yield from self._operand_column(condition.right, alive)
+            apply = _OPS[condition.op]
+            verdicts = np.empty(len(alive), dtype=bool)
+            for i, (lhs, rhs) in enumerate(zip(left, right)):
+                try:
+                    verdicts[i] = bool(apply(lhs, rhs))
+                except TypeError as exc:
+                    raise QueryError(
+                        f"cannot compare {lhs!r} {condition.op} "
+                        f"{rhs!r}: {exc}"
+                    ) from None
+            keep[np.flatnonzero(keep)] = verdicts
         return sorted((int(node),) for node in found[keep])
 
     def run_sequential(self, ctx):
@@ -325,6 +400,7 @@ class QueryTicket:
 
     query: ServeQuery
     deadline: float | None = None
+    priority: str = ""              # WFQ class (defaults to cls_name)
     status: str = "queued"          # queued | running | done | rejected
     reject_reason: str | None = None
     result: object = None
@@ -332,6 +408,7 @@ class QueryTicket:
     submitted_at: float = 0.0
     finished_at: float = 0.0
     windows: int = 0
+    trunks: set | None = None       # trunk footprint of the plan's reads
     extras: dict = dataclass_field(default_factory=dict)
 
     @property

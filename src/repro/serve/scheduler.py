@@ -5,34 +5,42 @@ in-memory graph the offline engines compute on (Section 1); this module
 is the serving front end for the reproduction: a cooperative scheduler
 that keeps many queries in flight so their per-hop frontiers can be
 **fused** into shared bulk reads, caches what power-law workloads repeat
-(hub adjacency, whole query results), and defends latency with bounded
-admission and per-query deadlines.
+(hub adjacency, whole query results), and defends latency with weighted
+fair admission, bounded per-class queues and per-query deadlines.
 
 Execution model — deterministic by construction:
 
-* ``submit`` appends to a bounded admission queue (overflow is rejected
-  immediately with ``queue_full``).
-* ``run`` repeats **fusion windows** until idle.  A window admits
-  queries up to ``max_in_flight`` (expired deadlines reject with
-  ``deadline``; result-cache hits complete on the spot), then steps
+* ``submit`` pushes onto a :class:`WeightedFairQueue` under the query's
+  priority class.  Overflow — of the total bound or the per-class bound
+  — first sheds already-expired entries, then rejects with
+  ``queue_full``.
+* ``run`` repeats **fusion windows** until idle.  A window pins the
+  epoch token (the per-trunk vector, or the scalar global epoch under
+  ``epoch_granularity="global"``), admits queries up to
+  ``max_in_flight`` in weighted-fair order (expired deadlines reject
+  with ``deadline``; result-cache hits complete on the spot), then steps
   every in-flight plan exactly once, in admission order, and hands the
   collected :class:`~repro.serve.queries.BatchOp` set to the
   :class:`~repro.serve.fusion.FusedExecutor` — one bulk read per op
-  shape per window.
+  shape per window.  The executor reports each op's trunk footprint,
+  which accumulates on the ticket and becomes the completed result's
+  cache stamp: a later write to trunk 7 only invalidates results that
+  actually read trunk 7.
 * Mutations go through :meth:`QueryServer.mutate`, which drains all
   in-flight work first (a barrier): every query executes against one
-  consistent graph version, and every trunk epoch bump invalidates the
-  epoch-stamped caches for the queries that follow.
+  consistent graph version, and every trunk epoch bump invalidates
+  exactly the epoch-stamped cache entries whose footprint it touches.
 
 ``cross_check=True`` shadow-replays **every** completion — fused,
 cached, or inline — through the query's existing one-at-a-time library
 path and raises :class:`~repro.memcloud.cloud.BulkPathDivergence` on any
-difference, which is how the test suite proves the three optimizations
-change the speed and never the answers.
+difference, which is how the test suite proves the optimizations change
+the speed and never the answers.
 
-Latency SLOs land in ``serve.latency.seconds{cls=...}`` histograms;
-:meth:`QueryServer.report` renders their ``summary()`` (count / mean /
-p50 / p99 / max) per query class.
+Latency SLOs land in ``serve.latency.seconds{cls=...}`` histograms and
+queue health in ``serve.queue.depth{cls=...}`` gauges plus
+``serve.queue.wait_seconds{cls=...}`` histograms;
+:meth:`QueryServer.report` renders their ``summary()`` per class.
 """
 
 from __future__ import annotations
@@ -65,25 +73,133 @@ class ServeConfig:
     hub_cache_capacity: int = 4096
     result_cache_capacity: int = 1024
     max_in_flight: int = 64              # plans stepped per window
-    queue_limit: int = 1024              # admission queue bound
+    queue_limit: int = 1024              # admission queue bound (total)
+    class_queue_limit: int | None = None  # admission bound per class
+    class_weights: dict | None = None    # WFQ weight per priority class
     default_deadline: float | None = None   # seconds in queue before reject
     sequential: bool = False             # baseline: one query at a time
     cross_check: bool = False            # shadow-replay every completion
+    epoch_granularity: str = "trunk"     # "trunk" vector | "global" scalar
+
+    def __post_init__(self):
+        if self.epoch_granularity not in ("trunk", "global"):
+            raise QueryError(
+                f"epoch_granularity must be 'trunk' or 'global', "
+                f"not {self.epoch_granularity!r}")
+
+
+class WeightedFairQueue:
+    """Deterministic weighted fair queueing over priority classes.
+
+    Classic virtual-finish-time WFQ with unit-cost work items: a push
+    into class *c* gets finish tag ``max(virtual_time, last_tag[c]) +
+    1/weight[c]``; ``pop`` removes the globally smallest ``(tag, seq)``
+    and advances virtual time to it.  A class with weight 2 therefore
+    drains twice as fast as a weight-1 class under contention, an idle
+    class never banks credit (its next tag starts at the current virtual
+    time), and the ``seq`` tiebreak makes the whole order a pure
+    function of the submission sequence — no randomness, no clock.
+    """
+
+    def __init__(self, weights: dict | None = None, registry=None):
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._weights = dict(weights or {})
+        for cls, weight in self._weights.items():
+            if weight <= 0:
+                raise QueryError(
+                    f"class weight must be > 0 ({cls!r}: {weight!r})")
+        self._queues: dict[str, deque] = {}
+        self._last_tag: dict[str, float] = {}
+        self._vtime = 0.0
+        self._seq = 0
+        self._len = 0
+        self._depth_gauges: dict[str, object] = {}
+
+    def weight(self, cls: str) -> float:
+        return float(self._weights.get(cls, 1.0))
+
+    def classes(self) -> list[str]:
+        return sorted(self._queues)
+
+    def depth(self, cls: str) -> int:
+        queue = self._queues.get(cls)
+        return len(queue) if queue is not None else 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _gauge(self, cls: str):
+        gauge = self._depth_gauges.get(cls)
+        if gauge is None:
+            gauge = self._registry.gauge("serve.queue.depth", cls=cls)
+            self._depth_gauges[cls] = gauge
+        return gauge
+
+    def push(self, ticket: QueryTicket) -> None:
+        cls = ticket.priority
+        tag = max(self._vtime, self._last_tag.get(cls, 0.0)) \
+            + 1.0 / self.weight(cls)
+        self._last_tag[cls] = tag
+        self._seq += 1
+        self._queues.setdefault(cls, deque()).append(
+            (tag, self._seq, ticket))
+        self._len += 1
+        self._gauge(cls).set(len(self._queues[cls]))
+
+    def pop(self) -> QueryTicket | None:
+        """The queued ticket with the smallest (finish tag, seq)."""
+        best_cls = None
+        best = None
+        for cls in sorted(self._queues):
+            queue = self._queues[cls]
+            if not queue:
+                continue
+            head = queue[0]
+            if best is None or head[:2] < best[:2]:
+                best, best_cls = head, cls
+        if best is None:
+            return None
+        self._queues[best_cls].popleft()
+        self._len -= 1
+        self._gauge(best_cls).set(len(self._queues[best_cls]))
+        self._vtime = max(self._vtime, best[0])
+        return best[2]
+
+    def shed_expired(self, now: float) -> list[QueryTicket]:
+        """Remove every queued ticket whose deadline has passed."""
+        shed: list[QueryTicket] = []
+        for cls, queue in self._queues.items():
+            kept: deque = deque()
+            for entry in queue:
+                ticket = entry[2]
+                if (ticket.deadline is not None
+                        and now - ticket.submitted_at > ticket.deadline):
+                    shed.append(ticket)
+                else:
+                    kept.append(entry)
+            if len(kept) != len(queue):
+                self._queues[cls] = kept
+                self._gauge(cls).set(len(kept))
+        self._len -= len(shed)
+        return shed
 
 
 class ServeReport:
-    """Per-class SLO summaries plus admission/cache counters."""
+    """Per-class SLO summaries plus admission/queue/cache counters."""
 
     def __init__(self, classes: dict, admission: dict, caches: dict,
-                 fusion: dict):
+                 fusion: dict, queues: dict | None = None):
         self.classes = classes
         self.admission = admission
         self.caches = caches
         self.fusion = fusion
+        self.queues = queues if queues is not None else {}
 
     def to_dict(self) -> dict:
         return {"classes": self.classes, "admission": self.admission,
-                "caches": self.caches, "fusion": self.fusion}
+                "caches": self.caches, "fusion": self.fusion,
+                "queues": self.queues}
 
     def render(self) -> str:
         lines = ["query classes:"]
@@ -96,6 +212,13 @@ class ServeReport:
         lines.append(
             "admission: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(self.admission.items())))
+        for name in sorted(self.queues):
+            q = self.queues[name]
+            wait = q["wait"]
+            lines.append(
+                f"  queue {name}: depth={q['depth']} "
+                f"weight={q['weight']:g} waited={wait['count']} "
+                f"wait_p50={wait['p50']:.2e}s wait_p99={wait['p99']:.2e}s")
         for cache, stats in sorted(self.caches.items()):
             lines.append(
                 f"cache {cache}: " + ", ".join(
@@ -110,7 +233,7 @@ class ServeReport:
 
 
 class QueryServer:
-    """The serving loop: admission queue, fusion windows, caches, SLOs."""
+    """The serving loop: WFQ admission, fusion windows, caches, SLOs."""
 
     def __init__(self, graph, config: ServeConfig | None = None,
                  registry=None):
@@ -129,9 +252,11 @@ class QueryServer:
             graph, fuse=cfg.fuse, hub_cache=hub,
             hub_degree_threshold=cfg.hub_degree_threshold,
             registry=self.registry)
-        self._queue: deque[QueryTicket] = deque()
+        self._wfq = WeightedFairQueue(cfg.class_weights, self.registry)
         self._active: list[tuple[QueryTicket, object, object]] = []
         self._latency: dict[str, object] = {}
+        self._queue_wait: dict[str, object] = {}
+        self._current_epochs = self._epochs()
         self._m_submitted = self.registry.counter("serve.admission.submitted")
         self._m_admitted = self.registry.counter("serve.admission.admitted")
         self._m_rejected = {
@@ -151,6 +276,17 @@ class QueryServer:
         self._label_seed = 0
         self._num_labels = 20
 
+    # -- epoch token -------------------------------------------------------
+
+    def _epochs(self):
+        """The validity token this window stamps and checks caches with:
+        the per-trunk vector, or the scalar sum under the coarse
+        ``epoch_granularity="global"`` scheme (kept for the benchmark's
+        ablation of incremental repair)."""
+        if self.config.epoch_granularity == "global":
+            return self.graph.cloud.mutation_epoch()
+        return self.graph.cloud.epoch_vector()
+
     # -- ctx surface handed to query plans ---------------------------------
 
     def snapshot(self):
@@ -167,24 +303,42 @@ class QueryServer:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, query: ServeQuery,
-               deadline: float | None = None) -> QueryTicket:
+    def submit(self, query: ServeQuery, deadline: float | None = None,
+               priority: str | None = None) -> QueryTicket:
         """Enqueue a query; returns its ticket (possibly already
-        rejected when the admission queue is full)."""
+        rejected when its class queue or the total bound is full).
+
+        ``priority`` names the WFQ class the query competes in; it
+        defaults to the query's ``cls_name``, so e.g. all TQL traffic
+        shares one weight unless the caller splits it ("interactive" vs
+        "batch").
+        """
         if not isinstance(query, ServeQuery):
             raise QueryError("submit() takes a ServeQuery")
         ticket = QueryTicket(
             query=query,
             deadline=(deadline if deadline is not None
                       else self.config.default_deadline),
+            priority=(priority if priority is not None else query.cls_name),
             submitted_at=time.perf_counter(),
         )
         self._m_submitted.inc()
-        if len(self._queue) >= self.config.queue_limit:
-            self._reject(ticket, "queue_full")
-            return ticket
-        self._queue.append(ticket)
+        if self._full(ticket.priority):
+            # Make room from already-dead entries before turning anyone
+            # away: shed queued tickets past their deadline.
+            for expired in self._wfq.shed_expired(time.perf_counter()):
+                self._reject(expired, "deadline")
+            if self._full(ticket.priority):
+                self._reject(ticket, "queue_full")
+                return ticket
+        self._wfq.push(ticket)
         return ticket
+
+    def _full(self, cls: str) -> bool:
+        if len(self._wfq) >= self.config.queue_limit:
+            return True
+        limit = self.config.class_queue_limit
+        return limit is not None and self._wfq.depth(cls) >= limit
 
     def _reject(self, ticket: QueryTicket, reason: str) -> None:
         ticket.status = "rejected"
@@ -196,7 +350,14 @@ class QueryServer:
 
     def run(self) -> None:
         """Process fusion windows until queue and in-flight set drain."""
-        while self._queue or self._active:
+        # Mutations only happen at the mutate() barrier (which refreshes
+        # the token itself), never mid-run, so one epoch read covers
+        # every window of this drain: cache gets at admission, result
+        # stamps at completion and the executor's hub stamps all see the
+        # same epochs.  Reading it here (not per window) keeps the
+        # O(trunk_count) vector build off the per-query fast path.
+        self._current_epochs = self._epochs()
+        while len(self._wfq) or self._active:
             self._window()
 
     def _window(self) -> None:
@@ -214,10 +375,23 @@ class QueryServer:
             self._complete(ticket, result)
             return
         ops = [op for _ticket, _gen, op in self._active]
-        results = self.executor.run_window(ops)
+        want_foot = (self.result_cache is not None
+                     and isinstance(self._current_epochs, tuple))
+        if want_foot:
+            results, foots = self.executor.run_window(
+                ops, epochs=self._current_epochs, footprints=True)
+        else:
+            results = self.executor.run_window(
+                ops, epochs=self._current_epochs)
+            foots = [None] * len(ops)
         still_active = []
-        for (ticket, gen, _op), result in zip(self._active, results):
+        for (ticket, gen, _op), result, foot in zip(self._active, results,
+                                                    foots):
             ticket.windows += 1
+            if foot is not None:
+                if ticket.trunks is None:
+                    ticket.trunks = set()
+                ticket.trunks |= foot
             try:
                 next_op = gen.send(result)
             except StopIteration as stop:
@@ -228,9 +402,10 @@ class QueryServer:
 
     def _admit(self) -> None:
         limit = 1 if self.config.sequential else self.config.max_in_flight
-        while self._queue and len(self._active) < limit:
-            ticket = self._queue.popleft()
+        while len(self._wfq) and len(self._active) < limit:
+            ticket = self._wfq.pop()
             now = time.perf_counter()
+            self._observe_wait(ticket, now)
             if (ticket.deadline is not None
                     and now - ticket.submitted_at > ticket.deadline):
                 self._reject(ticket, "deadline")
@@ -238,8 +413,8 @@ class QueryServer:
             self._m_admitted.inc()
             ticket.status = "running"
             if self.result_cache is not None:
-                epoch = self.graph.cloud.mutation_epoch()
-                hit = self.result_cache.get(ticket.query.key(), epoch)
+                hit = self.result_cache.get(ticket.query.key(),
+                                            self._current_epochs)
                 if hit is not None:
                     ticket.cached = True
                     self._m_cached.inc()
@@ -258,6 +433,15 @@ class QueryServer:
             else:
                 self._active.append((ticket, gen, first_op))
 
+    def _observe_wait(self, ticket: QueryTicket, now: float) -> None:
+        cls = ticket.priority
+        hist = self._queue_wait.get(cls)
+        if hist is None:
+            hist = self.registry.histogram(
+                "serve.queue.wait_seconds", buckets=LATENCY_BUCKETS, cls=cls)
+            self._queue_wait[cls] = hist
+        hist.observe(max(0.0, now - ticket.submitted_at))
+
     # -- completion --------------------------------------------------------
 
     def _complete(self, ticket: QueryTicket, result) -> None:
@@ -273,8 +457,14 @@ class QueryServer:
         self._latency[cls].observe(ticket.latency)
         self._m_completed[cls].inc()
         if self.result_cache is not None and not ticket.cached:
-            self.result_cache.put(ticket.query.key(),
-                                  self.graph.cloud.mutation_epoch(), result)
+            footprint = None
+            if (ticket.trunks is not None
+                    and isinstance(self._current_epochs, tuple)):
+                # The plan's reads all resolved through these trunks —
+                # the entry survives writes to every other trunk.
+                footprint = sorted(ticket.trunks)
+            self.result_cache.put(ticket.query.key(), self._current_epochs,
+                                  result, footprint=footprint)
         if self.config.cross_check:
             self._m_cross_checks.inc()
             reference = ticket.query.run_sequential(self)
@@ -286,13 +476,14 @@ class QueryServer:
         """Drain in-flight queries, then apply ``fn(graph)``.
 
         The barrier gives every query one consistent graph version; the
-        mutation itself bumps trunk epochs through the normal cloud
-        paths, so both caches treat everything recorded before it as
-        stale.
+        mutation itself bumps the owning trunks' epochs through the
+        normal cloud paths, so cache entries whose footprint touches
+        those trunks — and only those — go stale.
         """
         self.run()
         self._m_mutations.inc()
         fn(self.graph)
+        self._current_epochs = self._epochs()
 
     # -- reporting ---------------------------------------------------------
 
@@ -306,19 +497,31 @@ class QueryServer:
             "rejected_deadline": self._m_rejected["deadline"].value,
             "completed_from_cache": self._m_cached.value,
         }
+        queues = {}
+        for cls in sorted(set(self._queue_wait) | set(self._wfq.classes())):
+            wait = self._queue_wait.get(cls)
+            queues[cls] = {
+                "depth": self._wfq.depth(cls),
+                "weight": self._wfq.weight(cls),
+                "wait": (wait.summary() if wait is not None
+                         else {"count": 0, "mean": 0.0, "p50": 0.0,
+                               "p99": 0.0, "max": 0.0}),
+            }
         caches = {}
         if self.result_cache is not None:
             caches["result"] = {
                 "hits": self.result_cache.hits,
                 "misses": self.result_cache.misses,
                 "invalidated": self.result_cache.invalidated,
+                "cleared": self.result_cache.cleared,
                 "size": len(self.result_cache),
             }
         hub = self.executor.hub_cache
         if hub is not None:
             caches["hub"] = {
                 "hits": hub.hits, "misses": hub.misses,
-                "invalidated": hub.invalidated, "size": len(hub),
+                "invalidated": hub.invalidated, "cleared": hub.cleared,
+                "size": len(hub),
             }
         fusion = {
             "windows": self._m_windows.value,
@@ -327,4 +530,4 @@ class QueryServer:
             "fused_ids": self.executor._m_fused_ids.value,
             "hub_cells": self.executor._m_hub_served.value,
         }
-        return ServeReport(classes, admission, caches, fusion)
+        return ServeReport(classes, admission, caches, fusion, queues)

@@ -556,6 +556,55 @@ class TestMutationEpoch:
         served = cache.get(node, cloud.mutation_epoch())
         assert served == graph.outlinks(node)
 
+    def test_epoch_vector_tracks_only_owning_trunk(self):
+        cloud, graph = self._fresh()
+        node = int(graph.node_ids[0])
+        owner = int(cloud.trunks_of_array([node])[0])
+        before = cloud.epoch_vector()
+        assert sum(before) == cloud.mutation_epoch()
+        graph.add_edge(node, int(graph.node_ids[1]))
+        after = cloud.epoch_vector()
+        changed = {t for t in range(len(after)) if after[t] != before[t]}
+        assert owner in changed
+        # An edge write touches at most the two endpoint cells' trunks
+        # (plus the new node's on growth) — never the whole vector.
+        assert len(changed) < len(after)
+
+    def test_footprint_entry_survives_unrelated_trunk_write(self):
+        from repro.serve import EpochLruCache
+        cloud, graph = self._fresh()
+        cache = EpochLruCache("hub", capacity=8,
+                              registry=MetricsRegistry())
+        node = int(graph.node_ids[0])
+        owner = int(cloud.trunks_of_array([node])[0])
+        cache.put(("outlinks", node), cloud.epoch_vector(),
+                  list(graph.outlinks(node)), footprint=(owner,))
+        assert cache.footprint_of(("outlinks", node)) == {owner}
+        # Write to a node owned by a DIFFERENT trunk: the entry lives.
+        other = next(n for n in map(int, graph.node_ids)
+                     if int(cloud.trunks_of_array([n])[0]) != owner)
+        peer = next(n for n in map(int, graph.node_ids)
+                    if int(cloud.trunks_of_array([n])[0]) != owner
+                    and n != other)
+        graph.add_edge(other, peer)
+        assert cache.get(("outlinks", node),
+                         cloud.epoch_vector()) is not None
+        # Write to the owning trunk: the entry dies.
+        graph.add_edge(node, other)
+        assert cache.get(("outlinks", node), cloud.epoch_vector()) is None
+        assert cache.invalidated == 1
+
+    def test_footprint_stamp_never_validates_against_scalar(self):
+        from repro.serve import EpochLruCache
+        cloud, graph = self._fresh()
+        cache = EpochLruCache("t", capacity=4, registry=MetricsRegistry())
+        node = int(graph.node_ids[0])
+        owner = int(cloud.trunks_of_array([node])[0])
+        cache.put(("outlinks", node), cloud.epoch_vector(), "row",
+                  footprint=(owner,))
+        assert cache.get(("outlinks", node),
+                         cloud.mutation_epoch()) is None
+
 
 class TestVisitedTracker:
     def test_mask_grows_and_counts(self):

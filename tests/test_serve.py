@@ -13,6 +13,8 @@ mutations.
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms.subgraph import generate_query_dfs
 from repro.config import ClusterConfig
@@ -29,20 +31,27 @@ from repro.serve import (
     LandmarkBfsQuery,
     PeopleSearchQuery,
     QueryServer,
+    QueryTicket,
     ServeConfig,
     SubgraphServeQuery,
     TqlServeQuery,
+    WeightedFairQueue,
 )
 
 MACHINE_COUNTS = [2, 5]
 
 FUSIBLE_TQL = ("MATCH (a = 0) -[Friends*1..3]-> (b {Name: 'David'}) "
                "RETURN b")
+#: WHERE over the target variable now fuses; a condition on the *anchor*
+#: variable still runs through the inline engine.
 INLINE_TQL = ("MATCH (a = 0) -[Friends*1..2]-> (b) "
-              "WHERE b.Name = 'David' RETURN b")
+              "WHERE a.Name != 'David' RETURN b")
+WHERE_TQL = ("MATCH (a = 0) -[Friends*1..2]-> (b) "
+             "WHERE b.Name != 'David' RETURN b")
+REVERSE_TQL = "MATCH (a = 0) <-[Friends*1..2]- (b) RETURN b"
 
 
-def build_graph(machines, scale=8, seed=11, memory=None):
+def build_graph(machines, scale=8, seed=11, memory=None, directed=False):
     config = (ClusterConfig(machines=machines, trunk_bits=5)
               if memory is None else
               ClusterConfig(machines=machines, trunk_bits=5, memory=memory))
@@ -50,7 +59,7 @@ def build_graph(machines, scale=8, seed=11, memory=None):
     n = 1 << scale
     edges = rmat_edges(scale, avg_degree=6.0, seed=seed, dedup=True)
     edges = edges[edges[:, 0] != edges[:, 1]]
-    builder = GraphBuilder(cloud, social_graph_schema())
+    builder = GraphBuilder(cloud, social_graph_schema(directed=directed))
     for node_id, name in enumerate(sample_names(n, seed=seed + 1)):
         builder.add_node(node_id, Name=name)
     builder.add_edges(edges.tolist())
@@ -240,11 +249,16 @@ class TestCaches:
         hub = server.executor.hub_cache
         assert hub.hits > 0
         assert len(hub) > 0
-        # Every cached adjacency must match the live cells right now.
-        epoch = graph.cloud.mutation_epoch()
-        for key, (stamp, row) in list(hub._entries.items()):
-            assert stamp == epoch
-            assert row.tolist() == graph.outlinks(int(key))
+        # Every cached adjacency must match the live cells right now,
+        # and each entry must be stamped with exactly the one trunk
+        # that owns its vertex.
+        epochs = graph.cloud.epoch_vector()
+        for (kind, uid), (_stamp, row) in list(hub._entries.items()):
+            assert kind == "outlinks"
+            owner = int(graph.cloud.trunks_of_array([uid])[0])
+            assert hub.footprint_of((kind, uid)) == {owner}
+            assert hub.get((kind, uid), epochs) is not None
+            assert row.tolist() == graph.outlinks(int(uid))
 
     def test_lru_capacity_and_eviction(self):
         reg = MetricsRegistry()
@@ -304,28 +318,64 @@ class TestAdmission:
         server.run()
         report = server.report()
         as_dict = report.to_dict()
-        assert set(as_dict) == {"classes", "admission", "caches", "fusion"}
+        assert set(as_dict) == {"classes", "admission", "caches", "fusion",
+                                "queues"}
         for summary in as_dict["classes"].values():
             assert set(summary) == {"count", "mean", "p50", "p99", "max"}
         assert as_dict["admission"]["submitted"] == 8
+        for stats in as_dict["queues"].values():
+            assert set(stats) == {"depth", "weight", "wait"}
+            assert stats["depth"] == 0        # drained
+        assert sum(q["wait"]["count"]
+                   for q in as_dict["queues"].values()) == 8
+        for stats in as_dict["caches"].values():
+            assert "cleared" in stats
         text = report.render()
-        assert "p99" in text and "admission:" in text
+        assert "p99" in text and "admission:" in text and "queue" in text
 
 
 class TestTqlFusibility:
     def test_fusible_shapes(self, deployment):
         _, graph = deployment
-        assert TqlServeQuery(FUSIBLE_TQL).fusible(graph)
         for text in (
-            INLINE_TQL,                                       # WHERE
+            FUSIBLE_TQL,
+            WHERE_TQL,                      # WHERE residual on target
+            REVERSE_TQL,                    # reverse (symmetric here)
+            "MATCH (a = 0) -[Friends*1..2]-> (b) "
+            "WHERE b.Name != b.Name RETURN b",      # var-vs-var residual
+        ):
+            assert TqlServeQuery(text).fusible(graph), text
+        for text in (
+            INLINE_TQL,                     # WHERE on the anchor var
             "MATCH (a = 0) -[Friends]-> (b) RETURN b LIMIT 5",  # LIMIT
-            "MATCH (a = 0) <-[Friends]- (b) RETURN b",        # reverse
             "MATCH (a) -[Friends]-> (b {Name: 'David'}) RETURN b",  # scan
             "MATCH (a = 0) -[Friends]-> (b) -[Friends]-> (c) "
             "RETURN c",                                       # chain of 3
             "MATCH (a = 0) -[Friends]-> (b) RETURN b.Name",   # projection
+            "MATCH (a = 0) -[Friends*1..2]-> (a) RETURN a",   # rebound var
         ):
             assert not TqlServeQuery(text).fusible(graph), text
+
+    def test_query_key_whitespace_normalized(self):
+        compact = TqlServeQuery(FUSIBLE_TQL)
+        spaced = TqlServeQuery(
+            "  MATCH   (a = 0)\n\t-[Friends*1..3]->\n"
+            "  (b {Name: 'David'})   RETURN  b ")
+        assert compact.key() == spaced.key()
+        assert compact.key() != TqlServeQuery(REVERSE_TQL).key()
+
+    def test_normalized_key_shares_cache_entry(self, deployment):
+        _, graph = deployment
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        first = server.submit(TqlServeQuery(FUSIBLE_TQL))
+        server.run()
+        again = server.submit(TqlServeQuery(
+            "MATCH  (a = 0)  -[Friends*1..3]->  (b {Name: 'David'})  "
+            "RETURN  b"))
+        server.run()
+        assert not first.cached and again.cached
+        assert first.result == again.result
 
     def test_inline_tql_still_served_and_checked(self, deployment):
         _, graph = deployment
@@ -406,3 +456,311 @@ class TestStorageTiers:
         after = server.submit(PeopleSearchQuery(0, "David", hops=1))
         server.run()
         assert before.status == after.status == "done"
+
+
+class TestWeightedFairQueue:
+    """Deterministic WFQ order, per-class bounds, deadline shedding."""
+
+    @staticmethod
+    def _ticket(cls, deadline=None, submitted_at=0.0):
+        return QueryTicket(query=PeopleSearchQuery(0, "x"), priority=cls,
+                           deadline=deadline, submitted_at=submitted_at)
+
+    def test_weighted_dequeue_order(self):
+        wfq = WeightedFairQueue({"gold": 2.0, "bronze": 1.0},
+                                registry=MetricsRegistry())
+        for _ in range(4):
+            wfq.push(self._ticket("gold"))
+        for _ in range(4):
+            wfq.push(self._ticket("bronze"))
+        drained = [wfq.pop().priority for _ in range(8)]
+        # Finish tags: gold 0.5,1.0,1.5,2.0; bronze 1,2,3,4 — under
+        # contention gold drains twice as fast, ties break by seq.
+        assert drained == ["gold", "gold", "bronze", "gold", "gold",
+                           "bronze", "bronze", "bronze"]
+        assert wfq.pop() is None
+
+    def test_equal_weights_round_robin(self):
+        wfq = WeightedFairQueue(registry=MetricsRegistry())
+        for cls in ["a", "b", "a", "c", "b"]:
+            wfq.push(self._ticket(cls))
+        # Equal weights: same finish-tag spacing per class, so classes
+        # interleave round-robin (ties broken by arrival seq), and no
+        # class starves behind a burst of another.
+        assert [wfq.pop().priority for _ in range(5)] == \
+            ["a", "b", "c", "a", "b"]
+
+    def test_single_class_is_fifo(self):
+        wfq = WeightedFairQueue(registry=MetricsRegistry())
+        tickets = [self._ticket("a") for _ in range(5)]
+        for t in tickets:
+            wfq.push(t)
+        assert [wfq.pop() for _ in range(5)] == tickets
+
+    def test_idle_class_banks_no_credit(self):
+        wfq = WeightedFairQueue({"slow": 1.0, "fast": 4.0},
+                                registry=MetricsRegistry())
+        for _ in range(3):
+            wfq.push(self._ticket("slow"))
+        for _ in range(3):
+            assert wfq.pop().priority == "slow"
+        # fast was idle the whole time; its first tag starts at the
+        # current virtual time, not at zero.
+        wfq.push(self._ticket("slow"))
+        wfq.push(self._ticket("fast"))
+        assert wfq.pop().priority == "fast"
+
+    def test_shed_expired(self):
+        wfq = WeightedFairQueue(registry=MetricsRegistry())
+        dead = self._ticket("a", deadline=1.0, submitted_at=0.0)
+        alive = self._ticket("a", deadline=100.0, submitted_at=0.0)
+        wfq.push(dead)
+        wfq.push(alive)
+        shed = wfq.shed_expired(now=5.0)
+        assert shed == [dead]
+        assert len(wfq) == 1 and wfq.pop() is alive
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(QueryError):
+            WeightedFairQueue({"a": 0.0}, registry=MetricsRegistry())
+
+    def test_per_class_queue_limit(self, deployment):
+        _, graph = deployment
+        server = QueryServer(
+            graph,
+            ServeConfig(class_queue_limit=2, result_cache=False),
+            registry=MetricsRegistry())
+        bulk = [server.submit(PeopleSearchQuery(s, "David"), priority="bulk")
+                for s in range(4)]
+        vip = server.submit(PeopleSearchQuery(9, "David"), priority="vip")
+        assert [t.status for t in bulk] == ["queued", "queued",
+                                            "rejected", "rejected"]
+        assert all(t.reject_reason == "queue_full"
+                   for t in bulk if t.status == "rejected")
+        assert vip.status == "queued"      # its own class, its own bound
+        server.run()
+        assert vip.status == "done"
+
+    def test_full_queue_sheds_expired_before_rejecting(self, deployment):
+        _, graph = deployment
+        server = QueryServer(
+            graph, ServeConfig(queue_limit=2, result_cache=False),
+            registry=MetricsRegistry())
+        doomed = [server.submit(PeopleSearchQuery(s, "David"),
+                                deadline=-1.0) for s in range(2)]
+        fresh = server.submit(PeopleSearchQuery(5, "David"),
+                              deadline=3600.0)
+        # The expired entries were shed to make room, not the new one.
+        assert all(t.status == "rejected" and t.reject_reason == "deadline"
+                   for t in doomed)
+        assert fresh.status == "queued"
+        server.run()
+        assert fresh.status == "done"
+
+    def test_wfq_priorities_change_completion_order_not_results(
+            self, deployment):
+        _, graph = deployment
+        weighted = QueryServer(
+            graph,
+            ServeConfig(cross_check=True, max_in_flight=1,
+                        class_weights={"vip": 8.0, "bulk": 1.0}),
+            registry=MetricsRegistry())
+        bulk = [weighted.submit(PeopleSearchQuery(s, "David", hops=2),
+                                priority="bulk") for s in range(4)]
+        vip = [weighted.submit(PeopleSearchQuery(s, "David", hops=2),
+                               priority="vip") for s in range(4, 6)]
+        weighted.run()
+        assert all(t.status == "done" for t in bulk + vip)
+        # With max_in_flight=1 completion order follows dequeue order:
+        # every vip finishes before the last bulk.
+        last_vip = max(t.finished_at for t in vip)
+        assert sum(t.finished_at > last_vip for t in bulk) >= 2
+
+
+class TestNewFusedShapes:
+    """Reverse-edge chains and WHERE residuals ride the fusion window
+    (not the inline fallback) on both storage tiers."""
+
+    @pytest.fixture(scope="class", params=["resident", "paged"])
+    def directed_tier(self, request):
+        from repro.config import MemoryParams
+        memory = (None if request.param == "resident" else
+                  MemoryParams(trunk_size=256 * 1024, storage="paged",
+                               storage_page_size=512, page_budget=2))
+        cloud, graph = build_graph(machines=2, scale=7, memory=memory,
+                                   directed=True)
+        yield request.param, cloud, graph
+        cloud.release_arenas()
+
+    def _served_fused(self, graph, text):
+        reg = MetricsRegistry()
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=reg)
+        assert TqlServeQuery(text).fusible(graph), text
+        ticket = server.submit(TqlServeQuery(text))
+        server.run()
+        assert ticket.status == "done"
+        # Inline fallbacks complete on their first step, before any
+        # fusion window has run an op for them.
+        assert ticket.windows >= 1
+        assert reg.counter("serve.fusion.ops").value >= 1
+        return ticket
+
+    def test_reverse_chain_fused(self, directed_tier):
+        _, _, graph = directed_tier
+        ticket = self._served_fused(
+            graph, "MATCH (a = 1) <-[Friends*1..2]- (b) RETURN b")
+        # Reverse = the in-lists: cross-checked above, and non-trivial
+        # on this RMAT graph for a hub-ish anchor.
+        assert isinstance(ticket.result, list)
+
+    def test_forward_in_field_chain_fused(self, directed_tier):
+        _, _, graph = directed_tier
+        self._served_fused(
+            graph, "MATCH (a = 1) -[FriendOf*1..2]-> (b) RETURN b")
+
+    def test_reverse_of_in_field_fused(self, directed_tier):
+        _, _, graph = directed_tier
+        self._served_fused(
+            graph, "MATCH (a = 1) <-[FriendOf*1..2]- (b) RETURN b")
+
+    def test_where_residual_fused(self, directed_tier):
+        _, _, graph = directed_tier
+        ticket = self._served_fused(
+            graph,
+            "MATCH (a = 1) -[Friends*1..2]-> (b) "
+            "WHERE b.Name != 'David' RETURN b")
+        assert isinstance(ticket.result, list)
+
+    def test_where_residual_with_filter_fused(self, directed_tier):
+        _, _, graph = directed_tier
+        self._served_fused(
+            graph,
+            "MATCH (a = 1) -[Friends*1..3]-> (b {Name: 'David'}) "
+            "WHERE b.Name >= 'D' RETURN b")
+
+    def test_undirected_reverse_fused(self, deployment):
+        _, graph = deployment
+        reg = MetricsRegistry()
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=reg)
+        ticket = server.submit(TqlServeQuery(REVERSE_TQL))
+        server.run()
+        assert ticket.status == "done" and ticket.windows >= 1
+
+
+class TestEpochVectorInvalidation:
+    """Per-trunk footprints: writes only kill entries that read the
+    written trunk."""
+
+    def _fresh(self, scale=7):
+        _cloud, graph = build_graph(machines=2, scale=scale)
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                            registry=MetricsRegistry())
+        return graph, server
+
+    @staticmethod
+    def _trunk_of(graph, node):
+        return int(graph.cloud.trunks_of_array([int(node)])[0])
+
+    def test_result_survives_unrelated_trunk_write(self):
+        graph, server = self._fresh()
+        anchor = 0
+        ticket = server.submit(LandmarkBfsQuery(anchor, max_hops=1))
+        server.run()
+        footprint = server.result_cache.footprint_of(ticket.query.key())
+        assert footprint  # a fused plan records where it read
+        # Mutate two nodes whose trunks are outside the footprint.
+        outside = [n for n in map(int, graph.node_ids[:256])
+                   if self._trunk_of(graph, n) not in footprint]
+        assert len(outside) >= 2, "need >=2 trunks in play"
+        server.mutate(lambda g: g.add_edge(outside[0], outside[1]))
+        again = server.submit(LandmarkBfsQuery(anchor, max_hops=1))
+        server.run()
+        assert again.cached
+        assert again.result == ticket.result
+
+    def test_result_dies_on_footprint_trunk_write(self):
+        graph, server = self._fresh()
+        anchor = 0
+        ticket = server.submit(LandmarkBfsQuery(anchor, max_hops=1))
+        server.run()
+        assert not ticket.cached
+        # Write to the anchor's own trunk — inside every 1-hop footprint.
+        server.mutate(lambda g: g.add_edge(anchor, max(g.node_ids) + 1))
+        again = server.submit(LandmarkBfsQuery(anchor, max_hops=1))
+        server.run()
+        assert not again.cached
+        assert server.result_cache.invalidated >= 1
+
+    def test_global_granularity_invalidates_everything(self):
+        _cloud, graph = build_graph(machines=2, scale=7)
+        server = QueryServer(
+            graph,
+            ServeConfig(cross_check=True, epoch_granularity="global"),
+            registry=MetricsRegistry())
+        ticket = server.submit(LandmarkBfsQuery(0, max_hops=1))
+        server.run()
+        assert server.result_cache.footprint_of(ticket.query.key()) is None
+        # ANY write kills the entry under the coarse scheme.
+        outside = [n for n in map(int, graph.node_ids[:256])
+                   if self._trunk_of(graph, n) != self._trunk_of(graph, 0)]
+        server.mutate(lambda g: g.add_edge(outside[0], outside[1]))
+        again = server.submit(LandmarkBfsQuery(0, max_hops=1))
+        server.run()
+        assert not again.cached
+
+    def test_granularity_validated(self):
+        with pytest.raises(QueryError):
+            ServeConfig(epoch_granularity="nope")
+
+
+class TestEpochVectorProperty:
+    """Random interleaved mutations + cached reads across >= 2 trunks:
+    no stale entry is ever served (the cross-check oracle proves it) and
+    entries whose footprint excludes the mutated trunks survive."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("read"), st.integers(0, 63)),
+            st.tuples(st.just("write"), st.integers(0, 63)),
+        ),
+        min_size=4, max_size=16))
+    def test_interleaved_mutations_never_serve_stale(self, script):
+        _cloud, graph = build_graph(machines=2, scale=6, seed=23)
+        server = QueryServer(graph, ServeConfig(cross_check=True),
+                             registry=MetricsRegistry())
+        # Model: key -> (footprint, epoch vector when the entry landed).
+        model: dict = {}
+        next_node = max(map(int, graph.node_ids)) + 1
+
+        def trunks_in_play():
+            return set(
+                graph.cloud.trunks_of_array(graph.node_ids).tolist())
+
+        assert len(trunks_in_play()) >= 2
+        for action, node in script:
+            node = int(graph.node_ids[node % len(graph.node_ids)])
+            if action == "write":
+                server.mutate(lambda g, n=node, m=next_node:
+                              g.add_edge(n, m))
+                next_node += 1
+                continue
+            query = LandmarkBfsQuery(node, max_hops=1)
+            expected_cached = False
+            remembered = model.get(query.key())
+            if remembered is not None:
+                footprint, then = remembered
+                now_vector = graph.cloud.epoch_vector()
+                expected_cached = all(now_vector[t] == then[t]
+                                      for t in footprint)
+            ticket = server.submit(query)
+            server.run()            # cross_check replays every answer
+            assert ticket.status == "done"
+            assert ticket.cached == expected_cached
+            if not ticket.cached:
+                assert ticket.trunks, "fused read must record trunks"
+                model[query.key()] = (frozenset(ticket.trunks),
+                                      graph.cloud.epoch_vector())
